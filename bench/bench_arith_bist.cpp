@@ -1,0 +1,116 @@
+// EXP-ABIST — arithmetic BIST with subspace state coverage (§5.4, [28]).
+//
+// Accumulator-generated patterns replace dedicated TPGRs. The subspace
+// state coverage at each FU's inputs predicts structural fault coverage;
+// binding operations to maximize unioned coverage lifts both. The pattern
+// budget sweep reproduces the coverage-vs-test-length curve shape.
+#include "common.h"
+
+#include <algorithm>
+#include <set>
+
+#include "bist/abist.h"
+#include "gatelevel/bistgen.h"
+#include "gatelevel/expand.h"
+#include "gatelevel/faults.h"
+#include "gatelevel/faultsim.h"
+
+namespace tsyn {
+namespace {
+
+/// Gate-level fault coverage of each FU of a binding under its own operand
+/// stream; returns the mean over FUs.
+double gate_level_fu_coverage(const cdfg::Cdfg& g, const hls::Binding& b,
+                              const bist::AbistOptions& opts) {
+  const auto streams = bist::fu_operand_streams(g, b, opts);
+  double total = 0;
+  int counted = 0;
+  for (int fu = 0; fu < b.num_fus(); ++fu) {
+    if (streams[fu].empty()) continue;
+    std::vector<cdfg::OpKind> kinds;
+    for (cdfg::OpId o : b.fu_ops[fu]) {
+      if (std::find(kinds.begin(), kinds.end(), g.op(o).kind) == kinds.end())
+        kinds.push_back(g.op(o).kind);
+    }
+    std::sort(kinds.begin(), kinds.end());
+    const gl::Netlist unit = gl::expand_standalone_fu(kinds, opts.width);
+    // Pack the operand stream: ports a, b, (c unused -> zeros), op-select
+    // exercised round-robin when multiple kinds exist.
+    std::vector<std::vector<std::uint64_t>> ports(3);
+    for (const auto& [va, vb] : streams[fu]) {
+      ports[0].push_back(va);
+      ports[1].push_back(vb);
+      ports[2].push_back(0);
+    }
+    auto blocks = gl::pack_word_patterns(ports, opts.width);
+    // Append op-select PI values if present.
+    const int extra = static_cast<int>(unit.primary_inputs().size()) -
+                      3 * opts.width;
+    for (std::size_t blk = 0; blk < blocks.size(); ++blk)
+      for (int e = 0; e < extra; ++e) {
+        gl::Bits bits = gl::Bits::all0();
+        // Alternate opcodes across patterns.
+        bits.v = 0xAAAAAAAAAAAAAAAAULL << e;
+        blocks[blk].push_back(bits);
+      }
+    const auto faults = gl::enumerate_faults(unit);
+    total += gl::fault_coverage(unit, blocks, faults);
+    ++counted;
+  }
+  return counted == 0 ? 1.0 : total / counted;
+}
+
+}  // namespace
+}  // namespace tsyn
+
+int main() {
+  using namespace tsyn;
+  bench::print_header(
+      "EXP-ABIST",
+      "Paper claim (§5.4, [28]): accumulator-based generators reach high "
+      "structural\ncoverage; assignment guided by subspace state coverage "
+      "beats conventional\nbinding on both the metric and gate-level "
+      "coverage.");
+
+  util::Table table({"benchmark", "binding", "mean state coverage",
+                     "min state coverage", "gate-level FU coverage"});
+  for (const cdfg::Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Resources res = bench::standard_resources();
+    const hls::Schedule s = hls::list_schedule(g, res);
+    bist::AbistOptions opts;
+    opts.iterations = 256;
+
+    const hls::Binding conventional = hls::make_binding(g, s);
+    const hls::Binding guided =
+        bist::coverage_maximizing_binding(g, s, opts);
+    for (const auto& [label, binding] :
+         {std::pair<std::string, const hls::Binding*>{"conventional",
+                                                      &conventional},
+          {"[28] coverage-guided", &guided}}) {
+      const bist::BindingCoverage sc =
+          bist::binding_state_coverage(g, *binding, opts);
+      const double gate = gate_level_fu_coverage(g, *binding, opts);
+      table.add_row({g.name(), label, util::fmt_pct(sc.mean),
+                     util::fmt_pct(sc.min), util::fmt_pct(gate)});
+    }
+  }
+  bench::print_table(table);
+
+  // Coverage vs pattern budget (figure-style series) on the AR lattice.
+  util::Table sweep({"patterns", "mean state coverage",
+                     "gate-level FU coverage"});
+  const cdfg::Cdfg g = cdfg::ar_lattice(4);
+  const hls::Schedule s =
+      hls::list_schedule(g, bench::standard_resources());
+  for (int budget : {32, 64, 128, 256, 512, 1024}) {
+    bist::AbistOptions opts;
+    opts.iterations = budget;
+    opts.subspace_bits = 6;  // finer subspace: saturates with the budget
+    const hls::Binding b = bist::coverage_maximizing_binding(g, s, opts);
+    const bist::BindingCoverage sc = bist::binding_state_coverage(g, b, opts);
+    sweep.add_row({std::to_string(budget), util::fmt_pct(sc.mean),
+                   util::fmt_pct(gate_level_fu_coverage(g, b, opts))});
+  }
+  bench::print_table(sweep);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// EXP-TFB — self-testable datapath architectures (§5.1, [31],[19],[32]).
+//
+// Four points on the BIST-area spectrum at identical schedules:
+//   conventional binding + worst-case CBILBO assumption,
+//   [3]-style adjacency-aware registers,
+//   TFB synthesis [31] (no self-adjacency by construction, more ALUs),
+//   XTFB [19] (merged ALUs, self-adjacent TPGR-only registers tolerated),
+//   and the TPGR/SR sharing assignment of [32] with exact CBILBO checks.
+#include "common.h"
+
+#include "bist/bist_assign.h"
+#include "bist/share.h"
+#include "bist/test_registers.h"
+#include "bist/tfb.h"
+#include "hls/datapath_builder.h"
+#include "rtl/area.h"
+
+int main() {
+  using namespace tsyn;
+  bench::print_header(
+      "EXP-TFB",
+      "Paper claims (§5.1): TFBs avoid CBILBOs entirely; XTFBs need fewer "
+      "ALUs than\nTFBs; [32]'s sharing + exact CBILBO conditions minimizes "
+      "test registers.");
+
+  util::Table table({"benchmark", "architecture", "ALUs+MULs", "regs",
+                     "self-adj", "CBILBOs", "test regs",
+                     "area overhead"});
+  for (const cdfg::Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Resources res = bench::standard_resources();
+    const hls::Schedule s = hls::list_schedule(g, res);
+
+    auto report = [&](const std::string& label, const hls::Binding& b,
+                      int cbilbo_override = -1) {
+      hls::RtlDesign rtl = hls::build_rtl(g, s, b);
+      const bist::BistAdjacency adj = bist::analyze_adjacency(rtl.datapath);
+      const bist::BistRoles roles = bist::audit_roles(g, b);
+      bist::configure_bist_conventional(rtl.datapath);
+      const int cbilbos =
+          cbilbo_override >= 0 ? cbilbo_override : roles.cbilbos;
+      table.add_row({g.name(), label, std::to_string(b.num_fus()),
+                     std::to_string(b.num_regs),
+                     std::to_string(adj.self_adjacent_count()),
+                     std::to_string(cbilbos),
+                     std::to_string(roles.test_registers()),
+                     util::fmt_pct(rtl::test_area_overhead(rtl.datapath))});
+    };
+
+    const hls::Binding conventional = hls::make_binding(g, s);
+    // Worst case: every self-adjacent register is a CBILBO ([3]'s baseline
+    // assumption).
+    {
+      hls::RtlDesign rtl = hls::build_rtl(g, s, conventional);
+      const int sa = bist::analyze_adjacency(rtl.datapath)
+                         .self_adjacent_count();
+      report("conventional (worst case)", conventional, sa);
+    }
+    hls::Binding avra = conventional;
+    hls::rebind_registers(g, avra,
+                          bist::bist_aware_register_assignment(g, avra));
+    report("[3] adjacency-aware", avra);
+
+    const bist::TfbResult tfb = bist::tfb_synthesis(g, s);
+    report("[31] TFB", tfb.binding, tfb.inherent_self_adjacent);
+
+    const bist::XtfbResult xtfb = bist::xtfb_synthesis(g, s);
+    report("[19] XTFB", xtfb.binding, xtfb.cbilbos);
+
+    hls::Binding shared = conventional;
+    const bist::ShareResult share =
+        bist::sharing_register_assignment(g, shared);
+    hls::rebind_registers(g, shared, share.reg_of_lifetime);
+    report("[32] TPGR/SR sharing", shared);
+  }
+  bench::print_table(table);
+  return 0;
+}

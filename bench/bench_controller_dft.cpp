@@ -1,0 +1,147 @@
+// EXP-CTRL — controller-based DFT for controller/datapath composites
+// (§3.5, [14]).
+//
+// The functional control vectors imply value combinations that never
+// co-occur; sequential ATPG on the composite then conflicts and aborts.
+// Adding a few test-mode control vectors makes the combinations reachable
+// and recovers testability — without touching the datapath.
+#include "common.h"
+
+#include "cdfg/benchmarks.h"
+#include "gatelevel/atpg_seq.h"
+#include "gatelevel/expand.h"
+#include "gatelevel/faults.h"
+#include "rtl/controller.h"
+#include "testability/ctrl_dft.h"
+
+namespace tsyn {
+namespace {
+
+struct CompositeResult {
+  int detected = 0;
+  int undetected = 0;
+  long effort = 0;
+};
+
+/// Sequential ATPG over a fault sample of the composite circuit, starting
+/// from a functionally warmed-up state (reset + a few schedule rounds with
+/// fixed inputs — the standard "initialization prefix" convention).
+CompositeResult composite_atpg(const rtl::Datapath& dp,
+                               const rtl::Controller& ctrl,
+                               int functional_vectors, bool test_mode,
+                               int sample, int num_steps) {
+  gl::ExpandOptions opts;
+  opts.width_override = 4;
+  opts.controller = &ctrl;
+  opts.num_reachable_vectors = functional_vectors;
+  opts.test_mode = test_mode;
+  const gl::ExpandedDesign x = gl::expand_datapath(dp, opts);
+  // The two straps are structurally identical, so the full collapsed fault
+  // list aligns 1:1 between them; sample every Nth fault.
+  const auto faults = gl::enumerate_faults(x.netlist);
+
+  // Warm-up simulation: reset high one cycle, then 3 full rounds of the
+  // (possibly extended) control sequence with constant inputs.
+  int reset_pos = -1;
+  for (std::size_t p = 0; p < x.netlist.primary_inputs().size(); ++p)
+    if (x.netlist.node(x.netlist.primary_inputs()[p]).name == "ctl_reset")
+      reset_pos = static_cast<int>(p);
+  const int rounds = test_mode ? ctrl.num_vectors() : functional_vectors;
+  const int warm_frames = 1 + 3 * std::max(rounds, num_steps);
+  std::vector<std::vector<gl::Bits>> warm(
+      warm_frames, std::vector<gl::Bits>(x.netlist.primary_inputs().size(),
+                                         gl::Bits::known(0x9)));
+  for (int f = 0; f < warm_frames; ++f)
+    if (reset_pos >= 0)
+      warm[f][reset_pos] = f == 0 ? gl::Bits::all1() : gl::Bits::all0();
+  const auto trace = gl::simulate_sequence(x.netlist, warm, nullptr);
+  std::vector<gl::V> init(x.netlist.flops().size(), gl::V::kX);
+  for (std::size_t fl = 0; fl < x.netlist.flops().size(); ++fl) {
+    const int d = x.netlist.node(x.netlist.flops()[fl]).fanins[0];
+    const gl::Bits& b = trace.back()[d];
+    if ((b.x & 1) == 0)
+      init[fl] = (b.v & 1) ? gl::V::k1 : gl::V::k0;
+  }
+
+  CompositeResult result;
+  const std::size_t stride = std::max<std::size_t>(faults.size() / sample, 1);
+  for (std::size_t i = 0; i < faults.size(); i += stride) {
+    // The frame budget must span a full control round (which the added
+    // test vectors lengthen) plus one schedule pass.
+    const gl::SeqAtpgResult r = gl::sequential_atpg(
+        x.netlist, faults[i], rounds + num_steps + 2, 250, &init,
+        /*min_frames=*/num_steps);
+    result.effort +=
+        r.stats.decisions + r.stats.backtracks + r.stats.implications;
+    if (r.status == gl::AtpgStatus::kDetected)
+      ++result.detected;
+    else
+      ++result.undetected;
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace tsyn
+
+int main() {
+  using namespace tsyn;
+  bench::print_header(
+      "EXP-CTRL",
+      "Paper claim (§3.5, [14]): eliminating control-signal implication "
+      "conflicts with\na few extra control vectors yields highly testable "
+      "controller/data path\ncomposites at marginal overhead.");
+
+  util::Table conflicts({"benchmark", "signals", "functional vectors",
+                         "pair conflicts", "vectors added",
+                         "pair coverage before", "after"});
+  util::Table atpg({"benchmark", "controller", "sampled faults detected",
+                    "detect rate", "ATPG effort"});
+
+  // Feed-forward behaviors: their composite state is fully initializable
+  // by a functional warm-up, isolating the CONTROL reachability question
+  // the technique addresses. (Loop-carried state that cannot be
+  // initialized is the partial-scan problem of §3.3, not [14]'s.)
+  std::vector<cdfg::Cdfg> graphs;
+  graphs.push_back(cdfg::tseng());
+  graphs.push_back(cdfg::dct4());
+  graphs.push_back(cdfg::fig1_example());
+  for (const cdfg::Cdfg& g : graphs) {
+    hls::Synthesis syn = bench::synthesize_standard(g);
+    const int functional = syn.rtl.controller.num_vectors();
+    const testability::ControllerDftResult dft =
+        testability::apply_controller_dft(syn.rtl.controller);
+    conflicts.add_row({g.name(),
+                       std::to_string(syn.rtl.controller.num_signals()),
+                       std::to_string(functional),
+                       std::to_string(dft.conflicts_before),
+                       std::to_string(dft.vectors_added),
+                       util::fmt_pct(dft.pair_coverage_before),
+                       util::fmt_pct(dft.pair_coverage_after)});
+
+    const int sample = 18;
+    const CompositeResult before =
+        composite_atpg(syn.rtl.datapath, syn.rtl.controller, functional,
+                       /*test_mode=*/false, sample, syn.schedule.num_steps);
+    const CompositeResult after =
+        composite_atpg(syn.rtl.datapath, syn.rtl.controller, functional,
+                       /*test_mode=*/true, sample, syn.schedule.num_steps);
+    auto rate = [](const CompositeResult& r) {
+      const int total = r.detected + r.undetected;
+      return total == 0 ? 0.0 : static_cast<double>(r.detected) / total;
+    };
+    atpg.add_row({g.name(), "functional only",
+                  std::to_string(before.detected) + "/" +
+                      std::to_string(before.detected + before.undetected),
+                  util::fmt_pct(rate(before)),
+                  std::to_string(before.effort)});
+    atpg.add_row({g.name(), "[14] +test vectors",
+                  std::to_string(after.detected) + "/" +
+                      std::to_string(after.detected + after.undetected),
+                  util::fmt_pct(rate(after)),
+                  std::to_string(after.effort)});
+  }
+  bench::print_table(conflicts);
+  bench::print_table(atpg);
+  return 0;
+}

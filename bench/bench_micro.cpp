@@ -1,0 +1,113 @@
+// Microbenchmarks of the computational kernels (google-benchmark):
+// scheduling, binding, S-graph loop analysis, gate expansion, fault
+// simulation and PODEM. These bound the cost of the experiment harnesses.
+#include <benchmark/benchmark.h>
+
+#include "cdfg/benchmarks.h"
+#include "gatelevel/atpg_comb.h"
+#include "gatelevel/bistgen.h"
+#include "gatelevel/expand.h"
+#include "gatelevel/faults.h"
+#include "gatelevel/faultsim.h"
+#include "hls/fds.h"
+#include "hls/synthesis.h"
+#include "rtl/sgraph.h"
+#include "testability/loop_avoid.h"
+
+namespace {
+
+using namespace tsyn;
+
+hls::Resources res() {
+  return hls::Resources{{cdfg::FuType::kAlu, 2},
+                        {cdfg::FuType::kMultiplier, 2}};
+}
+
+void BM_ListSchedule(benchmark::State& state) {
+  const cdfg::Cdfg g = cdfg::ewf();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hls::list_schedule(g, res()));
+}
+BENCHMARK(BM_ListSchedule);
+
+void BM_ForceDirectedSchedule(benchmark::State& state) {
+  const cdfg::Cdfg g = cdfg::ewf();
+  const int deadline = hls::list_schedule(g, res()).num_steps;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hls::force_directed_schedule(g, deadline));
+}
+BENCHMARK(BM_ForceDirectedSchedule);
+
+void BM_ConventionalBinding(benchmark::State& state) {
+  const cdfg::Cdfg g = cdfg::ewf();
+  const hls::Schedule s = hls::list_schedule(g, res());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hls::make_binding(g, s));
+}
+BENCHMARK(BM_ConventionalBinding);
+
+void BM_LoopAvoidingSynthesis(benchmark::State& state) {
+  const cdfg::Cdfg g = cdfg::ewf();
+  testability::LoopAvoidOptions opts;
+  opts.resources = res();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        testability::loop_avoiding_synthesis(g, opts));
+}
+BENCHMARK(BM_LoopAvoidingSynthesis);
+
+void BM_SgraphLoopAnalysis(benchmark::State& state) {
+  hls::SynthesisOptions opts;
+  opts.resources = res();
+  const hls::Synthesis syn = hls::synthesize(cdfg::ewf(), opts);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rtl::loop_stats(syn.rtl.datapath));
+}
+BENCHMARK(BM_SgraphLoopAnalysis);
+
+void BM_GateExpansion(benchmark::State& state) {
+  hls::SynthesisOptions opts;
+  opts.resources = res();
+  const hls::Synthesis syn = hls::synthesize(cdfg::diffeq(), opts);
+  gl::ExpandOptions x;
+  x.width_override = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gl::expand_datapath(syn.rtl.datapath, x));
+}
+BENCHMARK(BM_GateExpansion)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FaultSimulation(benchmark::State& state) {
+  hls::SynthesisOptions opts;
+  opts.resources = res();
+  const hls::Synthesis syn = hls::synthesize(cdfg::diffeq(), opts);
+  rtl::Datapath dp = syn.rtl.datapath;
+  for (auto& reg : dp.regs) reg.test_kind = rtl::TestRegKind::kScan;
+  gl::ExpandOptions x;
+  x.width_override = static_cast<int>(state.range(0));
+  const gl::ExpandedDesign design = gl::expand_datapath(dp, x);
+  const auto faults = gl::enumerate_faults(design.netlist);
+  const auto blocks = gl::lfsr_pattern_blocks(
+      static_cast<int>(design.netlist.primary_inputs().size()), 4, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gl::fault_coverage(design.netlist, blocks, faults));
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["gates"] = design.netlist.gate_count();
+}
+BENCHMARK(BM_FaultSimulation)->Arg(4)->Arg(8);
+
+void BM_PodemCampaign(benchmark::State& state) {
+  gl::Netlist n;
+  const gl::Word a = gl::make_input_word(n, "a", 8);
+  const gl::Word b = gl::make_input_word(n, "b", 8);
+  const gl::Word s = gl::ripple_add(n, a, b, n.add_const(false));
+  for (int bit : s) n.mark_output(bit);
+  const auto faults = gl::enumerate_faults(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gl::run_combinational_atpg(n, faults));
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK(BM_PodemCampaign);
+
+}  // namespace

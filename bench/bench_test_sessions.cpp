@@ -1,0 +1,46 @@
+// EXP-SESSIONS — test concurrency (§5.2, [20]).
+//
+// Test-path conflicts (shared capture registers, generate-vs-capture role
+// clashes) force multiple BIST sessions. Conflict-aware synthesis reduces
+// the conflict graph, ideally to a single session; sharing-oriented
+// assignment ([32]) trades sessions for area, as the survey notes.
+#include "common.h"
+
+#include "bist/sessions.h"
+#include "bist/share.h"
+
+int main() {
+  using namespace tsyn;
+  bench::print_header(
+      "EXP-SESSIONS",
+      "Paper claim (§5.2, [20]): conflict-estimate-guided synthesis yields "
+      "data paths\nneeding a minimal number of test sessions (often one); "
+      "TPGR/SR-sharing-oriented\nassignment [32] can increase sessions.");
+
+  util::Table table({"benchmark", "binding", "modules", "conflicts",
+                     "sessions"});
+  for (const cdfg::Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Resources res = bench::standard_resources();
+    const hls::Schedule s = hls::list_schedule(g, res);
+
+    auto report = [&](const std::string& label, const hls::Binding& b) {
+      const bist::SessionAnalysis a = bist::schedule_test_sessions(g, b);
+      table.add_row({g.name(), label, std::to_string(a.num_modules),
+                     std::to_string(a.num_conflicts),
+                     std::to_string(a.num_sessions)});
+    };
+
+    const hls::Binding conventional = hls::make_binding(g, s);
+    report("conventional", conventional);
+
+    report("[20] conflict-aware", bist::conflict_aware_binding(g, s));
+
+    hls::Binding shared = conventional;
+    const bist::ShareResult share =
+        bist::sharing_register_assignment(g, shared);
+    hls::rebind_registers(g, shared, share.reg_of_lifetime);
+    report("[32] sharing-oriented", shared);
+  }
+  bench::print_table(table);
+  return 0;
+}

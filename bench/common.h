@@ -1,0 +1,38 @@
+// Shared setup for the experiment benches: the benchmark suite at the
+// resource allocations used throughout, and small helpers for reporting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cdfg/benchmarks.h"
+#include "hls/synthesis.h"
+#include "util/table.h"
+
+namespace tsyn::bench {
+
+/// Standard allocation used by the experiments: 2 ALUs, 2 multipliers
+/// (comparable to the surveyed papers' setups).
+inline hls::Resources standard_resources() {
+  return hls::Resources{{cdfg::FuType::kAlu, 2},
+                        {cdfg::FuType::kMultiplier, 2}};
+}
+
+inline hls::Synthesis synthesize_standard(const cdfg::Cdfg& g) {
+  hls::SynthesisOptions opts;
+  opts.resources = standard_resources();
+  return hls::synthesize(g, opts);
+}
+
+inline void print_header(const std::string& exp_id,
+                         const std::string& claim) {
+  std::printf("=== %s ===\n%s\n\n", exp_id.c_str(), claim.c_str());
+}
+
+inline void print_table(const util::Table& t) {
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+}  // namespace tsyn::bench

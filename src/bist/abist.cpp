@@ -1,0 +1,151 @@
+#include "bist/abist.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cdfg/interp.h"
+#include "gatelevel/bistgen.h"
+#include "graph/clique_partition.h"
+#include "hls/schedule.h"
+
+namespace tsyn::bist {
+
+namespace {
+
+/// Runs the behavior on accumulator streams; returns per-iteration values.
+std::vector<cdfg::VarValues> run_generator(const cdfg::Cdfg& g,
+                                           const AbistOptions& opts) {
+  const std::vector<cdfg::VarId> pis = g.inputs();
+  std::vector<std::vector<std::uint64_t>> frames(opts.iterations);
+  // One accumulator per input with staggered seeds (the paper's "additional
+  // generator applied at the inputs of the CDFG").
+  std::vector<std::vector<std::uint64_t>> seqs;
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    seqs.push_back(gl::accumulator_sequence(
+        opts.width, opts.increment | 1,
+        opts.seed + 0x61c88647ULL * (i + 1), opts.iterations));
+  for (int it = 0; it < opts.iterations; ++it) {
+    frames[it].resize(pis.size());
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      frames[it][i] = seqs[i][it];
+  }
+  return cdfg::execute(g, frames);
+}
+
+}  // namespace
+
+std::vector<std::set<std::uint32_t>> subspace_states(
+    const cdfg::Cdfg& g, const AbistOptions& opts) {
+  const auto trace = run_generator(g, opts);
+  const std::uint32_t mask = (1u << opts.subspace_bits) - 1;
+  std::vector<std::set<std::uint32_t>> states(g.num_ops());
+  for (const cdfg::VarValues& vals : trace) {
+    for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+      const cdfg::Operation& op = g.op(o);
+      const std::uint32_t a =
+          static_cast<std::uint32_t>(vals[op.inputs[0]]) & mask;
+      const std::uint32_t b =
+          op.inputs.size() > 1
+              ? static_cast<std::uint32_t>(vals[op.inputs[1]]) & mask
+              : 0;
+      states[o].insert((a << opts.subspace_bits) | b);
+    }
+  }
+  return states;
+}
+
+double state_coverage(const std::set<std::uint32_t>& states,
+                      int subspace_bits) {
+  const double total = static_cast<double>(1u << (2 * subspace_bits));
+  return static_cast<double>(states.size()) / total;
+}
+
+namespace {
+
+struct CoverageCtx {
+  const std::vector<std::set<std::uint32_t>>* states;
+};
+
+double coverage_weight(graph::NodeId u, graph::NodeId v, const void* ctx) {
+  const auto* c = static_cast<const CoverageCtx*>(ctx);
+  const auto& su = (*c->states)[u];
+  const auto& sv = (*c->states)[v];
+  std::set<std::uint32_t> uni = su;
+  uni.insert(sv.begin(), sv.end());
+  // Gain in union size over the larger operand set, scaled to dominate the
+  // plain common-neighbor term for meaningful differences.
+  const double gain = static_cast<double>(uni.size()) -
+                      static_cast<double>(std::max(su.size(), sv.size()));
+  return gain * 0.5;
+}
+
+}  // namespace
+
+hls::Binding coverage_maximizing_binding(const cdfg::Cdfg& g,
+                                         const hls::Schedule& s,
+                                         const AbistOptions& opts) {
+  const auto states = subspace_states(g, opts);
+  graph::UndirectedGraph compat(g.num_ops());
+  for (cdfg::OpId i = 0; i < g.num_ops(); ++i) {
+    if (g.op(i).kind == cdfg::OpKind::kCopy) continue;
+    for (cdfg::OpId j = i + 1; j < g.num_ops(); ++j) {
+      if (g.op(j).kind == cdfg::OpKind::kCopy) continue;
+      if (hls::ops_compatible(g, s, i, j)) compat.add_edge(i, j);
+    }
+  }
+  CoverageCtx ctx{&states};
+  const graph::CliquePartition part =
+      graph::clique_partition(compat, coverage_weight, &ctx);
+
+  std::vector<int> fu_of_op(g.num_ops(), -1);
+  int next = 0;
+  for (const auto& clique : part.cliques) {
+    bool real = false;
+    for (graph::NodeId o : clique)
+      if (g.op(o).kind != cdfg::OpKind::kCopy) real = true;
+    if (!real) continue;
+    for (graph::NodeId o : clique) fu_of_op[o] = next;
+    ++next;
+  }
+  return hls::make_binding_with_fu_map(g, s, fu_of_op);
+}
+
+BindingCoverage binding_state_coverage(const cdfg::Cdfg& g,
+                                       const hls::Binding& b,
+                                       const AbistOptions& opts) {
+  const auto states = subspace_states(g, opts);
+  BindingCoverage out;
+  if (b.num_fus() == 0) return out;
+  double sum = 0;
+  for (int fu = 0; fu < b.num_fus(); ++fu) {
+    std::set<std::uint32_t> uni;
+    for (cdfg::OpId o : b.fu_ops[fu])
+      uni.insert(states[o].begin(), states[o].end());
+    const double cov = state_coverage(uni, opts.subspace_bits);
+    sum += cov;
+    out.min = std::min(out.min, cov);
+  }
+  out.mean = sum / b.num_fus();
+  return out;
+}
+
+std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+fu_operand_streams(const cdfg::Cdfg& g, const hls::Binding& b,
+                   const AbistOptions& opts) {
+  const auto trace = run_generator(g, opts);
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> streams(
+      b.num_fus());
+  for (const cdfg::VarValues& vals : trace) {
+    for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+      const int fu = b.fu_of_op[o];
+      if (fu < 0) continue;
+      const cdfg::Operation& op = g.op(o);
+      streams[fu].emplace_back(
+          vals[op.inputs[0]],
+          op.inputs.size() > 1 ? vals[op.inputs[1]] : 0);
+    }
+  }
+  return streams;
+}
+
+}  // namespace tsyn::bist

@@ -1,0 +1,60 @@
+// Arithmetic BIST with subspace state coverage (§5.4, [28]).
+//
+// Instead of dedicated TPGR/SR hardware, the datapath's own arithmetic
+// units generate patterns (an accumulator stepping by a constant) and
+// compact responses. The subspace-state-coverage metric — how much of the
+// k-bit operand subspace an FU's inputs sweep under the generator — both
+// characterizes pattern quality and, used as a binding weight, steers
+// operation-to-FU assignment so every unit sees near-complete operand
+// subspaces and reaches high structural fault coverage.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+
+namespace tsyn::bist {
+
+struct AbistOptions {
+  int iterations = 512;       ///< behavioral iterations simulated
+  int subspace_bits = 4;      ///< k: subspace = low k bits of each operand
+  int width = 8;              ///< behavioral word width for simulation
+  std::uint64_t increment = 0x9d;  ///< accumulator step (odd)
+  std::uint64_t seed = 1;
+};
+
+/// Subspace states (packed (a_k << k) | b_k) observed at each operation's
+/// inputs when the behavior runs on accumulator-generated input streams.
+std::vector<std::set<std::uint32_t>> subspace_states(
+    const cdfg::Cdfg& g, const AbistOptions& opts = {});
+
+/// Coverage of one state set: |S| / 2^(2k).
+double state_coverage(const std::set<std::uint32_t>& states,
+                      int subspace_bits);
+
+/// FU binding maximizing the unioned state coverage at each unit's inputs
+/// (weighted clique partitioning per [28]); registers are conventional.
+hls::Binding coverage_maximizing_binding(const cdfg::Cdfg& g,
+                                         const hls::Schedule& s,
+                                         const AbistOptions& opts = {});
+
+/// Mean (and minimum) unioned state coverage across the FUs of a binding —
+/// the quantity [28] maximizes.
+struct BindingCoverage {
+  double mean = 0;
+  double min = 1;
+};
+BindingCoverage binding_state_coverage(const cdfg::Cdfg& g,
+                                       const hls::Binding& b,
+                                       const AbistOptions& opts = {});
+
+/// Full-width operand streams seen at each FU under the generator, for
+/// gate-level fault simulation of the unit.
+std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+fu_operand_streams(const cdfg::Cdfg& g, const hls::Binding& b,
+                   const AbistOptions& opts = {});
+
+}  // namespace tsyn::bist

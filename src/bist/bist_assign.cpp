@@ -1,0 +1,70 @@
+#include "bist/bist_assign.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/coloring.h"
+
+namespace tsyn::bist {
+
+std::vector<int> bist_aware_register_assignment(const cdfg::Cdfg& g,
+                                                const hls::Binding& b) {
+  const cdfg::LifetimeAnalysis& lts = b.lifetimes;
+  const int n = static_cast<int>(lts.lifetimes.size());
+  graph::UndirectedGraph conflict(n);
+
+  // Lifetime overlap conflicts (the conventional edges).
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (lts.overlap(i, j)) conflict.add_edge(i, j);
+
+  // Per-module input/output lifetime sets.
+  const int num_fus = b.num_fus();
+  std::vector<std::set<int>> fu_in_lts(num_fus);
+  std::vector<std::set<int>> fu_out_lts(num_fus);
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const int fu = b.fu_of_op[o];
+    if (fu < 0) continue;
+    for (cdfg::VarId in : g.op(o).inputs) {
+      const int lt = lts.lifetime_of_var[in];
+      if (lt >= 0) fu_in_lts[fu].insert(lt);
+    }
+    const int out_lt = lts.lifetime_of_var[g.op(o).output];
+    if (out_lt >= 0) fu_out_lts[fu].insert(out_lt);
+  }
+
+  // A lifetime that is an input AND an output of one module (an
+  // accumulation chain on a shared ALU) is self-adjacent no matter where
+  // it is placed. Spreading such lifetimes over many registers multiplies
+  // the damage; they are left free of extra edges and packed first so they
+  // concentrate in as few registers as possible.
+  std::vector<bool> condemned(n, false);
+  for (int f = 0; f < num_fus; ++f)
+    for (int lt : fu_in_lts[f])
+      if (fu_out_lts[f].count(lt)) condemned[lt] = true;
+
+  // Self-adjacency avoidance edges between salvageable lifetimes: a
+  // register may not hold both an input and an output of the same module.
+  for (int f = 0; f < num_fus; ++f)
+    for (int in_lt : fu_in_lts[f])
+      for (int out_lt : fu_out_lts[f])
+        if (in_lt != out_lt && !condemned[in_lt] && !condemned[out_lt])
+          conflict.add_edge(in_lt, out_lt);
+
+  // Sequential coloring, condemned lifetimes first (their chain-shaped
+  // lifetimes pack into few registers), then by interval birth.
+  std::vector<graph::NodeId> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int bb) {
+    if (condemned[a] != condemned[bb])
+      return static_cast<bool>(condemned[a]);
+    if (lts.lifetimes[a].interval.birth != lts.lifetimes[bb].interval.birth)
+      return lts.lifetimes[a].interval.birth <
+             lts.lifetimes[bb].interval.birth;
+    return a < bb;
+  });
+  const graph::Coloring coloring = graph::sequential_coloring(conflict, order);
+  return coloring.color;
+}
+
+}  // namespace tsyn::bist

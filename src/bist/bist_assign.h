@@ -1,0 +1,24 @@
+// BIST register assignment minimizing self-adjacent registers (§5.1, [3]).
+//
+// Avra's observation: self-adjacency is an artifact of register assignment.
+// Adding conflict edges between any variable pair that would make one
+// register both an input and an output of the same module — the input and
+// output of one operation, or an input of one and the output of another
+// operation on the same FU — lets ordinary conflict-graph coloring produce
+// data paths with (near-)zero self-adjacent registers at the same total
+// register count.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+
+namespace tsyn::bist {
+
+/// Register map over the binding's lifetimes that avoids self-adjacency.
+/// The FU assignment in `b` must be final (it defines "same module").
+std::vector<int> bist_aware_register_assignment(const cdfg::Cdfg& g,
+                                                const hls::Binding& b);
+
+}  // namespace tsyn::bist

@@ -1,0 +1,176 @@
+#include "bist/sessions.h"
+
+#include <set>
+
+#include "graph/clique_partition.h"
+#include "graph/coloring.h"
+
+namespace tsyn::bist {
+
+namespace {
+
+struct ModuleRegs {
+  std::vector<std::set<int>> in_regs;
+  std::vector<std::set<int>> out_regs;
+};
+
+ModuleRegs module_regs(const cdfg::Cdfg& g, const hls::Binding& b) {
+  ModuleRegs mr;
+  mr.in_regs.assign(b.num_fus(), {});
+  mr.out_regs.assign(b.num_fus(), {});
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const int fu = b.fu_of_op[o];
+    if (fu < 0) continue;
+    for (cdfg::VarId in : g.op(o).inputs) {
+      const int r = b.reg_of_var(in);
+      if (r >= 0) mr.in_regs[fu].insert(r);
+    }
+    const int out = b.reg_of_var(g.op(o).output);
+    if (out >= 0) mr.out_regs[fu].insert(out);
+  }
+  return mr;
+}
+
+}  // namespace
+
+SessionAnalysis schedule_test_sessions(const cdfg::Cdfg& g,
+                                       const hls::Binding& b) {
+  const ModuleRegs mr = module_regs(g, b);
+  const int n = b.num_fus();
+
+  graph::UndirectedGraph conflict(n);
+  auto intersects = [](const std::set<int>& a, const std::set<int>& b2) {
+    for (int x : a)
+      if (b2.count(x)) return true;
+    return false;
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      // §5.2 path model: a register that captures one module's response
+      // while feeding another is a SERIES test path (tolerated — the
+      // response propagates through and is captured downstream). What
+      // cannot be shared within a session is the capture register itself:
+      // one SR mux, one signature.
+      if (intersects(mr.out_regs[i], mr.out_regs[j]))
+        conflict.add_edge(i, j);
+    }
+  }
+
+  SessionAnalysis result;
+  result.num_modules = n;
+  result.num_conflicts = static_cast<int>(conflict.num_edges());
+  if (n == 0) {
+    result.num_sessions = 0;
+    return result;
+  }
+  const graph::Coloring c = graph::dsatur_coloring(conflict);
+  result.num_sessions = c.num_colors;
+  result.session_of_module = c.color;
+  return result;
+}
+
+namespace {
+
+struct ConflictCtx {
+  const cdfg::Cdfg* g;
+};
+
+double conflict_weight(graph::NodeId u, graph::NodeId v, const void* ctx) {
+  // Indexed over op ids via the wrapper below; penalize merges where one
+  // op's output feeds the other (creates a self-adjacent module register,
+  // the strongest source of session conflicts).
+  const auto* c = static_cast<const ConflictCtx*>(ctx);
+  const cdfg::Operation& a = c->g->op(u);
+  const cdfg::Operation& b = c->g->op(v);
+  for (cdfg::VarId in : b.inputs)
+    if (in == a.output) return -5.0;
+  for (cdfg::VarId in : a.inputs)
+    if (in == b.output) return -5.0;
+  return 0.0;
+}
+
+}  // namespace
+
+hls::Binding conflict_aware_binding(const cdfg::Cdfg& g,
+                                    const hls::Schedule& s) {
+  // FU binding: per-type clique partition with the conflict penalty. The
+  // compatibility graph is built over ALL ops (op ids as nodes) so the
+  // weight callback can address them; cross-type pairs just have no edge.
+  graph::UndirectedGraph compat(g.num_ops());
+  for (cdfg::OpId i = 0; i < g.num_ops(); ++i) {
+    if (g.op(i).kind == cdfg::OpKind::kCopy) continue;
+    for (cdfg::OpId j = i + 1; j < g.num_ops(); ++j) {
+      if (g.op(j).kind == cdfg::OpKind::kCopy) continue;
+      if (hls::ops_compatible(g, s, i, j)) compat.add_edge(i, j);
+    }
+  }
+  ConflictCtx ctx{&g};
+  const graph::CliquePartition part =
+      graph::clique_partition(compat, conflict_weight, &ctx);
+
+  std::vector<int> fu_of_op(g.num_ops(), -1);
+  int next = 0;
+  for (const auto& clique : part.cliques) {
+    // Singleton cliques of copy ops stay FU-less.
+    bool real = false;
+    for (graph::NodeId o : clique)
+      if (g.op(o).kind != cdfg::OpKind::kCopy) real = true;
+    if (!real) continue;
+    for (graph::NodeId o : clique) fu_of_op[o] = next;
+    ++next;
+  }
+  hls::Binding b = hls::make_binding_with_fu_map(g, s, fu_of_op);
+
+  // Register assignment: overlap conflicts + self-adjacency avoidance +
+  // dedicated SRs (no output-register sharing across modules).
+  const cdfg::LifetimeAnalysis& lts = b.lifetimes;
+  const int nlts = static_cast<int>(lts.lifetimes.size());
+  graph::UndirectedGraph reg_conflict(nlts);
+  for (int i = 0; i < nlts; ++i)
+    for (int j = i + 1; j < nlts; ++j)
+      if (lts.overlap(i, j)) reg_conflict.add_edge(i, j);
+  std::vector<std::set<int>> fu_in(b.num_fus());
+  std::vector<std::set<int>> fu_out(b.num_fus());
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const int fu = b.fu_of_op[o];
+    if (fu < 0) continue;
+    for (cdfg::VarId in : g.op(o).inputs) {
+      const int lt = lts.lifetime_of_var[in];
+      if (lt >= 0) fu_in[fu].insert(lt);
+    }
+    const int out = lts.lifetime_of_var[g.op(o).output];
+    if (out >= 0) fu_out[fu].insert(out);
+  }
+  // Full role dedication: no register may both generate (module input) and
+  // capture (module output), and no two modules share a capture register.
+  // Conflicts then only remain where one LIFETIME inherently carries both
+  // roles (a value produced by one module and consumed by another).
+  std::set<int> all_in;
+  std::set<int> all_out;
+  for (int f = 0; f < b.num_fus(); ++f) {
+    all_in.insert(fu_in[f].begin(), fu_in[f].end());
+    all_out.insert(fu_out[f].begin(), fu_out[f].end());
+  }
+  for (int in_lt : all_in)
+    for (int out_lt : all_out)
+      if (in_lt != out_lt) reg_conflict.add_edge(in_lt, out_lt);
+  for (int f1 = 0; f1 < b.num_fus(); ++f1)
+    for (int f2 = f1 + 1; f2 < b.num_fus(); ++f2)
+      for (int o1 : fu_out[f1])
+        for (int o2 : fu_out[f2])
+          if (o1 != o2) reg_conflict.add_edge(o1, o2);
+
+  const graph::Coloring coloring = graph::dsatur_coloring(reg_conflict);
+  hls::rebind_registers(g, b, coloring.color);
+  hls::validate_binding(g, s, b);
+
+  // Portfolio fallback: the heuristic occasionally loses to the plain
+  // binding on chain-heavy behaviors; keep whichever needs fewer sessions.
+  const hls::Binding conventional = hls::make_binding(g, s);
+  if (schedule_test_sessions(g, conventional).num_sessions <
+      schedule_test_sessions(g, b).num_sessions)
+    return conventional;
+  return b;
+}
+
+}  // namespace tsyn::bist

@@ -1,0 +1,39 @@
+// Test-session scheduling and conflict-aware synthesis for test concurrency
+// (§5.2, [20]).
+//
+// Testing a module needs its TPGRs generating, its SR capturing, and the
+// interconnect between them free. Two modules conflict when their test
+// paths share a resource in incompatible roles — most importantly a
+// register that must generate for one module and capture for the other at
+// the same time. The minimum number of test sessions is a coloring of the
+// module conflict graph; Harris & Orailoglu synthesize datapaths whose
+// conflict graph is empty so one session tests everything.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+
+namespace tsyn::bist {
+
+/// Module-pair test conflicts implied by a binding.
+struct SessionAnalysis {
+  int num_modules = 0;
+  int num_conflicts = 0;   ///< conflicting module pairs
+  int num_sessions = 0;    ///< colors needed to schedule all module tests
+  std::vector<int> session_of_module;
+};
+
+/// Computes conflicts and a session schedule (greedy coloring).
+SessionAnalysis schedule_test_sessions(const cdfg::Cdfg& g,
+                                       const hls::Binding& b);
+
+/// Conflict-aware FU binding: clique-partitions operations with a penalty
+/// against merges that create register role conflicts between the resulting
+/// modules, then assigns registers conventionally. Returns a binding whose
+/// session count is (near-)minimal.
+hls::Binding conflict_aware_binding(const cdfg::Cdfg& g,
+                                    const hls::Schedule& s);
+
+}  // namespace tsyn::bist

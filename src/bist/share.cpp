@@ -1,0 +1,152 @@
+#include "bist/share.h"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+
+namespace tsyn::bist {
+
+int BistRoles::test_registers() const {
+  std::set<int> all = tpgrs;
+  all.insert(srs.begin(), srs.end());
+  return static_cast<int>(all.size());
+}
+
+namespace {
+
+/// Per-module input/output lifetime sets from a binding's FU map.
+struct ModuleIo {
+  std::vector<std::set<int>> in_lts;   // per FU
+  std::vector<std::set<int>> out_lts;  // per FU
+};
+
+ModuleIo module_io(const cdfg::Cdfg& g, const hls::Binding& b) {
+  ModuleIo io;
+  io.in_lts.assign(b.num_fus(), {});
+  io.out_lts.assign(b.num_fus(), {});
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const int fu = b.fu_of_op[o];
+    if (fu < 0) continue;
+    for (cdfg::VarId in : g.op(o).inputs) {
+      const int lt = b.lifetimes.lifetime_of_var[in];
+      if (lt >= 0) io.in_lts[fu].insert(lt);
+    }
+    const int out = b.lifetimes.lifetime_of_var[g.op(o).output];
+    if (out >= 0) io.out_lts[fu].insert(out);
+  }
+  return io;
+}
+
+BistRoles roles_for_map(const cdfg::Cdfg& g, const hls::Binding& b,
+                        const std::vector<int>& reg_of_lifetime) {
+  const ModuleIo io = module_io(g, b);
+  BistRoles roles;
+  std::vector<std::set<int>> in_regs(b.num_fus());
+  std::vector<std::set<int>> out_regs(b.num_fus());
+  for (int fu = 0; fu < b.num_fus(); ++fu) {
+    for (int lt : io.in_lts[fu]) {
+      in_regs[fu].insert(reg_of_lifetime[lt]);
+      roles.tpgrs.insert(reg_of_lifetime[lt]);
+    }
+    for (int lt : io.out_lts[fu]) {
+      out_regs[fu].insert(reg_of_lifetime[lt]);
+      roles.srs.insert(reg_of_lifetime[lt]);
+    }
+  }
+  // Exact CBILBO condition: r feeds module m AND r is m's only output
+  // register — generating and capturing must then happen in r at once.
+  std::set<int> cbilbo_regs;
+  for (int fu = 0; fu < b.num_fus(); ++fu)
+    if (out_regs[fu].size() == 1) {
+      const int r = *out_regs[fu].begin();
+      if (in_regs[fu].count(r)) cbilbo_regs.insert(r);
+    }
+  roles.cbilbos = static_cast<int>(cbilbo_regs.size());
+  return roles;
+}
+
+}  // namespace
+
+BistRoles audit_roles(const cdfg::Cdfg& g, const hls::Binding& b) {
+  return roles_for_map(g, b, b.reg_of_lifetime);
+}
+
+ShareResult sharing_register_assignment(const cdfg::Cdfg& g,
+                                        const hls::Binding& b) {
+  const cdfg::LifetimeAnalysis& lts = b.lifetimes;
+  const int n = static_cast<int>(lts.lifetimes.size());
+  const ModuleIo io = module_io(g, b);
+
+  // Modules each lifetime feeds / is produced by.
+  std::vector<std::set<int>> feeds(n);
+  std::vector<std::set<int>> produced_by(n);
+  for (int fu = 0; fu < b.num_fus(); ++fu) {
+    for (int lt : io.in_lts[fu]) feeds[lt].insert(fu);
+    for (int lt : io.out_lts[fu]) produced_by[lt].insert(fu);
+  }
+
+  // Greedy: lifetimes with the most module relations first; place each in
+  // the register whose existing roles overlap its own the most.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int bb) {
+    const std::size_t ra = feeds[a].size() + produced_by[a].size();
+    const std::size_t rb = feeds[bb].size() + produced_by[bb].size();
+    if (ra != rb) return ra > rb;
+    return a < bb;
+  });
+
+  ShareResult result;
+  result.reg_of_lifetime.assign(n, -1);
+  std::vector<std::vector<int>> members;      // per register
+  std::vector<std::set<int>> reg_feeds;       // modules fed
+  std::vector<std::set<int>> reg_produced;    // modules captured
+
+  for (int lt : order) {
+    int best = -1;
+    long best_score = LONG_MIN;
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      bool clash = false;
+      for (int m : members[r])
+        if (lts.overlap(lt, m)) {
+          clash = true;
+          break;
+        }
+      if (clash) continue;
+      long score = 0;
+      for (int fu : feeds[lt])
+        if (reg_feeds[r].count(fu)) score += 2;  // shared TPGR
+      for (int fu : produced_by[lt])
+        if (reg_produced[r].count(fu)) score += 2;  // shared SR
+      // Mild preference for role-homogeneous registers (input lifetimes
+      // with input registers) to avoid needless BILBOs.
+      if (!feeds[lt].empty() && !reg_feeds[r].empty()) score += 1;
+      if (!produced_by[lt].empty() && !reg_produced[r].empty()) score += 1;
+      // Avoid creating self-adjacency where possible.
+      for (int fu : feeds[lt])
+        if (reg_produced[r].count(fu)) score -= 3;
+      for (int fu : produced_by[lt])
+        if (reg_feeds[r].count(fu)) score -= 3;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(r);
+      }
+    }
+    if (best < 0) {
+      members.emplace_back();
+      reg_feeds.emplace_back();
+      reg_produced.emplace_back();
+      best = static_cast<int>(members.size()) - 1;
+    }
+    result.reg_of_lifetime[lt] = best;
+    members[best].push_back(lt);
+    reg_feeds[best].insert(feeds[lt].begin(), feeds[lt].end());
+    reg_produced[best].insert(produced_by[lt].begin(),
+                              produced_by[lt].end());
+  }
+  result.num_regs = static_cast<int>(members.size());
+  result.roles = roles_for_map(g, b, result.reg_of_lifetime);
+  return result;
+}
+
+}  // namespace tsyn::bist

@@ -1,0 +1,45 @@
+// TPGR/SR sharing maximization (§5.1, [32]).
+//
+// Parulkar, Gupta & Breuer minimize BIST area by making each test register
+// serve as many modules as possible: register assignment packs lifetimes so
+// one register is the input (TPGR) of many modules and another the output
+// (SR) of many, and the *exact* conditions under which a self-adjacent
+// register truly needs a CBILBO are checked instead of assumed — a module
+// with an alternative capture register lets its self-adjacent input stay a
+// plain TPGR.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+
+namespace tsyn::bist {
+
+/// Test-register roles implied by a binding.
+struct BistRoles {
+  std::set<int> tpgrs;  ///< registers needed as pattern generators
+  std::set<int> srs;    ///< registers needed as signature registers
+  int cbilbos = 0;      ///< self-adjacent registers truly needing CBILBO
+
+  /// Registers that must carry any BIST structure.
+  int test_registers() const;
+};
+
+/// Audits a binding: which registers feed/capture which modules, and which
+/// self-adjacent ones meet the exact CBILBO condition (the register is an
+/// input of a module whose only output register it is).
+BistRoles audit_roles(const cdfg::Cdfg& g, const hls::Binding& b);
+
+struct ShareResult {
+  std::vector<int> reg_of_lifetime;
+  int num_regs = 0;
+  BistRoles roles;
+};
+
+/// Register assignment greedily maximizing TPGR/SR sharing across modules.
+ShareResult sharing_register_assignment(const cdfg::Cdfg& g,
+                                        const hls::Binding& b);
+
+}  // namespace tsyn::bist

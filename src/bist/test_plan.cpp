@@ -1,0 +1,90 @@
+#include "bist/test_plan.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace tsyn::bist {
+
+TestPlan build_test_plan(const cdfg::Cdfg& g, const hls::Binding& b,
+                         const SessionAnalysis& sessions) {
+  TestPlan plan;
+  plan.sessions.resize(std::max(sessions.num_sessions, 0));
+
+  // Per-module register roles.
+  std::vector<std::set<int>> in_regs(b.num_fus());
+  std::vector<std::set<int>> out_regs(b.num_fus());
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const int fu = b.fu_of_op[o];
+    if (fu < 0) continue;
+    for (cdfg::VarId in : g.op(o).inputs) {
+      const int r = b.reg_of_var(in);
+      if (r >= 0) in_regs[fu].insert(r);
+    }
+    const int r = b.reg_of_var(g.op(o).output);
+    if (r >= 0) out_regs[fu].insert(r);
+  }
+
+  // Roles per session, and cross/within-session role conflicts.
+  std::set<int> ever_tpgr;
+  std::set<int> ever_sr;
+  std::set<int> cbilbo;
+  for (int m = 0; m < sessions.num_modules; ++m) {
+    const int s = sessions.session_of_module.empty()
+                      ? 0
+                      : sessions.session_of_module[m];
+    SessionPlan& sp = plan.sessions[s];
+    sp.modules.push_back(m);
+    for (int r : in_regs[m]) sp.tpgr_regs.push_back(r);
+    for (int r : out_regs[m]) sp.sr_regs.push_back(r);
+  }
+  for (SessionPlan& sp : plan.sessions) {
+    auto uniq = [](std::vector<int>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    uniq(sp.modules);
+    uniq(sp.tpgr_regs);
+    uniq(sp.sr_regs);
+    for (int r : sp.tpgr_regs) {
+      ever_tpgr.insert(r);
+      if (std::binary_search(sp.sr_regs.begin(), sp.sr_regs.end(), r))
+        cbilbo.insert(r);
+    }
+    for (int r : sp.sr_regs) ever_sr.insert(r);
+  }
+  plan.cbilbo_regs.assign(cbilbo.begin(), cbilbo.end());
+  for (int r : ever_tpgr)
+    if (ever_sr.count(r) && !cbilbo.count(r)) plan.bilbo_regs.push_back(r);
+  return plan;
+}
+
+std::string TestPlan::to_string(const rtl::Datapath& dp) const {
+  std::ostringstream out;
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const SessionPlan& sp = sessions[s];
+    out << "session " << s << ": modules {";
+    for (std::size_t i = 0; i < sp.modules.size(); ++i)
+      out << (i ? " " : "") << dp.fus[sp.modules[i]].name;
+    out << "} TPGR {";
+    for (std::size_t i = 0; i < sp.tpgr_regs.size(); ++i)
+      out << (i ? " " : "") << dp.regs[sp.tpgr_regs[i]].name;
+    out << "} SR {";
+    for (std::size_t i = 0; i < sp.sr_regs.size(); ++i)
+      out << (i ? " " : "") << dp.regs[sp.sr_regs[i]].name;
+    out << "}\n";
+  }
+  if (!bilbo_regs.empty()) {
+    out << "BILBO:";
+    for (int r : bilbo_regs) out << " " << dp.regs[r].name;
+    out << "\n";
+  }
+  if (!cbilbo_regs.empty()) {
+    out << "CBILBO:";
+    for (int r : cbilbo_regs) out << " " << dp.regs[r].name;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tsyn::bist

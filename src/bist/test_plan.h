@@ -1,0 +1,38 @@
+// BIST test plan generation (§5.2).
+//
+// Turns a session schedule into the concrete per-session artifact a test
+// engineer consumes: for each session, which modules are under test and the
+// role (TPGR / SR / hold) every register plays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bist/sessions.h"
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+#include "rtl/datapath.h"
+
+namespace tsyn::bist {
+
+struct SessionPlan {
+  std::vector<int> modules;    ///< FU indices tested in this session
+  std::vector<int> tpgr_regs;  ///< registers generating patterns
+  std::vector<int> sr_regs;    ///< registers compacting responses
+};
+
+struct TestPlan {
+  std::vector<SessionPlan> sessions;
+  /// Registers needing BILBO (both roles across different sessions).
+  std::vector<int> bilbo_regs;
+  /// Registers needing CBILBO (both roles in one session).
+  std::vector<int> cbilbo_regs;
+
+  std::string to_string(const rtl::Datapath& dp) const;
+};
+
+/// Builds the plan from a binding and its session coloring.
+TestPlan build_test_plan(const cdfg::Cdfg& g, const hls::Binding& b,
+                         const SessionAnalysis& sessions);
+
+}  // namespace tsyn::bist

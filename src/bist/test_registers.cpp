@@ -1,0 +1,80 @@
+#include "bist/test_registers.h"
+
+#include <algorithm>
+
+namespace tsyn::bist {
+
+int BistAdjacency::self_adjacent_count() const {
+  return static_cast<int>(
+      std::count(self_adjacent.begin(), self_adjacent.end(), true));
+}
+
+BistAdjacency analyze_adjacency(const rtl::Datapath& dp) {
+  BistAdjacency adj;
+  adj.drives.assign(dp.num_regs(), {});
+  adj.loaded_from.assign(dp.num_regs(), {});
+  adj.self_adjacent.assign(dp.num_regs(), false);
+
+  for (int f = 0; f < dp.num_fus(); ++f) {
+    for (const auto& port : dp.fus[f].port_drivers)
+      for (const rtl::Source& s : port)
+        if (s.kind == rtl::Source::Kind::kRegister) {
+          auto& d = adj.drives[s.index];
+          if (std::find(d.begin(), d.end(), f) == d.end()) d.push_back(f);
+        }
+  }
+  for (int r = 0; r < dp.num_regs(); ++r) {
+    for (const rtl::Source& s : dp.regs[r].drivers)
+      if (s.kind == rtl::Source::Kind::kFu) {
+        auto& l = adj.loaded_from[r];
+        if (std::find(l.begin(), l.end(), s.index) == l.end())
+          l.push_back(s.index);
+      }
+    for (int f : adj.drives[r])
+      if (std::find(adj.loaded_from[r].begin(), adj.loaded_from[r].end(),
+                    f) != adj.loaded_from[r].end())
+        adj.self_adjacent[r] = true;
+  }
+  return adj;
+}
+
+int configure_bist_conventional(rtl::Datapath& dp) {
+  const BistAdjacency adj = analyze_adjacency(dp);
+  int cbilbos = 0;
+  for (int r = 0; r < dp.num_regs(); ++r) {
+    const bool in_role = !adj.drives[r].empty();
+    const bool out_role = !adj.loaded_from[r].empty();
+    rtl::TestRegKind kind = rtl::TestRegKind::kNone;
+    if (adj.self_adjacent[r]) {
+      kind = rtl::TestRegKind::kCbilbo;
+      ++cbilbos;
+    } else if (in_role && out_role) {
+      kind = rtl::TestRegKind::kBilbo;
+    } else if (in_role) {
+      kind = rtl::TestRegKind::kTpgr;
+    } else if (out_role) {
+      kind = rtl::TestRegKind::kSr;
+    } else {
+      kind = rtl::TestRegKind::kScan;  // isolated: make it accessible
+    }
+    dp.regs[r].test_kind = kind;
+  }
+  return cbilbos;
+}
+
+TestRegCounts count_test_registers(const rtl::Datapath& dp) {
+  TestRegCounts c;
+  for (const rtl::RegisterInfo& r : dp.regs) {
+    switch (r.test_kind) {
+      case rtl::TestRegKind::kNone: ++c.none; break;
+      case rtl::TestRegKind::kScan: ++c.scan; break;
+      case rtl::TestRegKind::kTpgr: ++c.tpgr; break;
+      case rtl::TestRegKind::kSr: ++c.sr; break;
+      case rtl::TestRegKind::kBilbo: ++c.bilbo; break;
+      case rtl::TestRegKind::kCbilbo: ++c.cbilbo; break;
+    }
+  }
+  return c;
+}
+
+}  // namespace tsyn::bist

@@ -1,0 +1,49 @@
+// BIST test-register analysis and configuration (§5, [21]).
+//
+// In situ pseudorandom BIST reconfigures functional registers as TPGRs at
+// logic-block inputs and SRs at outputs. A register that is both an input
+// and an output of the same block is *self-adjacent* and naively needs a
+// CBILBO — the expensive case every §5.1 technique minimizes. This module
+// computes register/module adjacency on a bound datapath and applies the
+// conventional (worst-case) configuration as the baseline.
+#pragma once
+
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace tsyn::bist {
+
+/// Adjacency between registers and FUs (the BIST logic blocks).
+struct BistAdjacency {
+  /// FUs each register feeds (register is a TPGR candidate for them).
+  std::vector<std::vector<int>> drives;
+  /// FUs each register is loaded from (register is an SR candidate).
+  std::vector<std::vector<int>> loaded_from;
+  /// Registers that are both an input and an output of one FU.
+  std::vector<bool> self_adjacent;
+
+  int self_adjacent_count() const;
+};
+
+BistAdjacency analyze_adjacency(const rtl::Datapath& dp);
+
+/// Conventional in-situ BIST configuration ([3]'s baseline assumption):
+/// every self-adjacent register becomes a CBILBO; registers with both roles
+/// across different FUs become BILBOs; pure input/output-role registers
+/// become TPGR/SR. Returns the number of CBILBOs.
+int configure_bist_conventional(rtl::Datapath& dp);
+
+/// Counts registers of each test kind.
+struct TestRegCounts {
+  int none = 0;
+  int scan = 0;
+  int tpgr = 0;
+  int sr = 0;
+  int bilbo = 0;
+  int cbilbo = 0;
+};
+
+TestRegCounts count_test_registers(const rtl::Datapath& dp);
+
+}  // namespace tsyn::bist

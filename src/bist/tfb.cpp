@@ -1,0 +1,207 @@
+#include "bist/tfb.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/clique_partition.h"
+#include "graph/interval.h"
+
+namespace tsyn::bist {
+
+TfbResult tfb_synthesis(const cdfg::Cdfg& g, const hls::Schedule& s) {
+  TfbResult result;
+  hls::Binding& b = result.binding;
+  b.lifetimes = cdfg::analyze_lifetimes(g, s.step_of_op, s.num_steps,
+                                        /*split_states=*/true);
+  const cdfg::LifetimeAnalysis& lts = b.lifetimes;
+
+  // Actions: every non-copy op, identified by its id.
+  std::vector<cdfg::OpId> actions;
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o)
+    if (g.op(o).kind != cdfg::OpKind::kCopy) actions.push_back(o);
+
+  // Inherent self-adjacency: the op reads the register its result lands in
+  // (only possible for merged last-step state updates).
+  auto reads_own_output = [&](cdfg::OpId o) {
+    const int out_lt = lts.lifetime_of_var[g.op(o).output];
+    if (out_lt < 0) return false;
+    for (cdfg::VarId in : g.op(o).inputs)
+      if (lts.lifetime_of_var[in] == out_lt) return true;
+    return false;
+  };
+  for (cdfg::OpId o : actions)
+    if (reads_own_output(o)) ++result.inherent_self_adjacent;
+
+  // Pairwise compatibility.
+  auto compatible = [&](cdfg::OpId o1, cdfg::OpId o2) {
+    const cdfg::Operation& a = g.op(o1);
+    const cdfg::Operation& c = g.op(o2);
+    if (cdfg::fu_type_of(a.kind) != cdfg::fu_type_of(c.kind)) return false;
+    if (s.step_of_op[o1] == s.step_of_op[o2]) return false;
+    const int lt1 = lts.lifetime_of_var[a.output];
+    const int lt2 = lts.lifetime_of_var[c.output];
+    if (lt1 < 0 || lt2 < 0) return false;
+    if (lt1 != lt2 && lts.overlap(lt1, lt2)) return false;
+    // Condition (ii): neither output register may feed the other's op.
+    for (cdfg::VarId in : c.inputs) {
+      const int in_lt = lts.lifetime_of_var[in];
+      if (in_lt == lt1) return false;
+    }
+    for (cdfg::VarId in : a.inputs) {
+      const int in_lt = lts.lifetime_of_var[in];
+      if (in_lt == lt2) return false;
+    }
+    return true;
+  };
+
+  graph::UndirectedGraph compat(static_cast<int>(actions.size()));
+  for (std::size_t i = 0; i < actions.size(); ++i)
+    for (std::size_t j = i + 1; j < actions.size(); ++j)
+      if (compatible(actions[i], actions[j]))
+        compat.add_edge(static_cast<int>(i), static_cast<int>(j));
+
+  // Cover all actions with a minimal set of cliques (prime sequences).
+  const graph::CliquePartition part = graph::clique_partition(compat);
+  result.num_tfbs = static_cast<int>(part.cliques.size());
+
+  // Build the binding: one FU + one output register per TFB.
+  b.fu_of_op.assign(g.num_ops(), -1);
+  b.fu_type.assign(result.num_tfbs, cdfg::FuType::kAlu);
+  b.fu_ops.assign(result.num_tfbs, {});
+  b.reg_of_lifetime.assign(lts.lifetimes.size(), -1);
+  for (std::size_t c = 0; c < part.cliques.size(); ++c) {
+    for (graph::NodeId local : part.cliques[c]) {
+      const cdfg::OpId o = actions[local];
+      b.fu_of_op[o] = static_cast<int>(c);
+      b.fu_type[c] = cdfg::fu_type_of(g.op(o).kind);
+      b.fu_ops[c].push_back(o);
+      const int out_lt = lts.lifetime_of_var[g.op(o).output];
+      if (out_lt >= 0) b.reg_of_lifetime[out_lt] = static_cast<int>(c);
+    }
+    std::sort(b.fu_ops[c].begin(), b.fu_ops[c].end());
+  }
+
+  // Remaining lifetimes (PIs, split-state old values, copy outputs): pack
+  // into input registers with the left-edge algorithm.
+  std::vector<int> leftovers;
+  for (std::size_t lt = 0; lt < lts.lifetimes.size(); ++lt)
+    if (b.reg_of_lifetime[lt] < 0) leftovers.push_back(static_cast<int>(lt));
+  std::vector<graph::Interval> intervals;
+  for (int lt : leftovers) intervals.push_back(lts.lifetimes[lt].interval);
+  int extra = 0;
+  const std::vector<int> packed =
+      graph::left_edge_assign(intervals, lts.num_slots, &extra);
+  for (std::size_t i = 0; i < leftovers.size(); ++i)
+    b.reg_of_lifetime[leftovers[i]] = result.num_tfbs + packed[i];
+  result.num_input_regs = extra;
+  b.num_regs = result.num_tfbs + extra;
+
+  hls::validate_binding(g, s, b);
+  return result;
+}
+
+XtfbResult xtfb_synthesis(const cdfg::Cdfg& g, const hls::Schedule& s) {
+  TfbResult tfb = tfb_synthesis(g, s);
+  XtfbResult result;
+  result.binding = std::move(tfb.binding);
+  hls::Binding& b = result.binding;
+
+  // Merge ALUs (not registers): two TFB units of the same type whose ops
+  // occupy disjoint steps can share one ALU with multiple output registers.
+  const int n = b.num_fus();
+  std::vector<int> merged_into(n);
+  for (int i = 0; i < n; ++i) merged_into[i] = i;
+  auto steps_of = [&](int fu) {
+    std::set<int> steps;
+    for (cdfg::OpId o : b.fu_ops[fu]) steps.insert(s.step_of_op[o]);
+    return steps;
+  };
+  // Input/output registers a merged unit would have; a merge is rejected
+  // when every output register would be self-adjacent (that is exactly the
+  // CBILBO condition the XTFB exists to avoid).
+  auto io_regs = [&](const std::vector<int>& units) {
+    std::pair<std::set<int>, std::set<int>> io;
+    for (int u : units)
+      for (cdfg::OpId o : b.fu_ops[u]) {
+        for (cdfg::VarId in : g.op(o).inputs) {
+          const int lt = b.lifetimes.lifetime_of_var[in];
+          if (lt >= 0) io.first.insert(b.reg_of_lifetime[lt]);
+        }
+        const int out = b.lifetimes.lifetime_of_var[g.op(o).output];
+        if (out >= 0) io.second.insert(b.reg_of_lifetime[out]);
+      }
+    return io;
+  };
+  auto merge_safe = [&](int i, int j) {
+    const auto [ins, outs] = io_regs({i, j});
+    for (int r : outs)
+      if (!ins.count(r)) return true;  // a clean SR remains
+    return outs.empty();
+  };
+
+  for (int i = 0; i < n; ++i) {
+    if (merged_into[i] != i) continue;
+    for (int j = i + 1; j < n; ++j) {
+      if (merged_into[j] != j || b.fu_type[i] != b.fu_type[j]) continue;
+      const std::set<int> si = steps_of(i);
+      const std::set<int> sj = steps_of(j);
+      bool disjoint = true;
+      for (int st : sj)
+        if (si.count(st)) disjoint = false;
+      if (!disjoint || !merge_safe(i, j)) continue;
+      // Merge j into i.
+      for (cdfg::OpId o : b.fu_ops[j]) {
+        b.fu_of_op[o] = i;
+        b.fu_ops[i].push_back(o);
+      }
+      b.fu_ops[j].clear();
+      merged_into[j] = i;
+    }
+  }
+  // Compact FU ids.
+  std::vector<int> remap(n, -1);
+  int next = 0;
+  std::vector<cdfg::FuType> new_types;
+  std::vector<std::vector<cdfg::OpId>> new_ops;
+  for (int i = 0; i < n; ++i) {
+    if (merged_into[i] != i) continue;
+    remap[i] = next++;
+    new_types.push_back(b.fu_type[i]);
+    std::sort(b.fu_ops[i].begin(), b.fu_ops[i].end());
+    new_ops.push_back(b.fu_ops[i]);
+  }
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o)
+    if (b.fu_of_op[o] >= 0) b.fu_of_op[o] = remap[merged_into[b.fu_of_op[o]]];
+  b.fu_type = std::move(new_types);
+  b.fu_ops = std::move(new_ops);
+  result.num_alus = next;
+
+  hls::validate_binding(g, s, b);
+
+  // Self-adjacency audit at the module level: registers that feed their own
+  // module are fine as TPGR-only while a sibling output register exists.
+  const cdfg::LifetimeAnalysis& lts = b.lifetimes;
+  for (int fu = 0; fu < b.num_fus(); ++fu) {
+    std::set<int> input_regs;
+    std::set<int> output_regs;
+    for (cdfg::OpId o : b.fu_ops[fu]) {
+      for (cdfg::VarId in : g.op(o).inputs) {
+        const int lt = lts.lifetime_of_var[in];
+        if (lt >= 0) input_regs.insert(b.reg_of_lifetime[lt]);
+      }
+      const int out_lt = lts.lifetime_of_var[g.op(o).output];
+      if (out_lt >= 0) output_regs.insert(b.reg_of_lifetime[out_lt]);
+    }
+    int self_adjacent = 0;
+    for (int r : output_regs)
+      if (input_regs.count(r)) ++self_adjacent;
+    if (self_adjacent > 0 &&
+        self_adjacent == static_cast<int>(output_regs.size()))
+      ++result.cbilbos;
+    else
+      result.self_adjacent_tpgr_only += self_adjacent;
+  }
+  return result;
+}
+
+}  // namespace tsyn::bist

@@ -1,0 +1,45 @@
+// Test-function-block (TFB) synthesis [31] and the XTFB extension [19]
+// (§5.1).
+//
+// A TFB is an ALU with multiplexed inputs and ONE test register on its
+// output. Mapping is done over actions (v, o(v)) — a variable and the
+// operation producing it. Two actions merge into the same TFB only if their
+// lifetimes are disjoint AND neither variable is an input of the other's
+// operation, which structurally guarantees the TFB's output register never
+// feeds its own ALU: no self-adjacent registers, hence no CBILBOs.
+//
+// The XTFB [19] relaxes the one-output-register restriction: an ALU may own
+// several output registers, and a self-adjacent register is acceptable as
+// long as it only needs to be a TPGR (some sibling register captures the
+// response). XTFB datapaths need fewer ALUs (less test area) than TFB
+// datapaths while still avoiding CBILBOs.
+#pragma once
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+
+namespace tsyn::bist {
+
+struct TfbResult {
+  hls::Binding binding;
+  int num_tfbs = 0;
+  int num_input_regs = 0;  ///< extra registers for PIs / split states
+  /// Actions whose operation reads its own output register (impossible to
+  /// fix by assignment alone; zero on benchmarks scheduled sanely).
+  int inherent_self_adjacent = 0;
+};
+
+/// Synthesizes the TFB datapath for a scheduled CDFG.
+TfbResult tfb_synthesis(const cdfg::Cdfg& g, const hls::Schedule& s);
+
+struct XtfbResult {
+  hls::Binding binding;
+  int num_alus = 0;
+  int self_adjacent_tpgr_only = 0;  ///< tolerated self-adjacent registers
+  int cbilbos = 0;  ///< modules whose every output register is self-adjacent
+};
+
+/// Synthesizes the XTFB datapath: TFB partition followed by ALU merging.
+XtfbResult xtfb_synthesis(const cdfg::Cdfg& g, const hls::Schedule& s);
+
+}  // namespace tsyn::bist

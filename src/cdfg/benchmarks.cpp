@@ -1,0 +1,270 @@
+#include "cdfg/benchmarks.h"
+
+namespace tsyn::cdfg {
+
+Cdfg fig1_example() {
+  Cdfg g("fig1");
+  const VarId a = g.add_input("a");
+  const VarId b = g.add_input("b");
+  const VarId d = g.add_input("d");
+  const VarId f = g.add_input("f");
+  const VarId p = g.add_input("p");
+  const VarId q = g.add_input("q");
+  const VarId s = g.add_input("s");
+  const VarId c = g.add_op(OpKind::kAdd, "c", {a, b}, "+1");
+  const VarId e = g.add_op(OpKind::kAdd, "e", {c, d}, "+2");
+  const VarId r = g.add_op(OpKind::kAdd, "r", {p, q}, "+3");
+  const VarId t = g.add_op(OpKind::kAdd, "t", {r, s}, "+4");
+  const VarId out = g.add_op(OpKind::kAdd, "g", {e, f}, "+5");
+  g.mark_output(out);
+  g.mark_output(t);
+  g.validate();
+  return g;
+}
+
+Cdfg diffeq() {
+  Cdfg g("diffeq");
+  const VarId dx = g.add_input("dx");
+  const VarId a = g.add_input("a");
+  const VarId three = g.add_constant("three", 3);
+  const VarId x = g.add_state("x");
+  const VarId y = g.add_state("y");
+  const VarId u = g.add_state("u");
+
+  const VarId t1 = g.add_op(OpKind::kMul, "t1", {three, x});  // 3*x
+  const VarId t2 = g.add_op(OpKind::kMul, "t2", {u, dx});     // u*dx
+  const VarId t3 = g.add_op(OpKind::kMul, "t3", {t1, t2});    // 3*x*u*dx
+  const VarId t4 = g.add_op(OpKind::kMul, "t4", {three, y});  // 3*y
+  const VarId t5 = g.add_op(OpKind::kMul, "t5", {t4, dx});    // 3*y*dx
+  const VarId t6 = g.add_op(OpKind::kMul, "t6", {u, dx});     // u*dx (again)
+  const VarId t7 = g.add_op(OpKind::kSub, "t7", {u, t3});     // u - t3
+  const VarId ul = g.add_op(OpKind::kSub, "ul", {t7, t5});    // - t5
+  const VarId yl = g.add_op(OpKind::kAdd, "yl", {y, t6});     // y + u*dx
+  const VarId xl = g.add_op(OpKind::kAdd, "xl", {x, dx});     // x + dx
+  const VarId c = g.add_op(OpKind::kLt, "c", {xl, a});        // xl < a
+
+  g.set_state_update(x, xl);
+  g.set_state_update(y, yl);
+  g.set_state_update(u, ul);
+  g.mark_output(xl);
+  g.mark_output(yl);
+  g.mark_output(ul);
+  g.mark_output(c);
+  g.validate();
+  return g;
+}
+
+Cdfg wave_filter(int sections) {
+  Cdfg g("wave" + std::to_string(sections));
+  const VarId x = g.add_input("x");
+  std::vector<VarId> coeffs;
+  std::vector<VarId> states;
+  for (int i = 0; i < sections; ++i) {
+    coeffs.push_back(g.add_input("g" + std::to_string(i)));
+    states.push_back(g.add_state("sv" + std::to_string(i)));
+  }
+
+  // Two parallel branches of first-order allpass stages:
+  //   u = in - sv;  m = g*u;  out = m + sv;  sv' = m + in
+  auto allpass = [&](int i, VarId in) {
+    const std::string n = std::to_string(i);
+    const VarId u = g.add_op(OpKind::kSub, "u" + n, {in, states[i]});
+    const VarId m = g.add_op(OpKind::kMul, "m" + n, {coeffs[i], u});
+    const VarId out = g.add_op(OpKind::kAdd, "ap" + n, {m, states[i]});
+    const VarId sv_new = g.add_op(OpKind::kAdd, "nv" + n, {m, in});
+    g.set_state_update(states[i], sv_new);
+    return out;
+  };
+
+  const int half = sections / 2;
+  VarId b1 = x;
+  for (int i = 0; i < half; ++i) b1 = allpass(i, b1);
+  VarId b2 = x;
+  for (int i = half; i < sections; ++i) b2 = allpass(i, b2);
+
+  const VarId y = g.add_op(OpKind::kAdd, "y", {b1, b2});
+  g.mark_output(y);
+  g.validate();
+  return g;
+}
+
+Cdfg ewf() {
+  Cdfg g = wave_filter(8);
+  g.set_name("ewf");
+  return g;
+}
+
+Cdfg fir(int taps) {
+  Cdfg g("fir" + std::to_string(taps));
+  const VarId x = g.add_input("x");
+  std::vector<VarId> coeffs;
+  for (int i = 0; i < taps; ++i)
+    coeffs.push_back(g.add_input("c" + std::to_string(i)));
+  std::vector<VarId> delay;
+  for (int i = 1; i < taps; ++i)
+    delay.push_back(g.add_state("d" + std::to_string(i)));
+
+  // y = c0*x + sum_i c_i * d_i
+  VarId acc = g.add_op(OpKind::kMul, "p0", {coeffs[0], x});
+  for (int i = 1; i < taps; ++i) {
+    const std::string n = std::to_string(i);
+    const VarId prod = g.add_op(OpKind::kMul, "p" + n, {coeffs[i],
+                                                        delay[i - 1]});
+    acc = g.add_op(OpKind::kAdd, "s" + n, {acc, prod});
+  }
+  // Delay-line shift: d1' = x, d_i' = d_{i-1}.
+  for (int i = taps - 1; i >= 1; --i) {
+    const std::string n = std::to_string(i);
+    const VarId src = (i == 1) ? x : delay[i - 2];
+    const VarId moved = g.add_op(OpKind::kCopy, "sh" + n, {src});
+    g.set_state_update(delay[i - 1], moved);
+  }
+  g.mark_output(acc);
+  g.validate();
+  return g;
+}
+
+Cdfg iir_biquad() {
+  Cdfg g("iir");
+  const VarId x = g.add_input("x");
+  const VarId a1 = g.add_input("a1");
+  const VarId a2 = g.add_input("a2");
+  const VarId b0 = g.add_input("b0");
+  const VarId b1 = g.add_input("b1");
+  const VarId b2 = g.add_input("b2");
+  const VarId w1 = g.add_state("w1");
+  const VarId w2 = g.add_state("w2");
+
+  const VarId t1 = g.add_op(OpKind::kMul, "t1", {a1, w1});
+  const VarId t2 = g.add_op(OpKind::kMul, "t2", {a2, w2});
+  const VarId t3 = g.add_op(OpKind::kSub, "t3", {x, t1});
+  const VarId w = g.add_op(OpKind::kSub, "w", {t3, t2});
+  const VarId t4 = g.add_op(OpKind::kMul, "t4", {b0, w});
+  const VarId t5 = g.add_op(OpKind::kMul, "t5", {b1, w1});
+  const VarId t6 = g.add_op(OpKind::kMul, "t6", {b2, w2});
+  const VarId t7 = g.add_op(OpKind::kAdd, "t7", {t4, t5});
+  const VarId y = g.add_op(OpKind::kAdd, "y", {t7, t6});
+
+  const VarId w2n = g.add_op(OpKind::kCopy, "w2n", {w1});
+  g.set_state_update(w2, w2n);
+  g.set_state_update(w1, w);
+  g.mark_output(y);
+  g.validate();
+  return g;
+}
+
+Cdfg ar_lattice(int stages) {
+  Cdfg g("ar" + std::to_string(stages));
+  const VarId fin = g.add_input("f_in");
+  std::vector<VarId> k;
+  std::vector<VarId> b;
+  for (int i = 0; i < stages; ++i) {
+    k.push_back(g.add_input("k" + std::to_string(i)));
+    b.push_back(g.add_state("b" + std::to_string(i)));
+  }
+  // Per stage (AR synthesis lattice):
+  //   f_i = f_{i+1} - k_i * b_i
+  //   b_{i+1}' = b_i + k_i * f_i
+  VarId f = fin;
+  for (int i = stages - 1; i >= 0; --i) {
+    const std::string n = std::to_string(i);
+    const VarId m1 = g.add_op(OpKind::kMul, "mf" + n, {k[i], b[i]});
+    f = g.add_op(OpKind::kSub, "f" + n, {f, m1});
+    const VarId m2 = g.add_op(OpKind::kMul, "mb" + n, {k[i], f});
+    const VarId bn = g.add_op(OpKind::kAdd, "bn" + n, {b[i], m2});
+    if (i + 1 < stages)
+      g.set_state_update(b[i + 1], bn);
+    else
+      g.mark_output(bn);
+  }
+  // Stage 0's state reloads the filter output (feedback path).
+  const VarId b0n = g.add_op(OpKind::kCopy, "b0n", {f});
+  g.set_state_update(b[0], b0n);
+  g.mark_output(f);
+  g.validate();
+  return g;
+}
+
+Cdfg tseng() {
+  Cdfg g("tseng");
+  const VarId a = g.add_input("a");
+  const VarId b = g.add_input("b");
+  const VarId c = g.add_input("c");
+  const VarId d = g.add_input("d");
+  const VarId e = g.add_input("e");
+  const VarId f = g.add_input("f");
+  const VarId h = g.add_input("h");
+
+  const VarId t1 = g.add_op(OpKind::kMul, "t1", {a, b});
+  const VarId t2 = g.add_op(OpKind::kAdd, "t2", {c, d});
+  const VarId t3 = g.add_op(OpKind::kSub, "t3", {e, f});
+  const VarId t4 = g.add_op(OpKind::kAdd, "t4", {t1, t2});
+  const VarId t5 = g.add_op(OpKind::kOr, "t5", {t4, t3});
+  const VarId y = g.add_op(OpKind::kAnd, "y", {t5, h});
+  g.mark_output(y);
+  g.validate();
+  return g;
+}
+
+Cdfg dct4() {
+  Cdfg g("dct4");
+  const VarId x0 = g.add_input("x0");
+  const VarId x1 = g.add_input("x1");
+  const VarId x2 = g.add_input("x2");
+  const VarId x3 = g.add_input("x3");
+  const VarId c1 = g.add_input("c1");
+  const VarId c2 = g.add_input("c2");
+
+  const VarId s0 = g.add_op(OpKind::kAdd, "s0", {x0, x3});
+  const VarId s1 = g.add_op(OpKind::kAdd, "s1", {x1, x2});
+  const VarId d0 = g.add_op(OpKind::kSub, "d0", {x0, x3});
+  const VarId d1 = g.add_op(OpKind::kSub, "d1", {x1, x2});
+  const VarId y0 = g.add_op(OpKind::kAdd, "y0", {s0, s1});
+  const VarId y2 = g.add_op(OpKind::kSub, "y2", {s0, s1});
+  const VarId m0 = g.add_op(OpKind::kMul, "m0", {c1, d0});
+  const VarId m1 = g.add_op(OpKind::kMul, "m1", {c2, d1});
+  const VarId m2 = g.add_op(OpKind::kMul, "m2", {c2, d0});
+  const VarId m3 = g.add_op(OpKind::kMul, "m3", {c1, d1});
+  const VarId y1 = g.add_op(OpKind::kAdd, "y1", {m0, m1});
+  const VarId y3 = g.add_op(OpKind::kSub, "y3", {m2, m3});
+  g.mark_output(y0);
+  g.mark_output(y1);
+  g.mark_output(y2);
+  g.mark_output(y3);
+  g.validate();
+  return g;
+}
+
+Cdfg conditional_update() {
+  Cdfg g("cond");
+  const VarId d = g.add_input("d");
+  const VarId mu = g.add_input("mu");
+  const VarId c = g.add_input("c", 1);
+  const VarId k = g.add_state("k");
+
+  const VarId up = g.add_op(OpKind::kAdd, "up", {k, mu});
+  const VarId dn = g.add_op(OpKind::kSub, "dn", {k, mu});
+  g.set_guard(g.var(up).def_op, c, true);
+  g.set_guard(g.var(dn).def_op, c, false);
+  const VarId kn = g.add_op(OpKind::kMux, "kn", {c, up, dn});
+  const VarId y = g.add_op(OpKind::kMul, "y", {kn, d});
+  g.set_state_update(k, kn);
+  g.mark_output(y);
+  g.validate();
+  return g;
+}
+
+std::vector<Cdfg> standard_benchmarks() {
+  std::vector<Cdfg> all;
+  all.push_back(fig1_example());
+  all.push_back(tseng());
+  all.push_back(dct4());
+  all.push_back(diffeq());
+  all.push_back(iir_biquad());
+  all.push_back(fir(8));
+  all.push_back(ar_lattice(4));
+  all.push_back(ewf());
+  return all;
+}
+
+}  // namespace tsyn::cdfg

@@ -1,0 +1,63 @@
+// Standard HLS benchmark behaviors.
+//
+// The surveyed papers evaluate on the classic 1990s high-level synthesis
+// workloads (HAL differential-equation solver, elliptic wave filter, FIR,
+// IIR, AR lattice, Tseng's example, DCT kernels). The original HDL sources
+// are not distributable, so each DFG is reconstructed programmatically from
+// its published structure; `fig1_example()` is the worked example of the
+// paper's Figure 1, verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/ir.h"
+
+namespace tsyn::cdfg {
+
+/// Figure 1 of the paper: two chains (+1->+2->+5 and +3->+4), 3 control
+/// steps, 2 adders. The schedule choice decides whether an assignment loop
+/// forms.
+Cdfg fig1_example();
+
+/// HAL differential equation solver (Paulin's benchmark): 6 mul, 2 add,
+/// 2 sub, 1 compare; loop-carried states x, y, u.
+Cdfg diffeq();
+
+/// Wave digital (elliptic-style) filter built from `sections` first-order
+/// allpass stages in two parallel branches; each stage is 1 mul + 3
+/// add/sub with one loop-carried state.
+Cdfg wave_filter(int sections);
+
+/// The classic EWF workload approximated as wave_filter(8): 8 mul, 25
+/// add/sub, 8 states — the published 34-op/8-mul elliptic wave filter's op
+/// mix and loop structure.
+Cdfg ewf();
+
+/// Direct-form FIR filter with `taps` coefficients; the delay line is a
+/// chain of copy-updated states.
+Cdfg fir(int taps);
+
+/// Direct-form II IIR biquad: 5 mul, 4 add/sub, 2 delay states.
+Cdfg iir_biquad();
+
+/// AR lattice filter with `stages` lattice sections: 2 mul + 2 add/sub per
+/// stage, one state per stage.
+Cdfg ar_lattice(int stages);
+
+/// Small mixed-operation example in the spirit of Tseng's FACET behavior.
+Cdfg tseng();
+
+/// 4-point DCT butterfly: pure feed-forward (no CDFG loops); exercises
+/// assignment-loop formation in isolation.
+Cdfg dct4();
+
+/// Control-flow-oriented behavior (§7a): a sign-driven adaptive step with
+/// two mutually exclusive guarded updates selected by a condition input.
+/// The guarded ops can share one ALU even in the same control step.
+Cdfg conditional_update();
+
+/// All benchmarks at their standard sizes, for experiment sweeps.
+std::vector<Cdfg> standard_benchmarks();
+
+}  // namespace tsyn::cdfg

@@ -1,0 +1,55 @@
+#include "cdfg/dot.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tsyn::cdfg {
+
+std::string to_dot(const Cdfg& g, const std::vector<VarId>& highlight) {
+  auto highlighted = [&](VarId v) {
+    return std::find(highlight.begin(), highlight.end(), v) !=
+           highlight.end();
+  };
+  std::ostringstream out;
+  out << "digraph \"" << g.name() << "\" {\n"
+      << "  rankdir=TB;\n  node [fontsize=10];\n";
+
+  // Variable nodes.
+  for (const Variable& v : g.vars()) {
+    std::string shape = "ellipse";
+    std::string extra;
+    switch (v.kind) {
+      case VarKind::kPrimaryInput: shape = "invtriangle"; break;
+      case VarKind::kConstant: shape = "plaintext"; break;
+      case VarKind::kState: shape = "box3d"; break;
+      case VarKind::kTemp: shape = "ellipse"; break;
+    }
+    if (v.is_output) extra += ", peripheries=2";
+    if (highlighted(v.id)) extra += ", color=red, penwidth=2";
+    out << "  v" << v.id << " [label=\"" << v.name << "\", shape=" << shape
+        << extra << "];\n";
+  }
+  // Operation nodes and data edges.
+  for (const Operation& op : g.ops()) {
+    out << "  o" << op.id << " [label=\"" << to_string(op.kind)
+        << "\", shape=circle, style=filled, fillcolor=lightgray];\n";
+    for (VarId in : op.inputs) out << "  v" << in << " -> o" << op.id
+                                   << ";\n";
+    out << "  o" << op.id << " -> v" << op.output << ";\n";
+    if (op.guard >= 0)
+      out << "  v" << op.guard << " -> o" << op.id
+          << " [style=dotted, label=\"" << (op.guard_polarity ? "" : "!")
+          << "guard\"];\n";
+  }
+  // Loop-carried back edges.
+  for (VarId s : g.states()) {
+    const VarId upd = g.var(s).update_var;
+    if (upd >= 0)
+      out << "  v" << upd << " -> v" << s
+          << " [style=dashed, constraint=false, color=blue];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tsyn::cdfg

@@ -1,0 +1,20 @@
+// Graphviz (DOT) export of behaviors.
+//
+// Visual inspection of CDFGs — data dependencies, loop-carried back edges,
+// scan-variable choices — for documentation and debugging.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/ir.h"
+
+namespace tsyn::cdfg {
+
+/// Renders the CDFG: operation nodes, variable edges, dashed loop-carried
+/// back edges. Variables in `highlight` (e.g. selected scan variables) are
+/// drawn as doubled red nodes.
+std::string to_dot(const Cdfg& g,
+                   const std::vector<VarId>& highlight = {});
+
+}  // namespace tsyn::cdfg

@@ -1,0 +1,88 @@
+#include "cdfg/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsyn::cdfg {
+
+Cdfg random_cdfg(const GeneratorParams& params) {
+  assert(params.num_ops >= 1);
+  assert(params.num_inputs >= 1);
+  util::Rng rng(params.seed);
+  Cdfg g("rand" + std::to_string(params.seed));
+
+  std::vector<VarId> sources;  // all vars usable as operands
+  for (int i = 0; i < params.num_inputs; ++i)
+    sources.push_back(g.add_input("in" + std::to_string(i)));
+  std::vector<VarId> states;
+  for (int i = 0; i < params.num_states; ++i) {
+    states.push_back(g.add_state("st" + std::to_string(i)));
+    sources.push_back(states.back());
+  }
+
+  std::vector<VarId> temps;
+  for (int i = 0; i < params.num_ops; ++i) {
+    const bool mul = rng.next_bool(params.mul_fraction);
+    OpKind kind;
+    if (mul) {
+      kind = OpKind::kMul;
+    } else {
+      static constexpr OpKind kAluKinds[] = {OpKind::kAdd, OpKind::kSub,
+                                             OpKind::kAnd, OpKind::kXor};
+      kind = kAluKinds[rng.pick_index(4)];
+    }
+    // Bias operand choice toward recent temps so the graph is deep rather
+    // than a flat fan-in tree (deep graphs stress sequential depth metrics).
+    auto pick_operand = [&]() -> VarId {
+      if (!temps.empty() && rng.next_bool(0.65)) {
+        const std::size_t k = std::min<std::size_t>(temps.size(), 6);
+        return temps[temps.size() - 1 - rng.pick_index(k)];
+      }
+      return sources[rng.pick_index(sources.size())];
+    };
+    const VarId a = pick_operand();
+    VarId b = pick_operand();
+    if (b == a && sources.size() > 1) b = pick_operand();
+    const VarId out =
+        g.add_op(kind, "t" + std::to_string(i), {a, b});
+    temps.push_back(out);
+  }
+
+  // Bind each state's update to a distinct late temp so states create loops
+  // of varied length.
+  std::vector<VarId> update_pool = temps;
+  rng.shuffle(update_pool);
+  std::size_t next = 0;
+  for (VarId s : states) {
+    // Prefer a temp that (transitively) depends on this state so the loop is
+    // real; fall back to any temp.
+    VarId chosen = -1;
+    for (std::size_t k = next; k < update_pool.size(); ++k) {
+      if (g.var(update_pool[k]).def_op >= 0) {
+        chosen = update_pool[k];
+        std::swap(update_pool[k], update_pool[next]);
+        ++next;
+        break;
+      }
+    }
+    if (chosen < 0) chosen = temps.back();
+    g.set_state_update(s, chosen);
+  }
+
+  // Every sink (no uses, not a state update) becomes a primary output; make
+  // sure at least one output exists.
+  std::vector<bool> is_update(g.num_vars(), false);
+  for (VarId s : states) is_update[g.var(s).update_var] = true;
+  bool any_output = false;
+  for (VarId t : temps) {
+    if (g.var(t).uses.empty() && !is_update[t]) {
+      g.mark_output(t);
+      any_output = true;
+    }
+  }
+  if (!any_output) g.mark_output(temps.back());
+  g.validate();
+  return g;
+}
+
+}  // namespace tsyn::cdfg

@@ -1,0 +1,28 @@
+// Synthetic CDFG generator.
+//
+// Property-style tests and scaling sweeps need workloads beyond the fixed
+// benchmark suite; this generator produces random data-flow-intensive
+// behaviors (the design class the survey's techniques target, §7a) with a
+// controllable amount of loop-carried state.
+#pragma once
+
+#include "cdfg/ir.h"
+#include "util/rng.h"
+
+namespace tsyn::cdfg {
+
+struct GeneratorParams {
+  int num_ops = 20;
+  int num_inputs = 4;
+  /// Number of loop-carried state variables (each creates >= 1 CDFG loop).
+  int num_states = 2;
+  /// Probability that a binary op is a multiply (vs an ALU op).
+  double mul_fraction = 0.3;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a valid, connected, acyclic-forward CDFG with the requested
+/// loop-carried state. Every sink becomes a primary output.
+Cdfg random_cdfg(const GeneratorParams& params);
+
+}  // namespace tsyn::cdfg

@@ -1,0 +1,98 @@
+#include "cdfg/interp.h"
+
+#include <stdexcept>
+
+#include "graph/paths.h"
+
+namespace tsyn::cdfg {
+
+namespace {
+
+std::uint64_t mask_of_width(int width) {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+std::uint64_t eval_op(const Cdfg& g, const Operation& op,
+                      const VarValues& vals) {
+  const std::uint64_t a = vals[op.inputs[0]];
+  const std::uint64_t b = op.inputs.size() > 1 ? vals[op.inputs[1]] : 0;
+  const std::uint64_t c = op.inputs.size() > 2 ? vals[op.inputs[2]] : 0;
+  const std::uint64_t mask = mask_of_width(g.var(op.output).width);
+  switch (op.kind) {
+    case OpKind::kAdd: return (a + b) & mask;
+    case OpKind::kSub: return (a - b) & mask;
+    case OpKind::kMul: return (a * b) & mask;
+    case OpKind::kDiv: return b == 0 ? mask : (a / b) & mask;
+    case OpKind::kAnd: return a & b & mask;
+    case OpKind::kOr: return (a | b) & mask;
+    case OpKind::kXor: return (a ^ b) & mask;
+    case OpKind::kNot: return ~a & mask;
+    case OpKind::kNeg: return (~a + 1) & mask;
+    case OpKind::kShl: return (a << 1) & mask;
+    case OpKind::kShr: return (a >> 1) & mask;
+    case OpKind::kLt: return a < b ? 1 : 0;
+    case OpKind::kEq: return a == b ? 1 : 0;
+    case OpKind::kMux: return (a & 1) ? b : c;
+    case OpKind::kCopy: return a & mask;
+  }
+  throw CdfgError("unknown op kind in interpreter");
+}
+
+}  // namespace
+
+VarValues execute_iteration(const Cdfg& g,
+                            const std::map<VarId, std::uint64_t>& inputs,
+                            std::map<VarId, std::uint64_t>& state) {
+  VarValues vals(g.num_vars(), 0);
+  for (const Variable& v : g.vars()) {
+    switch (v.kind) {
+      case VarKind::kPrimaryInput: {
+        const auto it = inputs.find(v.id);
+        vals[v.id] = (it == inputs.end() ? 0 : it->second) &
+                     mask_of_width(v.width);
+        break;
+      }
+      case VarKind::kConstant:
+        vals[v.id] =
+            static_cast<std::uint64_t>(v.constant_value) &
+            mask_of_width(v.width);
+        break;
+      case VarKind::kState: {
+        const auto it = state.find(v.id);
+        vals[v.id] = (it == state.end() ? 0 : it->second) &
+                     mask_of_width(v.width);
+        break;
+      }
+      case VarKind::kTemp:
+        break;
+    }
+  }
+  // Evaluate in dependence order.
+  const auto order =
+      graph::topological_order(g.op_dependence_graph(false));
+  if (!order) throw CdfgError("cyclic dependences in interpreter");
+  for (graph::NodeId o : *order) {
+    const Operation& op = g.op(o);
+    vals[op.output] = eval_op(g, op, vals);
+  }
+  // Advance states.
+  for (VarId s : g.states()) state[s] = vals[g.var(s).update_var];
+  return vals;
+}
+
+std::vector<VarValues> execute(
+    const Cdfg& g, const std::vector<std::vector<std::uint64_t>>& inputs) {
+  const std::vector<VarId> pis = g.inputs();
+  std::map<VarId, std::uint64_t> state;
+  for (VarId s : g.states()) state[s] = 0;
+  std::vector<VarValues> out;
+  for (const auto& frame : inputs) {
+    std::map<VarId, std::uint64_t> in;
+    for (std::size_t i = 0; i < pis.size() && i < frame.size(); ++i)
+      in[pis[i]] = frame[i];
+    out.push_back(execute_iteration(g, in, state));
+  }
+  return out;
+}
+
+}  // namespace tsyn::cdfg

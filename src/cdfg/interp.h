@@ -1,0 +1,33 @@
+// Behavioral CDFG interpreter.
+//
+// Executes iterations of the behavior over fixed-width unsigned words.
+// Used for validating synthesized datapaths against the behavior, and for
+// the subspace-state-coverage metric of arithmetic BIST [28], which needs
+// the value streams seen at every operation's inputs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cdfg/ir.h"
+
+namespace tsyn::cdfg {
+
+/// Values of every variable after executing one iteration.
+using VarValues = std::vector<std::uint64_t>;
+
+/// Executes one iteration: `inputs` maps primary-input VarIds to values,
+/// `state` holds the current state-variable values (by VarId). Returns all
+/// variable values; updates `state` to the next-iteration values.
+VarValues execute_iteration(const Cdfg& g,
+                            const std::map<VarId, std::uint64_t>& inputs,
+                            std::map<VarId, std::uint64_t>& state);
+
+/// Runs `iterations` steps with per-iteration input streams
+/// (inputs[i][k] = value of input k, in the order of g.inputs(), at
+/// iteration i). States start at 0. Returns per-iteration variable values.
+std::vector<VarValues> execute(
+    const Cdfg& g, const std::vector<std::vector<std::uint64_t>>& inputs);
+
+}  // namespace tsyn::cdfg

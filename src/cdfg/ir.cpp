@@ -1,0 +1,304 @@
+#include "cdfg/ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tsyn::cdfg {
+
+FuType fu_type_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kNeg:
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kXor:
+    case OpKind::kNot:
+    case OpKind::kLt:
+    case OpKind::kEq:
+      return FuType::kAlu;
+    case OpKind::kMul:
+      return FuType::kMultiplier;
+    case OpKind::kDiv:
+      return FuType::kDivider;
+    case OpKind::kShl:
+    case OpKind::kShr:
+      return FuType::kShifter;
+    case OpKind::kMux:
+      return FuType::kMux;
+    case OpKind::kCopy:
+      return FuType::kCopyUnit;
+  }
+  return FuType::kAlu;
+}
+
+int arity_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNot:
+    case OpKind::kNeg:
+    case OpKind::kCopy:
+      return 1;
+    case OpKind::kMux:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kDiv: return "div";
+    case OpKind::kAnd: return "and";
+    case OpKind::kOr: return "or";
+    case OpKind::kXor: return "xor";
+    case OpKind::kNot: return "not";
+    case OpKind::kNeg: return "neg";
+    case OpKind::kShl: return "shl";
+    case OpKind::kShr: return "shr";
+    case OpKind::kLt: return "lt";
+    case OpKind::kEq: return "eq";
+    case OpKind::kMux: return "mux";
+    case OpKind::kCopy: return "copy";
+  }
+  return "?";
+}
+
+std::string to_string(FuType type) {
+  switch (type) {
+    case FuType::kAlu: return "ALU";
+    case FuType::kMultiplier: return "MUL";
+    case FuType::kDivider: return "DIV";
+    case FuType::kShifter: return "SHIFT";
+    case FuType::kMux: return "MUX";
+    case FuType::kCopyUnit: return "COPY";
+  }
+  return "?";
+}
+
+VarId Cdfg::new_var(const std::string& name, VarKind kind, int width) {
+  if (find_var(name) != -1)
+    throw CdfgError("duplicate variable name: " + name);
+  Variable v;
+  v.id = num_vars();
+  v.name = name;
+  v.kind = kind;
+  v.width = width;
+  vars_.push_back(std::move(v));
+  return vars_.back().id;
+}
+
+VarId Cdfg::add_input(const std::string& name, int width) {
+  return new_var(name, VarKind::kPrimaryInput, width);
+}
+
+VarId Cdfg::add_constant(const std::string& name, long value, int width) {
+  const VarId id = new_var(name, VarKind::kConstant, width);
+  vars_[id].constant_value = value;
+  return id;
+}
+
+VarId Cdfg::add_state(const std::string& name, int width) {
+  return new_var(name, VarKind::kState, width);
+}
+
+VarId Cdfg::add_op(OpKind kind, const std::string& out_name,
+                   const std::vector<VarId>& inputs,
+                   const std::string& op_name) {
+  if (static_cast<int>(inputs.size()) != arity_of(kind))
+    throw CdfgError("operation " + out_name + ": expected " +
+                    std::to_string(arity_of(kind)) + " inputs, got " +
+                    std::to_string(inputs.size()));
+  for (VarId in : inputs)
+    if (in < 0 || in >= num_vars())
+      throw CdfgError("operation " + out_name + ": bad input var id");
+
+  Operation op;
+  op.id = num_ops();
+  op.kind = kind;
+  op.name = op_name.empty()
+                ? tsyn::cdfg::to_string(kind) + "_" + std::to_string(op.id)
+                : op_name;
+  op.inputs = inputs;
+  op.output = new_var(out_name, VarKind::kTemp, vars_[inputs[0]].width);
+  vars_[op.output].def_op = op.id;
+  for (VarId in : inputs) vars_[in].uses.push_back(op.id);
+  ops_.push_back(std::move(op));
+  return ops_.back().output;
+}
+
+void Cdfg::set_state_update(VarId state, VarId update) {
+  if (vars_.at(state).kind != VarKind::kState)
+    throw CdfgError("set_state_update: " + vars_.at(state).name +
+                    " is not a state variable");
+  if (vars_.at(update).kind != VarKind::kTemp)
+    throw CdfgError("set_state_update: update source must be a temp");
+  vars_[state].update_var = update;
+}
+
+void Cdfg::mark_output(VarId v) { vars_.at(v).is_output = true; }
+
+void Cdfg::replace_op_input(OpId op, std::size_t port, VarId new_var) {
+  Operation& o = ops_.at(op);
+  if (port >= o.inputs.size())
+    throw CdfgError("replace_op_input: port out of range");
+  if (new_var < 0 || new_var >= num_vars())
+    throw CdfgError("replace_op_input: bad variable");
+  const VarId old_var = o.inputs[port];
+  o.inputs[port] = new_var;
+  // Drop one use entry of the old variable (it may legitimately appear
+  // multiple times if the op reads it on several ports).
+  auto& old_uses = vars_[old_var].uses;
+  const auto it = std::find(old_uses.begin(), old_uses.end(), op);
+  if (it != old_uses.end()) old_uses.erase(it);
+  vars_[new_var].uses.push_back(op);
+}
+
+void Cdfg::set_guard(OpId op, VarId guard, bool polarity) {
+  ops_.at(op).guard = guard;
+  ops_.at(op).guard_polarity = polarity;
+  vars_.at(guard).uses.push_back(op);
+}
+
+VarId Cdfg::find_var(const std::string& name) const {
+  for (const Variable& v : vars_)
+    if (v.name == name) return v.id;
+  return -1;
+}
+
+std::vector<VarId> Cdfg::outputs() const {
+  std::vector<VarId> out;
+  for (const Variable& v : vars_)
+    if (v.is_output) out.push_back(v.id);
+  return out;
+}
+
+std::vector<VarId> Cdfg::inputs() const {
+  std::vector<VarId> out;
+  for (const Variable& v : vars_)
+    if (v.kind == VarKind::kPrimaryInput) out.push_back(v.id);
+  return out;
+}
+
+std::vector<VarId> Cdfg::states() const {
+  std::vector<VarId> out;
+  for (const Variable& v : vars_)
+    if (v.kind == VarKind::kState) out.push_back(v.id);
+  return out;
+}
+
+std::vector<OpId> Cdfg::data_predecessors(OpId op) const {
+  std::vector<OpId> preds;
+  for (VarId in : ops_.at(op).inputs) {
+    const Variable& v = vars_[in];
+    if (v.kind == VarKind::kTemp && v.def_op >= 0)
+      preds.push_back(v.def_op);
+  }
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
+graph::Digraph Cdfg::op_dependence_graph(bool include_loop_edges) const {
+  graph::Digraph g(num_ops());
+  for (const Operation& op : ops_) {
+    for (VarId in : op.inputs) {
+      const Variable& v = vars_[in];
+      if (v.kind == VarKind::kTemp && v.def_op >= 0)
+        g.add_edge_unique(v.def_op, op.id);
+      else if (include_loop_edges && v.kind == VarKind::kState &&
+               v.update_var >= 0)
+        g.add_edge_unique(vars_[v.update_var].def_op, op.id);
+    }
+  }
+  return g;
+}
+
+void Cdfg::validate() const {
+  for (const Variable& v : vars_) {
+    if (v.kind == VarKind::kState) {
+      if (v.update_var < 0)
+        throw CdfgError("state variable " + v.name + " has no update");
+      if (vars_.at(v.update_var).kind != VarKind::kTemp)
+        throw CdfgError("state variable " + v.name +
+                        " updated by a non-temp");
+    }
+    if (v.kind == VarKind::kTemp && v.def_op < 0)
+      throw CdfgError("temp variable " + v.name + " has no producer");
+    for (OpId o : v.uses)
+      if (o < 0 || o >= num_ops())
+        throw CdfgError("variable " + v.name + " used by invalid op");
+  }
+  for (const Operation& op : ops_) {
+    if (static_cast<int>(op.inputs.size()) != arity_of(op.kind))
+      throw CdfgError("op " + op.name + " has wrong arity");
+    if (op.output < 0 || vars_.at(op.output).def_op != op.id)
+      throw CdfgError("op " + op.name + " output link broken");
+  }
+  // The forward dependence graph (without loop edges) must be acyclic:
+  // combinational recursion in a behavior is an error.
+  const graph::Digraph g = op_dependence_graph(/*include_loop_edges=*/false);
+  graph::Digraph no_self(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+    for (graph::NodeId v2 : g.successors(u)) no_self.add_edge(u, v2);
+  std::vector<int> in_deg(no_self.num_nodes(), 0);
+  // Kahn check.
+  for (graph::NodeId u = 0; u < no_self.num_nodes(); ++u)
+    for (graph::NodeId v2 : no_self.successors(u)) ++in_deg[v2];
+  std::vector<graph::NodeId> ready;
+  for (graph::NodeId u = 0; u < no_self.num_nodes(); ++u)
+    if (in_deg[u] == 0) ready.push_back(u);
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const graph::NodeId u = ready.back();
+    ready.pop_back();
+    ++seen;
+    for (graph::NodeId v2 : no_self.successors(u))
+      if (--in_deg[v2] == 0) ready.push_back(v2);
+  }
+  if (seen != static_cast<std::size_t>(no_self.num_nodes()))
+    throw CdfgError("combinational cycle in CDFG " + name_);
+}
+
+std::vector<std::pair<FuType, int>> Cdfg::op_counts_by_fu_type() const {
+  std::vector<std::pair<FuType, int>> counts;
+  for (const Operation& op : ops_) {
+    const FuType t = fu_type_of(op.kind);
+    auto it = std::find_if(counts.begin(), counts.end(),
+                           [&](const auto& p) { return p.first == t; });
+    if (it == counts.end())
+      counts.emplace_back(t, 1);
+    else
+      ++it->second;
+  }
+  return counts;
+}
+
+std::string Cdfg::to_string() const {
+  std::ostringstream out;
+  out << "cdfg " << name_ << ": " << num_ops() << " ops, " << num_vars()
+      << " vars, " << inputs().size() << " inputs, " << outputs().size()
+      << " outputs, " << states().size() << " states\n";
+  for (const Operation& op : ops_) {
+    out << "  " << vars_[op.output].name << " = " << tsyn::cdfg::to_string(op.kind)
+        << "(";
+    for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+      if (i) out << ", ";
+      out << vars_[op.inputs[i]].name;
+    }
+    out << ")";
+    if (op.guard >= 0)
+      out << " if " << (op.guard_polarity ? "" : "!")
+          << vars_[op.guard].name;
+    out << "\n";
+  }
+  for (const Variable& v : vars_)
+    if (v.kind == VarKind::kState)
+      out << "  state " << v.name << " <- " << vars_[v.update_var].name
+          << "\n";
+  return out.str();
+}
+
+}  // namespace tsyn::cdfg

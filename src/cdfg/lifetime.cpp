@@ -1,0 +1,137 @@
+#include "cdfg/lifetime.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsyn::cdfg {
+
+int last_use_step(const Cdfg& g, VarId v, const std::vector<int>& step_of_op) {
+  int last = -1;
+  for (OpId o : g.var(v).uses) last = std::max(last, step_of_op[o]);
+  return last;
+}
+
+LifetimeAnalysis analyze_lifetimes(const Cdfg& g,
+                                   const std::vector<int>& step_of_op,
+                                   int num_steps, bool split_states) {
+  assert(static_cast<int>(step_of_op.size()) == g.num_ops());
+  assert(num_steps > 0);
+  LifetimeAnalysis out;
+  out.num_slots = num_steps;
+  out.lifetime_of_var.assign(g.num_vars(), -1);
+
+  auto add_lifetime = [&](StorageLifetime lt) {
+    const int idx = static_cast<int>(out.lifetimes.size());
+    for (VarId v : lt.vars) out.lifetime_of_var[v] = idx;
+    out.lifetimes.push_back(std::move(lt));
+    return idx;
+  };
+
+  // Pass 1: state variables and their update temps (merged or split).
+  std::vector<bool> handled(g.num_vars(), false);
+  for (VarId sv_id : g.states()) {
+    const Variable& state = g.var(sv_id);
+    const VarId upd = state.update_var;
+    const int def_step = step_of_op[g.var(upd).def_op];
+    // Old-value last use; an unread state behaves as if read at its own
+    // update step (whole-loop-alive, conservative).
+    const int su_raw = last_use_step(g, sv_id, step_of_op);
+    const int su = su_raw < 0 ? def_step : su_raw;
+
+    // Forced split still merges a last-step update: its write coincides
+    // with the boundary transfer, so a separate register cannot help.
+    const bool merge_ok =
+        su <= def_step &&
+        (!split_states || def_step == num_steps - 1);
+    if (merge_ok) {
+      // Merged: one register holds the old value through step su, is loaded
+      // at the end of step def_step, and carries the new value across the
+      // iteration boundary. Wrapping interval [def+1 mod T, su+1).
+      // Same-iteration consumers of the update temp are covered because the
+      // wrapping range spans [def+1, T).
+      StorageLifetime lt;
+      lt.vars = {upd, sv_id};
+      lt.interval.birth = (def_step + 1) % num_steps;
+      lt.interval.death = su + 1;
+      lt.is_state = true;
+      lt.is_output = state.is_output || g.var(upd).is_output;
+      add_lifetime(lt);
+      handled[sv_id] = handled[upd] = true;
+    } else {
+      // Split: the old value and the new value are simultaneously alive;
+      // a dedicated register holds the new value, and the state register
+      // reloads from it at the iteration boundary.
+      StorageLifetime old_lt;
+      old_lt.vars = {sv_id};
+      old_lt.interval.birth = 0;
+      old_lt.interval.death = std::max(su + 1, 1);
+      old_lt.is_state = true;
+      old_lt.is_output = state.is_output;
+      old_lt.transfer_from = upd;
+      add_lifetime(old_lt);
+
+      StorageLifetime new_lt;
+      new_lt.vars = {upd};
+      new_lt.interval.birth = def_step + 1;
+      new_lt.interval.death = num_steps;  // held until the boundary transfer
+      if (new_lt.interval.birth >= num_steps)
+        new_lt.interval.birth = num_steps - 1;
+      new_lt.is_output = g.var(upd).is_output;
+      add_lifetime(new_lt);
+      handled[sv_id] = handled[upd] = true;
+    }
+  }
+
+  // Pass 2: everything else.
+  for (const Variable& v : g.vars()) {
+    if (handled[v.id]) continue;
+    switch (v.kind) {
+      case VarKind::kConstant:
+        break;  // hardwired, no storage
+      case VarKind::kPrimaryInput: {
+        const int lu = last_use_step(g, v.id, step_of_op);
+        StorageLifetime lt;
+        lt.vars = {v.id};
+        lt.interval.birth = 0;
+        lt.interval.death = std::max(lu + 1, 1);
+        lt.is_input = true;
+        lt.is_output = v.is_output;
+        add_lifetime(lt);
+        break;
+      }
+      case VarKind::kTemp: {
+        const int def_step = step_of_op[v.def_op];
+        const int lu = last_use_step(g, v.id, step_of_op);
+        StorageLifetime lt;
+        lt.vars = {v.id};
+        if (def_step + 1 >= num_steps) {
+          // Written at the iteration boundary: the value occupies slot 0 of
+          // the next iteration (it can have no same-iteration consumers).
+          lt.interval.birth = 0;
+          lt.interval.death = 1;
+        } else {
+          lt.interval.birth = def_step + 1;
+          // Outputs persist to the end of the iteration (sampled at the
+          // boundary); dead temps are held one slot (their register is
+          // still physically written).
+          if (v.is_output)
+            lt.interval.death = num_steps;
+          else if (lu < 0)
+            lt.interval.death = lt.interval.birth + 1;
+          else
+            lt.interval.death = lu + 1;
+          if (lt.interval.death <= lt.interval.birth)
+            lt.interval.death = lt.interval.birth + 1;
+        }
+        lt.is_output = v.is_output;
+        add_lifetime(lt);
+        break;
+      }
+      case VarKind::kState:
+        break;  // handled in pass 1
+    }
+  }
+  return out;
+}
+
+}  // namespace tsyn::cdfg

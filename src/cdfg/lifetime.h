@@ -1,0 +1,64 @@
+// Variable lifetime analysis over a schedule.
+//
+// Register assignment — conventional and testability-driven alike — operates
+// on storage lifetimes: which control-step slots each value must be held in
+// a register. Loop-carried state pairs (state variable + its update temp)
+// merge into a single wrapping lifetime when the update is produced after the
+// old value's last use; otherwise they split into two lifetimes joined by an
+// end-of-iteration transfer.
+//
+// Slot convention: with a schedule of T control steps (0-based), "slot t" is
+// the register state observed during step t. A value produced in step s is
+// available from slot s+1; primary inputs occupy their registers from slot 0.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "graph/interval.h"
+
+namespace tsyn::cdfg {
+
+/// One register-worth of demand: the variables that must share this storage
+/// and the slots it is occupied.
+struct StorageLifetime {
+  /// Variables bound to this storage. Size 1, or 2 for a merged state pair
+  /// {update temp, state var}.
+  std::vector<VarId> vars;
+  graph::Interval interval;
+  bool is_state = false;   ///< holds a loop-carried value at iteration start
+  bool is_input = false;   ///< loaded from a primary input
+  bool is_output = false;  ///< observed as a primary output
+  /// For a split state register: the variable whose storage is copied into
+  /// this one at the iteration boundary (-1 otherwise).
+  VarId transfer_from = -1;
+};
+
+struct LifetimeAnalysis {
+  int num_slots = 0;  ///< equals the schedule length T
+  std::vector<StorageLifetime> lifetimes;
+  /// lifetime index holding each variable; -1 for constants/unstored.
+  std::vector<int> lifetime_of_var;
+
+  bool overlap(int a, int b) const {
+    return graph::lifetimes_overlap(lifetimes[a].interval,
+                                    lifetimes[b].interval, num_slots);
+  }
+};
+
+/// Computes storage lifetimes for `g` under the given schedule.
+/// `step_of_op[o]` is the 0-based control step of operation o;
+/// `num_steps` is the schedule length (all steps < num_steps).
+/// `split_states` forces every state pair into two lifetimes joined by a
+/// boundary transfer even when merging would be legal — TFB-style BIST
+/// synthesis [31] needs this so no register is written by an operation
+/// that reads it.
+LifetimeAnalysis analyze_lifetimes(const Cdfg& g,
+                                   const std::vector<int>& step_of_op,
+                                   int num_steps, bool split_states = false);
+
+/// Last control step at which `v` is read (ops consuming it or using it as a
+/// guard); -1 if unused.
+int last_use_step(const Cdfg& g, VarId v, const std::vector<int>& step_of_op);
+
+}  // namespace tsyn::cdfg

@@ -1,0 +1,37 @@
+#include "cdfg/loops.h"
+
+#include <algorithm>
+
+#include "graph/scc.h"
+
+namespace tsyn::cdfg {
+
+graph::Digraph var_dependence_graph(const Cdfg& g) {
+  graph::Digraph d(g.num_vars());
+  for (const Operation& op : g.ops())
+    for (VarId in : op.inputs) d.add_edge_unique(in, op.output);
+  for (VarId s : g.states()) {
+    const VarId upd = g.var(s).update_var;
+    if (upd >= 0) d.add_edge_unique(upd, s);
+  }
+  return d;
+}
+
+std::vector<graph::Cycle> cdfg_loops(const Cdfg& g, std::size_t max_loops) {
+  return graph::elementary_cycles(var_dependence_graph(g), max_loops);
+}
+
+std::vector<VarId> vars_on_loops(const Cdfg& g) {
+  return graph::nodes_on_cycles(var_dependence_graph(g));
+}
+
+bool breaks_all_cdfg_loops(const Cdfg& g,
+                           const std::vector<VarId>& scan_vars) {
+  const graph::Digraph d = var_dependence_graph(g);
+  std::vector<bool> keep(d.num_nodes(), true);
+  for (VarId v : scan_vars) keep[v] = false;
+  const graph::Digraph sub = d.induced_subgraph(keep);
+  return graph::is_acyclic(sub, /*ignore_self_loops=*/false);
+}
+
+}  // namespace tsyn::cdfg

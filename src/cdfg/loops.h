@@ -1,0 +1,35 @@
+// CDFG loop analysis (§3.3.1).
+//
+// Every data-dependency cycle in the behavior — created by loop-carried
+// state variables — induces a loop in the synthesized data path. Scan
+// selection techniques ([33], [24]) pick scan variables so that each CDFG
+// loop contains at least one; this module enumerates those loops at the
+// variable level.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+
+namespace tsyn::cdfg {
+
+/// Variable-level dependence digraph: edge u -> v when an operation reads u
+/// and writes v, plus the loop-carried edges (update temp -> state var).
+/// Constants are included as isolated sources (they have outgoing edges but
+/// can never be on a loop).
+graph::Digraph var_dependence_graph(const Cdfg& g);
+
+/// Elementary CDFG loops as variable sequences.
+std::vector<graph::Cycle> cdfg_loops(const Cdfg& g,
+                                     std::size_t max_loops = 10000);
+
+/// Variables lying on at least one CDFG loop.
+std::vector<VarId> vars_on_loops(const Cdfg& g);
+
+/// True if scanning (making directly controllable/observable) the given
+/// variables breaks every CDFG loop.
+bool breaks_all_cdfg_loops(const Cdfg& g, const std::vector<VarId>& scan_vars);
+
+}  // namespace tsyn::cdfg

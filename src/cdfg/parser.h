@@ -1,0 +1,29 @@
+// Text format for CDFGs.
+//
+// A small line-oriented language so benchmark behaviors can be stored as
+// plain files and users can feed their own:
+//
+//   cdfg diffeq            # header (optional, names the graph)
+//   input  x [width]       # primary input
+//   const  three 3 [width] # named constant
+//   state  u [width]       # loop-carried state variable
+//   op     mul t1 three x  # kind, output var, operand vars
+//   guard  t1 cond 1       # op producing t1 executes when cond == 1
+//   update u ul            # state u takes ul's value each iteration
+//   output y               # primary output
+//   # comments and blank lines are ignored
+#pragma once
+
+#include <string>
+
+#include "cdfg/ir.h"
+
+namespace tsyn::cdfg {
+
+/// Parses the text format; throws CdfgError with a line number on errors.
+Cdfg parse_cdfg(const std::string& text);
+
+/// Serializes to the same text format (round-trips through parse_cdfg).
+std::string serialize_cdfg(const Cdfg& g);
+
+}  // namespace tsyn::cdfg

@@ -1,0 +1,110 @@
+// Combinational ATPG (PODEM).
+//
+// Generates a primary-input assignment detecting a given stuck-at fault,
+// with decision/backtrack counters exposed — the surveyed empirical law
+// (§3.1: ATPG effort vs loop length and sequential depth) is measured with
+// these counters. Multi-site targets (the same fault replicated across time
+// frames) support the sequential engine in atpg_seq.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gatelevel/faults.h"
+#include "gatelevel/netlist.h"
+
+namespace tsyn::gl {
+
+/// Scalar ternary value.
+enum class V : std::uint8_t { k0, k1, kX };
+
+inline V operator!(V v) {
+  if (v == V::kX) return V::kX;
+  return v == V::k0 ? V::k1 : V::k0;
+}
+
+struct AtpgStats {
+  long decisions = 0;
+  long backtracks = 0;
+  long implications = 0;
+};
+
+enum class AtpgStatus { kDetected, kUntestable, kAborted };
+
+struct AtpgResult {
+  AtpgStatus status = AtpgStatus::kAborted;
+  /// PI assignment (by position in primary_inputs()); kX = unconstrained.
+  std::vector<V> pi_values;
+  AtpgStats stats;
+};
+
+/// PODEM test generator over a combinational netlist.
+class Podem {
+ public:
+  explicit Podem(const Netlist& n);
+
+  /// Generates a test for one fault (or one fault replicated over several
+  /// sites, which must be behaviorally the same defect — used for
+  /// time-frame expansion).
+  AtpgResult generate(const Fault& fault, long backtrack_limit = 10000);
+  AtpgResult generate_multi(const std::vector<Fault>& sites,
+                            long backtrack_limit = 10000);
+
+  /// PIs the generator must leave at X (e.g. unknowable initial state of a
+  /// time-frame-0 pseudo input). Indices into primary_inputs().
+  void freeze_inputs(const std::vector<int>& pi_positions);
+
+  /// Enables SCOAP-guided backtrace: at each gate the cheapest
+  /// controllable input (by CC0/CC1) is pursued instead of the first X
+  /// input. Usually cuts backtracks on arithmetic logic.
+  void use_scoap_guidance(bool enable);
+
+ private:
+  struct NodeVal {
+    V good = V::kX;
+    V faulty = V::kX;
+  };
+
+  void imply(const std::vector<Fault>& sites);
+  bool detected_at_po() const;
+  bool x_path_exists(const std::vector<Fault>& sites) const;
+  /// Finds the next PI assignment: enumerates candidate objectives
+  /// (activation sites, pin-fault side inputs, D-frontier inputs) and
+  /// returns the first whose backtrace reaches an assignable PI.
+  bool next_assignment(const std::vector<Fault>& sites, int* pi_node,
+                       V* pi_value) const;
+  /// Maps an objective to an unassigned PI; returns false if blocked.
+  bool backtrace(int node, V value, int* pi_node, V* pi_value) const;
+
+  void rebuild_assignable_cones();
+
+  const Netlist& n_;
+  std::vector<NodeVal> vals_;
+  std::vector<V> pi_assignment_;   // by node id
+  std::vector<char> frozen_;       // by node id
+  std::vector<int> pi_position_;   // node id -> PI position
+  /// Node has an assignable (non-frozen) PI in its transitive fanin — the
+  /// backtrace only descends into such cones.
+  std::vector<char> assignable_cone_;
+  /// SCOAP guidance (optional): cc0_/cc1_ empty when disabled.
+  std::vector<int> cc0_;
+  std::vector<int> cc1_;
+  AtpgStats stats_;
+};
+
+/// Full-scan campaign: runs PODEM on every fault, fault-simulating each
+/// generated test against the remaining faults (test compaction by fault
+/// dropping). Returns per-fault status and the test set.
+struct AtpgCampaign {
+  std::vector<AtpgStatus> status;
+  std::vector<std::vector<V>> tests;
+  AtpgStats total;
+  double fault_efficiency = 0;  ///< (detected + proven untestable) / total
+  double fault_coverage = 0;    ///< detected / total
+};
+
+AtpgCampaign run_combinational_atpg(const Netlist& n,
+                                    const std::vector<Fault>& faults,
+                                    long backtrack_limit = 10000);
+
+}  // namespace tsyn::gl

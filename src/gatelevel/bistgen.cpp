@@ -1,0 +1,151 @@
+#include "gatelevel/bistgen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+#include <stdexcept>
+
+namespace tsyn::gl {
+
+namespace {
+
+std::uint64_t default_taps(int width) {
+  // Maximal-length polynomials (taps as bit masks, LSB = stage 0).
+  switch (width) {
+    case 8: return 0xB8;                  // x^8+x^6+x^5+x^4+1
+    case 16: return 0xB400;               // x^16+x^14+x^13+x^11+1
+    case 24: return 0xE10000;             // x^24+x^23+x^22+x^17+1
+    case 32: return 0x80200003;           // x^32+x^22+x^2+x^1+1
+    case 64: return 0xD800000000000000ULL;  // x^64+x^63+x^61+x^60+1
+    default:
+      throw std::runtime_error("no default taps for LFSR width " +
+                               std::to_string(width));
+  }
+}
+
+}  // namespace
+
+Lfsr::Lfsr(int width, std::uint64_t seed)
+    : width_(width),
+      taps_(default_taps(width)),
+      mask_(width == 64 ? ~0ULL : ((1ULL << width) - 1)) {
+  state_ = seed & mask_;
+  if (state_ == 0) state_ = 1;  // the all-zero state is absorbing
+}
+
+std::uint64_t Lfsr::step() {
+  // Galois form: shift right, conditionally XOR taps.
+  const bool lsb = state_ & 1;
+  state_ >>= 1;
+  if (lsb) state_ ^= taps_ & mask_;
+  return state_;
+}
+
+Misr::Misr(int width) : lfsr_(width, 1), state_(0) {}
+
+void Misr::absorb(std::uint64_t response) {
+  state_ ^= response;
+  // Advance through the LFSR feedback once per word.
+  const bool lsb = state_ & 1;
+  state_ >>= 1;
+  if (lsb) state_ ^= 0x80200003ULL;
+}
+
+std::vector<std::vector<Bits>> lfsr_pattern_blocks(int num_inputs,
+                                                   int num_blocks,
+                                                   std::uint64_t seed) {
+  Lfsr lfsr(64, seed ^ 0x5DEECE66DULL);
+  std::vector<std::vector<Bits>> blocks(num_blocks);
+  for (auto& block : blocks) {
+    block.assign(num_inputs, Bits::all0());
+    for (int lane = 0; lane < 64; ++lane) {
+      // A PRPG shifts the whole chain between captures; stepping past the
+      // state width leaves successive patterns effectively independent.
+      for (int s = 0; s < 66; ++s) lfsr.step();
+      const std::uint64_t s1 = lfsr.step();
+      const std::uint64_t s2 = lfsr.step();
+      for (int i = 0; i < num_inputs; ++i) {
+        const std::uint64_t word = (i / 64) % 2 == 0 ? s1 : s2;
+        const bool bit = (word >> (i % 64)) & 1;
+        if (bit) block[i].v |= 1ULL << lane;
+      }
+    }
+  }
+  return blocks;
+}
+
+std::vector<std::uint64_t> accumulator_sequence(int width,
+                                                std::uint64_t increment,
+                                                std::uint64_t seed,
+                                                int count) {
+  const std::uint64_t mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  std::uint64_t acc = seed & mask;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(acc);
+    acc = (acc + increment) & mask;
+  }
+  return out;
+}
+
+std::vector<std::vector<Bits>> weighted_pattern_blocks(
+    const std::vector<double>& weights, int num_blocks, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x5EEDULL);
+  std::vector<std::vector<Bits>> blocks(num_blocks);
+  for (auto& block : blocks) {
+    block.assign(weights.size(), Bits::all0());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+      for (int lane = 0; lane < 64; ++lane)
+        if (rng.next_bool(weights[i])) block[i].v |= 1ULL << lane;
+  }
+  return blocks;
+}
+
+std::vector<double> weights_from_tests(
+    const std::vector<std::vector<V>>& tests, int num_inputs) {
+  std::vector<double> weights(num_inputs, 0.5);
+  if (tests.empty()) return weights;
+  for (int i = 0; i < num_inputs; ++i) {
+    double ones = 0;
+    for (const auto& t : tests) {
+      const V v = i < static_cast<int>(t.size()) ? t[i] : V::kX;
+      ones += v == V::k1 ? 1.0 : v == V::k0 ? 0.0 : 0.5;
+    }
+    weights[i] = std::min(0.9, std::max(0.1, ones / tests.size()));
+  }
+  return weights;
+}
+
+std::vector<std::vector<Bits>> pack_word_patterns(
+    const std::vector<std::vector<std::uint64_t>>& port_words, int width) {
+  assert(!port_words.empty());
+  const std::size_t count = port_words[0].size();
+  for (const auto& seq : port_words) {
+    (void)seq;
+    assert(seq.size() == count);
+  }
+
+  const int num_blocks = static_cast<int>((count + 63) / 64);
+  const int num_inputs = static_cast<int>(port_words.size()) * width;
+  std::vector<std::vector<Bits>> blocks(num_blocks);
+  for (int blk = 0; blk < num_blocks; ++blk) {
+    blocks[blk].assign(num_inputs, Bits::all0());
+    for (int lane = 0; lane < 64; ++lane) {
+      const std::size_t pattern = static_cast<std::size_t>(blk) * 64 + lane;
+      // Repeat the last pattern into unused lanes of the final block.
+      const std::size_t idx = pattern < count ? pattern : count - 1;
+      for (std::size_t port = 0; port < port_words.size(); ++port) {
+        const std::uint64_t word = port_words[port][idx];
+        for (int b = 0; b < width; ++b)
+          if ((word >> b) & 1)
+            blocks[blk][port * width + b].v |= 1ULL << lane;
+      }
+    }
+  }
+  return blocks;
+}
+
+}  // namespace tsyn::gl

@@ -1,0 +1,82 @@
+// BIST pattern sources and response compaction (§5, [21], [28]).
+//
+// Software models of the test-mode hardware: LFSR-based pseudorandom
+// pattern generators (TPGR), MISR signature registers (SR), and the
+// arithmetic (accumulator-based) generators of Mukherjee et al. [28]. They
+// produce the input streams fault simulation consumes; compaction aliasing
+// is modelled by the MISR signature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gatelevel/atpg_comb.h"
+#include "gatelevel/netlist.h"
+
+namespace tsyn::gl {
+
+/// Fibonacci LFSR; default taps give a maximal-length sequence for the
+/// supported widths (8, 16, 24, 32, 64).
+class Lfsr {
+ public:
+  Lfsr(int width, std::uint64_t seed);
+
+  /// Advances one clock and returns the new state.
+  std::uint64_t step();
+  std::uint64_t state() const { return state_; }
+  int width() const { return width_; }
+
+ private:
+  int width_;
+  std::uint64_t state_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+};
+
+/// Multiple-input signature register (software model).
+class Misr {
+ public:
+  explicit Misr(int width = 32);
+  /// Compacts one response word.
+  void absorb(std::uint64_t response);
+  std::uint64_t signature() const { return state_; }
+
+ private:
+  Lfsr lfsr_;
+  std::uint64_t state_;
+};
+
+/// Pseudorandom pattern blocks for bit-level fault simulation: `blocks`
+/// 64-pattern groups over `num_inputs` PI bits, driven by one long LFSR the
+/// way a PRPG feeding a scan chain would.
+std::vector<std::vector<Bits>> lfsr_pattern_blocks(int num_inputs,
+                                                   int num_blocks,
+                                                   std::uint64_t seed);
+
+/// Arithmetic BIST generator [28]: the word sequence of an accumulator
+/// repeatedly adding `increment` (mod 2^width). Good increments (odd,
+/// near 2^width * golden ratio) sweep operand subspaces quickly.
+std::vector<std::uint64_t> accumulator_sequence(int width,
+                                                std::uint64_t increment,
+                                                std::uint64_t seed,
+                                                int count);
+
+/// Weighted pseudorandom pattern blocks: input i is 1 with probability
+/// weights[i]. The classic remedy for random-pattern-resistant logic
+/// (deep AND trees, comparators) without inserting test points.
+std::vector<std::vector<Bits>> weighted_pattern_blocks(
+    const std::vector<double>& weights, int num_blocks, std::uint64_t seed);
+
+/// Derives input weights from deterministic tests (e.g. a PODEM campaign):
+/// the fraction of tests asserting each input 1, with X treated as 0.5 and
+/// the result clamped to [0.1, 0.9] so no input is pinned.
+std::vector<double> weights_from_tests(
+    const std::vector<std::vector<V>>& tests, int num_inputs);
+
+/// Packs word sequences (one per input port, each `count` words of
+/// `width` bits) into 64-lane Bits blocks for fault simulation. Port i's
+/// bit b maps to consecutive PI positions (port-major, LSB first).
+std::vector<std::vector<Bits>> pack_word_patterns(
+    const std::vector<std::vector<std::uint64_t>>& port_words, int width);
+
+}  // namespace tsyn::gl

@@ -1,0 +1,102 @@
+#include "gatelevel/delay_iddq.h"
+
+#include <algorithm>
+
+#include "gatelevel/faultsim.h"
+
+namespace tsyn::gl {
+
+std::vector<TransitionFault> enumerate_transition_faults(const Netlist& n) {
+  std::vector<TransitionFault> faults;
+  for (int id = 0; id < n.num_nodes(); ++id) {
+    const GateType t = n.node(id).type;
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    faults.push_back({id, true});
+    faults.push_back({id, false});
+  }
+  return faults;
+}
+
+double transition_fault_coverage(
+    const Netlist& n, const std::vector<std::vector<Bits>>& blocks,
+    const std::vector<TransitionFault>& faults) {
+  if (faults.empty()) return 1.0;
+
+  // The capture pattern of a slow-to-rise fault must detect node SA0 (the
+  // late value still looks 0); slow-to-fall dually needs SA1.
+  std::vector<Fault> sa;
+  sa.reserve(faults.size());
+  for (const TransitionFault& f : faults)
+    sa.push_back({f.node, -1, f.slow_to_rise});  // STR -> SA? see below
+  // STR: late 1 behaves as stuck-at-0 during capture.
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    sa[i].stuck_at_one = !faults[i].slow_to_rise;
+
+  FaultSimulator sim(n);
+  std::vector<bool> detected(faults.size(), false);
+  // Carries the last lane's good node value across block boundaries.
+  std::vector<char> prev_value(n.num_nodes(), -1);  // -1 unknown
+
+  std::vector<std::uint64_t> masks;
+  for (const auto& block : blocks) {
+    sim.run_block_detail(block, sa, masks);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (detected[i]) continue;
+      const TransitionFault& f = faults[i];
+      const Bits good = sim.good_value(f.node);
+      // Lane l launches from lane l-1 (or from the previous block's last
+      // lane for l == 0).
+      const char init_needed = f.slow_to_rise ? 0 : 1;
+      for (int lane = 0; lane < 64 && !detected[i]; ++lane) {
+        if (((masks[i] >> lane) & 1) == 0) continue;  // capture must detect
+        char init;
+        if (lane == 0) {
+          init = prev_value[f.node];
+        } else {
+          if ((good.x >> (lane - 1)) & 1) continue;
+          init = static_cast<char>((good.v >> (lane - 1)) & 1);
+        }
+        if (init == init_needed) detected[i] = true;
+      }
+    }
+    // Record the last lane's good values for the next block boundary.
+    for (int id = 0; id < n.num_nodes(); ++id) {
+      const Bits good = sim.good_value(id);
+      prev_value[id] = ((good.x >> 63) & 1)
+                           ? static_cast<char>(-1)
+                           : static_cast<char>((good.v >> 63) & 1);
+    }
+  }
+  const long hit = std::count(detected.begin(), detected.end(), true);
+  return static_cast<double>(hit) / static_cast<double>(faults.size());
+}
+
+double iddq_fault_coverage(const Netlist& n,
+                           const std::vector<std::vector<Bits>>& blocks,
+                           const std::vector<Fault>& faults) {
+  if (faults.empty()) return 1.0;
+  std::vector<bool> activated(faults.size(), false);
+  std::vector<Bits> values(n.num_nodes(), Bits::unknown());
+  for (const auto& block : blocks) {
+    for (std::size_t i = 0; i < n.primary_inputs().size(); ++i)
+      values[n.primary_inputs()[i]] =
+          i < block.size() ? block[i] : Bits::unknown();
+    simulate_frame(n, values);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (activated[i]) continue;
+      const Fault& f = faults[i];
+      // The line the fault sits on (its driver for pin faults).
+      const int line = f.fanin_index < 0
+                           ? f.node
+                           : n.node(f.node).fanins[f.fanin_index];
+      const Bits v = values[line];
+      const std::uint64_t opposite =
+          f.stuck_at_one ? (~v.v & ~v.x) : (v.v & ~v.x);
+      if (opposite != 0) activated[i] = true;
+    }
+  }
+  const long hit = std::count(activated.begin(), activated.end(), true);
+  return static_cast<double>(hit) / static_cast<double>(faults.size());
+}
+
+}  // namespace tsyn::gl

@@ -1,0 +1,43 @@
+// Delay-fault (transition) and IDDQ test grading — the two methodologies
+// §7(b) of the survey names as unaddressed by the high-level techniques.
+//
+// * Transition faults: a slow-to-rise/slow-to-fall defect at a node needs a
+//   TWO-pattern test — the first pattern establishes the initial value, the
+//   second launches the transition and propagates the (late) final value,
+//   i.e. detects the corresponding stuck-at fault. Pattern pairs are
+//   consecutive lanes of the applied sequence (launch-on-capture style on a
+//   full-scan circuit).
+// * IDDQ (pseudo-stuck-at): a defective node draws quiescent current the
+//   moment the fault is ACTIVATED; no propagation to an output is needed.
+#pragma once
+
+#include <vector>
+
+#include "gatelevel/faults.h"
+#include "gatelevel/netlist.h"
+
+namespace tsyn::gl {
+
+/// A transition fault at a node's output.
+struct TransitionFault {
+  int node = -1;
+  bool slow_to_rise = false;
+};
+
+/// All transition faults (two per non-constant node).
+std::vector<TransitionFault> enumerate_transition_faults(const Netlist& n);
+
+/// Two-pattern transition coverage under an applied pattern sequence
+/// (consecutive lanes form launch/capture pairs; pairs chain across
+/// blocks). Combinational netlists only.
+double transition_fault_coverage(const Netlist& n,
+                                 const std::vector<std::vector<Bits>>& blocks,
+                                 const std::vector<TransitionFault>& faults);
+
+/// IDDQ (pseudo-stuck-at) coverage: fraction of stuck-at faults whose site
+/// is driven to the opposite value by at least one pattern.
+double iddq_fault_coverage(const Netlist& n,
+                           const std::vector<std::vector<Bits>>& blocks,
+                           const std::vector<Fault>& faults);
+
+}  // namespace tsyn::gl

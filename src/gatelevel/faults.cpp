@@ -1,0 +1,49 @@
+#include "gatelevel/faults.h"
+
+namespace tsyn::gl {
+
+std::string describe(const Netlist& n, const Fault& f) {
+  const Node& node = n.node(f.node);
+  std::string base = node.name.empty()
+                         ? to_string(node.type) + "@" + std::to_string(f.node)
+                         : node.name;
+  if (f.fanin_index >= 0) base += ".in" + std::to_string(f.fanin_index);
+  return base + (f.stuck_at_one ? "/1" : "/0");
+}
+
+std::vector<Fault> enumerate_faults(const Netlist& n, bool collapse) {
+  std::vector<Fault> faults;
+  const auto& fanouts = n.fanouts();
+
+  for (int id = 0; id < n.num_nodes(); ++id) {
+    const Node& node = n.node(id);
+    if (node.type == GateType::kConst0 || node.type == GateType::kConst1)
+      continue;  // tied lines are not fault sites
+
+    // Output faults.
+    faults.push_back({id, -1, false});
+    faults.push_back({id, -1, true});
+
+    // Input-pin (branch) faults.
+    for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+      const int driver = node.fanins[i];
+      if (driver < 0) continue;
+      if (collapse && fanouts[driver].size() <= 1)
+        continue;  // single fanout: equivalent to the driver's output fault
+      for (const bool sa1 : {false, true}) {
+        if (collapse) {
+          // Controlling-value equivalence with this gate's output fault.
+          const GateType t = node.type;
+          const bool is_and = t == GateType::kAnd || t == GateType::kNand;
+          const bool is_or = t == GateType::kOr || t == GateType::kNor;
+          if (is_and && !sa1) continue;  // in-sa0 == out-sa0 (or nand sa1)
+          if (is_or && sa1) continue;    // in-sa1 == out-sa1 (or nor sa0)
+        }
+        faults.push_back({id, static_cast<int>(i), sa1});
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace tsyn::gl

@@ -1,0 +1,32 @@
+// Single stuck-at fault model (the fault class all surveyed techniques
+// target, §7b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gatelevel/netlist.h"
+
+namespace tsyn::gl {
+
+/// A single stuck-at fault: on a node's output (fanin_index == -1) or on a
+/// specific input pin of `node` (the connection from node.fanins[i]).
+struct Fault {
+  int node = -1;
+  int fanin_index = -1;
+  bool stuck_at_one = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+std::string describe(const Netlist& n, const Fault& f);
+
+/// Enumerates the collapsed fault list:
+///  - output faults (both polarities) on every gate, input, and DFF;
+///  - input-pin faults only on fanout branches (checkpoint theorem),
+///  - with controlling-value equivalences dropped (AND input-sa0 == output
+///    sa0, OR input-sa1 == output sa1, and the NAND/NOR duals).
+/// `collapse=false` returns the full uncollapsed list instead.
+std::vector<Fault> enumerate_faults(const Netlist& n, bool collapse = true);
+
+}  // namespace tsyn::gl

@@ -1,0 +1,261 @@
+#include "gatelevel/faultsim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace tsyn::gl {
+
+FaultSimulator::FaultSimulator(const Netlist& n) : n_(n) {
+  if (!n.flops().empty())
+    throw std::runtime_error(
+        "FaultSimulator is combinational; expand state as PI/PO first");
+  topo_pos_.assign(n.num_nodes(), 0);
+  const auto& topo = n.topo_order();
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    topo_pos_[topo[i]] = static_cast<int>(i);
+  is_po_.assign(n.num_nodes(), 0);
+  for (int po : n.primary_outputs()) is_po_[po] = 1;
+  good_.assign(n.num_nodes(), Bits::unknown());
+  faulty_.assign(n.num_nodes(), Bits::unknown());
+  stamp_.assign(n.num_nodes(), -1);
+}
+
+int FaultSimulator::run_block(const std::vector<Bits>& pi_values,
+                              const std::vector<Fault>& faults,
+                              std::vector<bool>& detected) {
+  assert(pi_values.size() == n_.primary_inputs().size());
+  detected.resize(faults.size(), false);
+
+  // Good simulation.
+  std::fill(good_.begin(), good_.end(), Bits::unknown());
+  for (std::size_t i = 0; i < pi_values.size(); ++i)
+    good_[n_.primary_inputs()[i]] = pi_values[i];
+  simulate_frame(n_, good_);
+  good_po_.clear();
+  for (int po : n_.primary_outputs()) good_po_.push_back(good_[po]);
+
+  const auto& fanouts = n_.fanouts();
+  int newly_detected = 0;
+
+  Bits fanin_vals[16];
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (detected[fi]) continue;
+    const Fault& f = faults[fi];
+    ++current_stamp_;
+
+    auto value_of = [&](int id) -> Bits {
+      return stamp_[id] == current_stamp_ ? faulty_[id] : good_[id];
+    };
+    auto set_faulty = [&](int id, Bits v) {
+      faulty_[id] = v;
+      stamp_[id] = current_stamp_;
+    };
+
+    // Inject.
+    std::priority_queue<std::pair<int, int>,
+                        std::vector<std::pair<int, int>>,
+                        std::greater<>> pending;  // (topo pos, node)
+    std::uint64_t diff_mask = 0;
+    auto touch = [&](int id, Bits v) {
+      const Bits old = value_of(id);
+      if (old.v == v.v && old.x == v.x) return;
+      set_faulty(id, v);
+      if (is_po_[id])
+        diff_mask |= (good_[id].v ^ v.v) & ~good_[id].x & ~v.x;
+      for (int s : fanouts[id]) pending.push({topo_pos_[s], s});
+    };
+
+    const Bits stuck =
+        f.stuck_at_one ? Bits::all1() : Bits::all0();
+    if (f.fanin_index < 0) {
+      touch(f.node, stuck);
+    } else {
+      // Recompute the gate with the faulted pin forced.
+      const Node& g = n_.node(f.node);
+      for (std::size_t i = 0; i < g.fanins.size(); ++i)
+        fanin_vals[i] = static_cast<int>(i) == f.fanin_index
+                            ? stuck
+                            : value_of(g.fanins[i]);
+      touch(f.node, eval_gate(g.type, fanin_vals,
+                              static_cast<int>(g.fanins.size())));
+    }
+
+    // Event-driven propagation in topological order.
+    while (!pending.empty()) {
+      const auto [pos, id] = pending.top();
+      pending.pop();
+      (void)pos;  // queue key; duplicates re-evaluate to the same value
+      const Node& g = n_.node(id);
+      if (g.type == GateType::kInput) continue;
+      for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+        Bits v = value_of(g.fanins[i]);
+        if (f.fanin_index >= 0 && id == f.node &&
+            static_cast<int>(i) == f.fanin_index)
+          v = stuck;
+        fanin_vals[i] = v;
+      }
+      touch(id, eval_gate(g.type, fanin_vals,
+                          static_cast<int>(g.fanins.size())));
+    }
+
+    if (diff_mask != 0) {
+      detected[fi] = true;
+      ++newly_detected;
+    }
+  }
+  return newly_detected;
+}
+
+void FaultSimulator::run_block_detail(const std::vector<Bits>& pi_values,
+                                      const std::vector<Fault>& faults,
+                                      std::vector<std::uint64_t>& lane_masks) {
+  assert(pi_values.size() == n_.primary_inputs().size());
+  lane_masks.assign(faults.size(), 0);
+
+  std::fill(good_.begin(), good_.end(), Bits::unknown());
+  for (std::size_t i = 0; i < pi_values.size(); ++i)
+    good_[n_.primary_inputs()[i]] = pi_values[i];
+  simulate_frame(n_, good_);
+  good_po_.clear();
+  for (int po : n_.primary_outputs()) good_po_.push_back(good_[po]);
+
+  const auto& fanouts = n_.fanouts();
+  Bits fanin_vals[16];
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const Fault& f = faults[fi];
+    ++current_stamp_;
+    auto value_of = [&](int id) -> Bits {
+      return stamp_[id] == current_stamp_ ? faulty_[id] : good_[id];
+    };
+    auto set_faulty = [&](int id, Bits v) {
+      faulty_[id] = v;
+      stamp_[id] = current_stamp_;
+    };
+    std::priority_queue<std::pair<int, int>,
+                        std::vector<std::pair<int, int>>,
+                        std::greater<>> pending;
+    std::uint64_t diff_mask = 0;
+    auto touch = [&](int id, Bits v) {
+      const Bits old = value_of(id);
+      if (old.v == v.v && old.x == v.x) return;
+      set_faulty(id, v);
+      if (is_po_[id])
+        diff_mask |= (good_[id].v ^ v.v) & ~good_[id].x & ~v.x;
+      for (int s : fanouts[id]) pending.push({topo_pos_[s], s});
+    };
+    const Bits stuck = f.stuck_at_one ? Bits::all1() : Bits::all0();
+    if (f.fanin_index < 0) {
+      touch(f.node, stuck);
+    } else {
+      const Node& g = n_.node(f.node);
+      for (std::size_t i = 0; i < g.fanins.size(); ++i)
+        fanin_vals[i] = static_cast<int>(i) == f.fanin_index
+                            ? stuck
+                            : value_of(g.fanins[i]);
+      touch(f.node, eval_gate(g.type, fanin_vals,
+                              static_cast<int>(g.fanins.size())));
+    }
+    while (!pending.empty()) {
+      const auto [pos, id] = pending.top();
+      pending.pop();
+      (void)pos;
+      const Node& g = n_.node(id);
+      if (g.type == GateType::kInput) continue;
+      for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+        Bits v = value_of(g.fanins[i]);
+        if (f.fanin_index >= 0 && id == f.node &&
+            static_cast<int>(i) == f.fanin_index)
+          v = stuck;
+        fanin_vals[i] = v;
+      }
+      touch(id, eval_gate(g.type, fanin_vals,
+                          static_cast<int>(g.fanins.size())));
+    }
+    lane_masks[fi] = diff_mask;
+  }
+}
+
+double fault_coverage(const Netlist& n,
+                      const std::vector<std::vector<Bits>>& blocks,
+                      const std::vector<Fault>& faults,
+                      std::vector<bool>* detected_out) {
+  FaultSimulator sim(n);
+  std::vector<bool> detected(faults.size(), false);
+  for (const auto& block : blocks) sim.run_block(block, faults, detected);
+  const long hit = std::count(detected.begin(), detected.end(), true);
+  if (detected_out) *detected_out = std::move(detected);
+  return faults.empty() ? 1.0
+                        : static_cast<double>(hit) /
+                              static_cast<double>(faults.size());
+}
+
+namespace {
+
+// Full-circuit frame simulation with one fault injected.
+void simulate_frame_with_fault(const Netlist& n, const Fault& f,
+                               std::vector<Bits>& values) {
+  const Bits stuck = f.stuck_at_one ? Bits::all1() : Bits::all0();
+  Bits fanin_vals[16];
+  for (int id : n.topo_order()) {
+    const Node& node = n.node(id);
+    if (node.type != GateType::kInput && node.type != GateType::kDff) {
+      for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+        Bits v = values[node.fanins[i]];
+        if (f.fanin_index >= 0 && id == f.node &&
+            static_cast<int>(i) == f.fanin_index)
+          v = stuck;
+        fanin_vals[i] = v;
+      }
+      values[id] = eval_gate(node.type, fanin_vals,
+                             static_cast<int>(node.fanins.size()));
+    }
+    if (f.fanin_index < 0 && id == f.node) values[id] = stuck;
+  }
+}
+
+}  // namespace
+
+std::vector<bool> sequential_fault_sim(
+    const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
+    const std::vector<Fault>& faults) {
+  // Good trace.
+  const auto good = simulate_sequence(n, input_frames);
+
+  std::vector<bool> detected(faults.size(), false);
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const Fault& f = faults[fi];
+    const Bits stuck = f.stuck_at_one ? Bits::all1() : Bits::all0();
+    std::vector<Bits> state(n.flops().size(), Bits::unknown());
+    for (std::size_t frame = 0; frame < input_frames.size() && !detected[fi];
+         ++frame) {
+      std::vector<Bits> values(n.num_nodes(), Bits::unknown());
+      for (std::size_t i = 0; i < n.primary_inputs().size(); ++i)
+        values[n.primary_inputs()[i]] = i < input_frames[frame].size()
+                                            ? input_frames[frame][i]
+                                            : Bits::unknown();
+      for (std::size_t i = 0; i < n.flops().size(); ++i)
+        values[n.flops()[i]] = state[i];
+      // A stuck-at on a DFF output overrides its state.
+      if (f.fanin_index < 0 && n.node(f.node).type == GateType::kDff)
+        values[f.node] = stuck;
+      simulate_frame_with_fault(n, f, values);
+      for (std::size_t i = 0; i < n.flops().size(); ++i) {
+        const int d = n.node(n.flops()[i]).fanins[0];
+        state[i] = d >= 0 ? values[d] : Bits::unknown();
+      }
+      for (int po : n.primary_outputs()) {
+        const Bits& g = good[frame][po];
+        const Bits& b = values[po];
+        if (((g.v ^ b.v) & ~g.x & ~b.x) != 0) {
+          detected[fi] = true;
+          break;
+        }
+      }
+    }
+  }
+  return detected;
+}
+
+}  // namespace tsyn::gl

@@ -1,0 +1,76 @@
+// Fault simulation.
+//
+// Parallel-pattern (64 lanes) single-fault propagation with fault dropping
+// for combinational circuits — the workhorse behind every fault-coverage
+// number in the benches (full-scan coverage, BIST coverage, test-point
+// evaluation). A straightforward per-fault sequential simulator covers the
+// small circuits used by the sequential-ATPG experiments.
+#pragma once
+
+#include <vector>
+
+#include "gatelevel/faults.h"
+#include "gatelevel/netlist.h"
+
+namespace tsyn::gl {
+
+/// Parallel-pattern combinational fault simulator. The netlist must be
+/// combinational (no DFFs) — expand scan/BIST registers as PI/PO first.
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Netlist& n);
+
+  /// Simulates one 64-lane block. `pi_values[i]` is the Bits value of
+  /// primary input i (by position in primary_inputs()). Marks faults
+  /// detected in `detected`; already-detected faults are skipped (fault
+  /// dropping). Returns how many new faults the block detected.
+  int run_block(const std::vector<Bits>& pi_values,
+                const std::vector<Fault>& faults,
+                std::vector<bool>& detected);
+
+  /// Good-machine PO values of the last block (by output position).
+  const std::vector<Bits>& good_outputs() const { return good_po_; }
+
+  /// Like run_block but without fault dropping: fills `lane_masks[i]` with
+  /// the 64-bit mask of lanes detecting fault i, and leaves the good
+  /// values queryable via good_value(). Needed by two-pattern (transition
+  /// fault) grading, which must know *which* pattern detects.
+  void run_block_detail(const std::vector<Bits>& pi_values,
+                        const std::vector<Fault>& faults,
+                        std::vector<std::uint64_t>& lane_masks);
+
+  /// Good-machine value of any node after the last block.
+  const Bits& good_value(int node) const { return good_[node]; }
+
+ private:
+  Bits eval_node_faulty(int id, const Fault& f, std::uint64_t forced_v,
+                        std::uint64_t forced_known);
+
+  const Netlist& n_;
+  std::vector<Bits> good_;
+  std::vector<Bits> good_po_;
+  // Timestamped copy-on-write of faulty values: faulty_[id] is valid only
+  // when stamp_[id] == current_stamp_.
+  std::vector<Bits> faulty_;
+  std::vector<int> stamp_;
+  int current_stamp_ = 0;
+  std::vector<int> topo_pos_;
+  std::vector<char> is_po_;
+};
+
+/// Convenience: coverage of `faults` under `blocks` of PI patterns.
+/// Returns the fraction detected; `detected` (optional) receives the mask.
+double fault_coverage(const Netlist& n,
+                      const std::vector<std::vector<Bits>>& blocks,
+                      const std::vector<Fault>& faults,
+                      std::vector<bool>* detected = nullptr);
+
+/// Per-fault sequential simulation over a vector sequence (64 lanes of
+/// sequences in parallel; lane l of frame f is vector f of sequence l).
+/// FFs start unknown. Suitable for small circuits only (full resim per
+/// fault). Returns the detected mask.
+std::vector<bool> sequential_fault_sim(
+    const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
+    const std::vector<Fault>& faults);
+
+}  // namespace tsyn::gl

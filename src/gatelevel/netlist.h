@@ -1,0 +1,117 @@
+// Gate-level netlist and three-valued parallel logic simulation.
+//
+// The substrate for every fault-coverage and test-effort measurement: RTL
+// datapaths expand into this representation (expand.h), fault simulation and
+// ATPG run on it. Signals are dense node ids; each node is driven by a
+// primary input, a constant, a combinational gate, or a D flip-flop (the
+// node is the FF's Q; fanin[0] is its D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsyn::gl {
+
+enum class GateType {
+  kInput,   ///< primary input
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,   ///< 2-input
+  kXnor,  ///< 2-input
+  kMux,   ///< fanins = {sel, a, b}: sel ? b : a
+  kDff,   ///< fanins = {d}; node value is Q
+};
+
+std::string to_string(GateType t);
+
+struct Node {
+  GateType type = GateType::kBuf;
+  std::vector<int> fanins;
+  std::string name;  ///< optional, for reports
+};
+
+/// 64 patterns in parallel with three-valued logic: bit i of `x` set means
+/// lane i is unknown; otherwise bit i of `v` is the value.
+struct Bits {
+  std::uint64_t v = 0;
+  std::uint64_t x = ~0ULL;  ///< all-unknown by default
+
+  static Bits known(std::uint64_t value) { return {value, 0}; }
+  static Bits all0() { return {0, 0}; }
+  static Bits all1() { return {~0ULL, 0}; }
+  static Bits unknown() { return {0, ~0ULL}; }
+};
+
+class Netlist {
+ public:
+  int add_input(const std::string& name = "");
+  int add_const(bool value);
+  int add_gate(GateType type, const std::vector<int>& fanins,
+               const std::string& name = "");
+  /// add_gate without constant folding. For experiment rigs that need two
+  /// netlists to stay structurally identical while a tied constant differs
+  /// (e.g. a test-mode pin strapped 0 vs 1).
+  int add_gate_raw(GateType type, const std::vector<int>& fanins,
+                   const std::string& name = "");
+  /// Adds a DFF; its D connection may be set later with set_dff_input
+  /// (pass -1 now) to allow feedback loops.
+  int add_dff(int d_fanin, const std::string& name = "");
+  void set_dff_input(int dff_node, int d_fanin);
+  void mark_output(int node);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int n) const { return nodes_[n]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<int>& primary_inputs() const { return inputs_; }
+  const std::vector<int>& primary_outputs() const { return outputs_; }
+  const std::vector<int>& flops() const { return flops_; }
+
+  /// Combinational nodes in topological order (DFF Qs and inputs are
+  /// sources). Built lazily; invalidated by structural edits.
+  const std::vector<int>& topo_order() const;
+
+  /// Fanout lists (built lazily with topo_order).
+  const std::vector<std::vector<int>>& fanouts() const;
+
+  /// Number of gate-equivalents (combinational gates + FFs; buffers free).
+  int gate_count() const;
+
+  /// Checks structure: fanin arities, no combinational cycles.
+  void validate() const;
+
+ private:
+  void invalidate_caches();
+
+  std::vector<Node> nodes_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+  std::vector<int> flops_;
+  mutable std::vector<int> topo_;
+  mutable std::vector<std::vector<int>> fanouts_;
+  mutable bool caches_valid_ = false;
+};
+
+/// Evaluates one combinational gate from fanin values.
+Bits eval_gate(GateType type, const Bits* fanin_values, int num_fanins);
+
+/// Full-parallel good simulation of one clock frame.
+/// `values` must be sized num_nodes; entries for kInput and kDff nodes are
+/// taken as given (set them before calling), all others are computed.
+void simulate_frame(const Netlist& n, std::vector<Bits>& values);
+
+/// Multi-frame sequential simulation. `input_frames[f]` gives the PI values
+/// of frame f (indexed by position in primary_inputs()). FFs start unknown
+/// unless `initial_state` is provided (indexed by position in flops()).
+/// Returns per-frame node values.
+std::vector<std::vector<Bits>> simulate_sequence(
+    const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
+    const std::vector<Bits>* initial_state = nullptr);
+
+}  // namespace tsyn::gl

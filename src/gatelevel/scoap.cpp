@@ -1,0 +1,170 @@
+#include "gatelevel/scoap.h"
+
+#include <algorithm>
+#include <climits>
+#include <stdexcept>
+
+namespace tsyn::gl {
+
+namespace {
+
+constexpr int kInf = INT_MAX / 4;
+
+int sat_add(int a, int b) { return std::min(a + b, kInf); }
+
+}  // namespace
+
+Scoap compute_scoap(const Netlist& n) {
+  if (!n.flops().empty())
+    throw std::runtime_error("SCOAP here is combinational; unroll first");
+  Scoap s;
+  s.cc0.assign(n.num_nodes(), kInf);
+  s.cc1.assign(n.num_nodes(), kInf);
+  s.co.assign(n.num_nodes(), kInf);
+
+  // Controllability: forward over the topological order.
+  for (int id : n.topo_order()) {
+    const Node& g = n.node(id);
+    auto& c0 = s.cc0[id];
+    auto& c1 = s.cc1[id];
+    switch (g.type) {
+      case GateType::kInput: c0 = c1 = 1; break;
+      case GateType::kConst0: c0 = 0; c1 = kInf; break;
+      case GateType::kConst1: c1 = 0; c0 = kInf; break;
+      case GateType::kBuf:
+        c0 = sat_add(s.cc0[g.fanins[0]], 1);
+        c1 = sat_add(s.cc1[g.fanins[0]], 1);
+        break;
+      case GateType::kNot:
+        c0 = sat_add(s.cc1[g.fanins[0]], 1);
+        c1 = sat_add(s.cc0[g.fanins[0]], 1);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        int all1 = 1;
+        int any0 = kInf;
+        for (int f : g.fanins) {
+          all1 = sat_add(all1, s.cc1[f]);
+          any0 = std::min(any0, sat_add(s.cc0[f], 1));
+        }
+        if (g.type == GateType::kAnd) {
+          c1 = all1;
+          c0 = any0;
+        } else {
+          c0 = all1;
+          c1 = any0;
+        }
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        int all0 = 1;
+        int any1 = kInf;
+        for (int f : g.fanins) {
+          all0 = sat_add(all0, s.cc0[f]);
+          any1 = std::min(any1, sat_add(s.cc1[f], 1));
+        }
+        if (g.type == GateType::kOr) {
+          c0 = all0;
+          c1 = any1;
+        } else {
+          c1 = all0;
+          c0 = any1;
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        const int a = g.fanins[0];
+        const int b = g.fanins[1];
+        const int same = std::min(sat_add(s.cc0[a], s.cc0[b]),
+                                  sat_add(s.cc1[a], s.cc1[b]));
+        const int diff = std::min(sat_add(s.cc0[a], s.cc1[b]),
+                                  sat_add(s.cc1[a], s.cc0[b]));
+        if (g.type == GateType::kXor) {
+          c0 = sat_add(same, 1);
+          c1 = sat_add(diff, 1);
+        } else {
+          c1 = sat_add(same, 1);
+          c0 = sat_add(diff, 1);
+        }
+        break;
+      }
+      case GateType::kMux: {
+        const int sel = g.fanins[0];
+        const int a = g.fanins[1];  // taken when sel == 0
+        const int b = g.fanins[2];  // taken when sel == 1
+        c0 = sat_add(std::min(sat_add(s.cc0[sel], s.cc0[a]),
+                              sat_add(s.cc1[sel], s.cc0[b])),
+                     1);
+        c1 = sat_add(std::min(sat_add(s.cc0[sel], s.cc1[a]),
+                              sat_add(s.cc1[sel], s.cc1[b])),
+                     1);
+        break;
+      }
+      case GateType::kDff:
+        break;  // excluded by precondition
+    }
+  }
+
+  // Observability: backward.
+  for (int po : n.primary_outputs()) s.co[po] = 0;
+  const auto& topo = n.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const int id = *it;
+    const Node& g = n.node(id);
+    if (s.co[id] >= kInf) continue;
+    auto propagate = [&](int fanin, int extra) {
+      s.co[fanin] = std::min(s.co[fanin], sat_add(s.co[id], extra));
+    };
+    switch (g.type) {
+      case GateType::kBuf:
+      case GateType::kNot:
+        propagate(g.fanins[0], 1);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          int side = 1;
+          for (std::size_t j = 0; j < g.fanins.size(); ++j)
+            if (j != i) side = sat_add(side, s.cc1[g.fanins[j]]);
+          propagate(g.fanins[i], side);
+        }
+        break;
+      case GateType::kOr:
+      case GateType::kNor:
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          int side = 1;
+          for (std::size_t j = 0; j < g.fanins.size(); ++j)
+            if (j != i) side = sat_add(side, s.cc0[g.fanins[j]]);
+          propagate(g.fanins[i], side);
+        }
+        break;
+      case GateType::kXor:
+      case GateType::kXnor: {
+        const int a = g.fanins[0];
+        const int b = g.fanins[1];
+        propagate(a, sat_add(std::min(s.cc0[b], s.cc1[b]), 1));
+        propagate(b, sat_add(std::min(s.cc0[a], s.cc1[a]), 1));
+        break;
+      }
+      case GateType::kMux: {
+        const int sel = g.fanins[0];
+        const int a = g.fanins[1];
+        const int b = g.fanins[2];
+        propagate(a, sat_add(s.cc0[sel], 1));
+        propagate(b, sat_add(s.cc1[sel], 1));
+        // Observing the select needs distinguishable legs.
+        propagate(sel, sat_add(std::min(sat_add(s.cc0[a], s.cc1[b]),
+                                        sat_add(s.cc1[a], s.cc0[b])),
+                               1));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace tsyn::gl

@@ -1,0 +1,69 @@
+#include "gatelevel/vcd.h"
+
+#include <set>
+#include <sstream>
+
+namespace tsyn::gl {
+
+namespace {
+
+/// Compact VCD identifier for signal index i (printable ASCII 33..126).
+std::string vcd_id(int i) {
+  std::string id;
+  do {
+    id += static_cast<char>(33 + (i % 94));
+    i /= 94;
+  } while (i > 0);
+  return id;
+}
+
+char bit_of(const Bits& b, int lane) {
+  if ((b.x >> lane) & 1) return 'x';
+  return ((b.v >> lane) & 1) ? '1' : '0';
+}
+
+}  // namespace
+
+std::string trace_to_vcd(const Netlist& n,
+                         const std::vector<std::vector<Bits>>& trace,
+                         int lane, const std::string& module_name) {
+  // Pick the signals: named nodes, PIs, POs.
+  std::set<int> nodes;
+  for (int id = 0; id < n.num_nodes(); ++id)
+    if (!n.node(id).name.empty()) nodes.insert(id);
+  for (int pi : n.primary_inputs()) nodes.insert(pi);
+  for (int po : n.primary_outputs()) nodes.insert(po);
+
+  std::ostringstream out;
+  out << "$timescale 1ns $end\n$scope module " << module_name << " $end\n";
+  int idx = 0;
+  std::vector<std::pair<int, std::string>> signals;
+  for (int id : nodes) {
+    const std::string name = n.node(id).name.empty()
+                                 ? "n" + std::to_string(id)
+                                 : n.node(id).name;
+    std::string sanitized;
+    for (char c : name)
+      sanitized += (c == ' ' || c == '[' || c == ']') ? '_' : c;
+    const std::string sid = vcd_id(idx++);
+    signals.emplace_back(id, sid);
+    out << "$var wire 1 " << sid << " " << sanitized << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<char> last(signals.size(), '?');
+  for (std::size_t frame = 0; frame < trace.size(); ++frame) {
+    out << "#" << frame << "\n";
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+      const char b = bit_of(trace[frame][signals[i].first], lane);
+      if (b != last[i]) {
+        out << b << signals[i].second << "\n";
+        last[i] = b;
+      }
+    }
+  }
+  out << "#" << trace.size() << "\n";
+  return out.str();
+}
+
+}  // namespace tsyn::gl

@@ -1,0 +1,23 @@
+// VCD waveform dump of gate-level simulation traces.
+//
+// Lets a simulate_sequence() run be inspected in any waveform viewer
+// (GTKWave etc.). One lane of the 64-lane simulation is dumped; unknown
+// values become 'x'.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gatelevel/netlist.h"
+
+namespace tsyn::gl {
+
+/// Serializes `trace` (as returned by simulate_sequence) to VCD.
+/// Only named nodes plus primary inputs/outputs get signals; `lane` picks
+/// which of the 64 simulation lanes to dump.
+std::string trace_to_vcd(const Netlist& n,
+                         const std::vector<std::vector<Bits>>& trace,
+                         int lane = 0,
+                         const std::string& module_name = "tsyn");
+
+}  // namespace tsyn::gl

@@ -1,0 +1,111 @@
+#include "graph/clique_partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tsyn::graph {
+
+namespace {
+
+// True if every member of a is compatible with every member of b.
+bool cliques_compatible(const UndirectedGraph& g,
+                        const std::vector<NodeId>& a,
+                        const std::vector<NodeId>& b) {
+  for (NodeId u : a)
+    for (NodeId v : b)
+      if (!g.has_edge(u, v)) return false;
+  return true;
+}
+
+double merge_gain(const UndirectedGraph& g, const std::vector<NodeId>& a,
+                  const std::vector<NodeId>& b,
+                  double (*weight)(NodeId, NodeId, const void*),
+                  const void* ctx) {
+  // Common-neighbor count approximated at clique granularity: number of
+  // nodes outside a U b compatible with all of a and all of b.
+  std::vector<bool> in_ab(g.num_nodes(), false);
+  for (NodeId u : a) in_ab[u] = true;
+  for (NodeId u : b) in_ab[u] = true;
+  double gain = 0;
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    if (in_ab[w]) continue;
+    bool common = true;
+    for (NodeId u : a)
+      if (!g.has_edge(u, w)) {
+        common = false;
+        break;
+      }
+    for (NodeId v : b) {
+      if (!common) break;
+      if (!g.has_edge(v, w)) common = false;
+    }
+    if (common) gain += 1.0;
+  }
+  if (weight) {
+    for (NodeId u : a)
+      for (NodeId v : b) gain += weight(u, v, ctx);
+  }
+  return gain;
+}
+
+}  // namespace
+
+CliquePartition clique_partition(const UndirectedGraph& compatibility,
+                                 double (*weight)(NodeId, NodeId,
+                                                  const void*),
+                                 const void* ctx) {
+  const int n = compatibility.num_nodes();
+  std::vector<std::vector<NodeId>> cliques(n);
+  for (NodeId u = 0; u < n; ++u) cliques[u] = {u};
+
+  for (;;) {
+    int best_a = -1;
+    int best_b = -1;
+    double best_gain = -1;
+    for (std::size_t i = 0; i < cliques.size(); ++i) {
+      for (std::size_t j = i + 1; j < cliques.size(); ++j) {
+        if (!cliques_compatible(compatibility, cliques[i], cliques[j]))
+          continue;
+        const double gain =
+            merge_gain(compatibility, cliques[i], cliques[j], weight, ctx);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_a = static_cast<int>(i);
+          best_b = static_cast<int>(j);
+        }
+      }
+    }
+    if (best_a < 0) break;
+    auto& a = cliques[best_a];
+    auto& b = cliques[best_b];
+    a.insert(a.end(), b.begin(), b.end());
+    cliques.erase(cliques.begin() + best_b);
+  }
+
+  CliquePartition result;
+  result.cliques = std::move(cliques);
+  result.clique_of.assign(n, -1);
+  for (std::size_t i = 0; i < result.cliques.size(); ++i) {
+    std::sort(result.cliques[i].begin(), result.cliques[i].end());
+    for (NodeId u : result.cliques[i])
+      result.clique_of[u] = static_cast<int>(i);
+  }
+  return result;
+}
+
+bool is_valid_clique_partition(const UndirectedGraph& compatibility,
+                               const CliquePartition& p) {
+  for (const auto& clique : p.cliques)
+    for (std::size_t i = 0; i < clique.size(); ++i)
+      for (std::size_t j = i + 1; j < clique.size(); ++j)
+        if (!compatibility.has_edge(clique[i], clique[j])) return false;
+  // Every node covered exactly once.
+  std::vector<int> seen(p.clique_of.size(), 0);
+  for (const auto& clique : p.cliques)
+    for (NodeId u : clique) ++seen[u];
+  return std::all_of(seen.begin(), seen.end(),
+                     [](int s) { return s == 1; });
+}
+
+}  // namespace tsyn::graph

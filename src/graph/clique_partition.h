@@ -1,0 +1,38 @@
+// Clique partitioning of compatibility graphs (Tseng–Siewiorek style).
+//
+// Functional-unit binding groups mutually compatible operations (no two in
+// the same control step, same FU type) into cliques; each clique becomes one
+// hardware unit. Testability-driven binding variants bias the merge order
+// with edge weights (e.g. the state-coverage metric of [28]).
+#pragma once
+
+#include <vector>
+
+#include "graph/coloring.h"
+
+namespace tsyn::graph {
+
+/// Partition of nodes into cliques of a compatibility graph:
+/// clique_of[u] = clique index; cliques[i] = members.
+struct CliquePartition {
+  std::vector<int> clique_of;
+  std::vector<std::vector<NodeId>> cliques;
+};
+
+/// Greedy clique partitioning: repeatedly merge the pair of cliques with the
+/// highest number of common compatible neighbors (the Tseng–Siewiorek
+/// heuristic), optionally weighted.
+///
+/// `weight(u, v)` — if provided — is added to the merge gain for each
+/// cross pair; callers use it to encode testability preferences. Pass
+/// nullptr for the unweighted classic.
+CliquePartition clique_partition(
+    const UndirectedGraph& compatibility,
+    double (*weight)(NodeId, NodeId, const void* ctx) = nullptr,
+    const void* ctx = nullptr);
+
+/// Validates that every clique is complete in `compatibility`.
+bool is_valid_clique_partition(const UndirectedGraph& compatibility,
+                               const CliquePartition& p);
+
+}  // namespace tsyn::graph

@@ -1,0 +1,116 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsyn::graph {
+
+UndirectedGraph::UndirectedGraph(int num_nodes)
+    : adj_(static_cast<std::size_t>(num_nodes)) {
+  assert(num_nodes >= 0);
+}
+
+NodeId UndirectedGraph::add_node() {
+  adj_.emplace_back();
+  return num_nodes() - 1;
+}
+
+void UndirectedGraph::add_edge(NodeId u, NodeId v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (u == v || has_edge(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool UndirectedGraph::has_edge(NodeId u, NodeId v) const {
+  const auto& a = adj_[u];
+  return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+UndirectedGraph UndirectedGraph::complement() const {
+  UndirectedGraph c(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    std::vector<bool> adj(num_nodes(), false);
+    for (NodeId v : adj_[u]) adj[v] = true;
+    for (NodeId v = u + 1; v < num_nodes(); ++v)
+      if (!adj[v]) c.add_edge(u, v);
+  }
+  return c;
+}
+
+namespace {
+
+int smallest_feasible_color(const UndirectedGraph& g,
+                            const std::vector<int>& color, NodeId u) {
+  std::vector<bool> used(g.degree(u) + 1, false);
+  for (NodeId v : g.neighbors(u)) {
+    const int c = color[v];
+    if (c >= 0 && c < static_cast<int>(used.size())) used[c] = true;
+  }
+  int c = 0;
+  while (used[c]) ++c;
+  return c;
+}
+
+}  // namespace
+
+Coloring dsatur_coloring(const UndirectedGraph& g) {
+  const int n = g.num_nodes();
+  Coloring result;
+  result.color.assign(n, -1);
+
+  std::vector<int> saturation(n, 0);
+  std::vector<bool> done(n, false);
+  for (int step = 0; step < n; ++step) {
+    // Pick the uncolored node with max saturation, break ties by degree.
+    NodeId pick = -1;
+    for (NodeId u = 0; u < n; ++u) {
+      if (done[u]) continue;
+      if (pick == -1 || saturation[u] > saturation[pick] ||
+          (saturation[u] == saturation[pick] &&
+           g.degree(u) > g.degree(pick)))
+        pick = u;
+    }
+    const int c = smallest_feasible_color(g, result.color, pick);
+    result.color[pick] = c;
+    result.num_colors = std::max(result.num_colors, c + 1);
+    done[pick] = true;
+    // Update saturation: count of distinct neighbor colors.
+    for (NodeId v : g.neighbors(pick)) {
+      if (done[v]) continue;
+      bool seen = false;
+      for (NodeId w : g.neighbors(v))
+        if (w != pick && result.color[w] == c) {
+          seen = true;
+          break;
+        }
+      if (!seen) ++saturation[v];
+    }
+  }
+  return result;
+}
+
+Coloring sequential_coloring(const UndirectedGraph& g,
+                             const std::vector<NodeId>& order) {
+  assert(static_cast<int>(order.size()) == g.num_nodes());
+  Coloring result;
+  result.color.assign(g.num_nodes(), -1);
+  for (NodeId u : order) {
+    const int c = smallest_feasible_color(g, result.color, u);
+    result.color[u] = c;
+    result.num_colors = std::max(result.num_colors, c + 1);
+  }
+  return result;
+}
+
+bool is_proper_coloring(const UndirectedGraph& g, const Coloring& c) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (c.color[u] < 0 || c.color[u] >= c.num_colors) return false;
+    for (NodeId v : g.neighbors(u))
+      if (c.color[u] == c.color[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace tsyn::graph

@@ -1,0 +1,59 @@
+// Undirected conflict graphs and vertex coloring.
+//
+// Register assignment is classically "color the variable conflict graph with
+// a minimum number of colors" (§5.1); the BIST assignment of Avra [3] adds
+// extra conflict edges so that coloring also minimizes self-adjacent
+// registers. Both run through this module.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tsyn::graph {
+
+/// Simple undirected graph over dense node ids.
+class UndirectedGraph {
+ public:
+  UndirectedGraph() = default;
+  explicit UndirectedGraph(int num_nodes);
+
+  NodeId add_node();
+  /// Adds edge {u, v}; ignores duplicates and self-edges.
+  void add_edge(NodeId u, NodeId v);
+  bool has_edge(NodeId u, NodeId v) const;
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+  const std::vector<NodeId>& neighbors(NodeId u) const { return adj_[u]; }
+  int degree(NodeId u) const { return static_cast<int>(adj_[u].size()); }
+
+  /// Complement graph (used to turn conflict graphs into compatibility
+  /// graphs for clique partitioning).
+  UndirectedGraph complement() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// A coloring: color[u] in [0, num_colors).
+struct Coloring {
+  std::vector<int> color;
+  int num_colors = 0;
+};
+
+/// DSATUR greedy coloring. Near-optimal on the interval-like conflict graphs
+/// arising from variable lifetimes (optimal on chordal graphs when ties are
+/// broken by elimination order, which DSATUR approximates well).
+Coloring dsatur_coloring(const UndirectedGraph& g);
+
+/// Greedy coloring in a caller-specified node order (smallest feasible
+/// color). Used by assignment heuristics that encode preferences as order.
+Coloring sequential_coloring(const UndirectedGraph& g,
+                             const std::vector<NodeId>& order);
+
+/// True if no edge joins two same-colored nodes.
+bool is_proper_coloring(const UndirectedGraph& g, const Coloring& c);
+
+}  // namespace tsyn::graph

@@ -1,0 +1,61 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsyn::graph {
+
+Digraph::Digraph(int num_nodes)
+    : succ_(static_cast<std::size_t>(num_nodes)),
+      pred_(static_cast<std::size_t>(num_nodes)) {
+  assert(num_nodes >= 0);
+}
+
+NodeId Digraph::add_node() {
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return num_nodes() - 1;
+}
+
+void Digraph::add_edge(NodeId u, NodeId v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  succ_[u].push_back(v);
+  pred_[v].push_back(u);
+  ++num_edges_;
+}
+
+void Digraph::add_edge_unique(NodeId u, NodeId v) {
+  if (!has_edge(u, v)) add_edge(u, v);
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  const auto& s = succ_[u];
+  return std::find(s.begin(), s.end(), v) != s.end();
+}
+
+Digraph Digraph::induced_subgraph(const std::vector<bool>& keep,
+                                  std::vector<NodeId>* old_to_new) const {
+  assert(static_cast<int>(keep.size()) == num_nodes());
+  std::vector<NodeId> map(keep.size(), -1);
+  int next = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    if (keep[u]) map[u] = next++;
+  Digraph sub(next);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (!keep[u]) continue;
+    for (NodeId v : succ_[u])
+      if (keep[v]) sub.add_edge(map[u], map[v]);
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return sub;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph rev(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    for (NodeId v : succ_[u]) rev.add_edge(v, u);
+  return rev;
+}
+
+}  // namespace tsyn::graph

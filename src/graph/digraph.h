@@ -1,0 +1,61 @@
+// Directed graph with integer node ids.
+//
+// The common substrate for CDFG dependence analysis, S-graphs extracted from
+// RTL datapaths, and gate-level topology. Nodes are dense indices [0, n);
+// payloads live in the client (CDFG, datapath, netlist), which keeps the
+// algorithms in this library reusable across all of them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tsyn::graph {
+
+using NodeId = int;
+
+/// Adjacency-list digraph over dense node ids. Parallel edges are allowed
+/// (add_edge_unique suppresses them when the client wants simple graphs).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int num_nodes);
+
+  /// Appends a node and returns its id.
+  NodeId add_node();
+
+  /// Adds a directed edge u -> v. Both ids must be valid.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Adds u -> v unless it is already present. O(out-degree of u).
+  void add_edge_unique(NodeId u, NodeId v);
+
+  /// True if edge u -> v exists.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  int num_nodes() const { return static_cast<int>(succ_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const std::vector<NodeId>& successors(NodeId u) const { return succ_[u]; }
+  const std::vector<NodeId>& predecessors(NodeId u) const { return pred_[u]; }
+
+  int out_degree(NodeId u) const { return static_cast<int>(succ_[u].size()); }
+  int in_degree(NodeId u) const { return static_cast<int>(pred_[u].size()); }
+
+  /// True if the node has an edge to itself.
+  bool has_self_loop(NodeId u) const { return has_edge(u, u); }
+
+  /// Returns the subgraph induced by `keep[u] == true` together with the
+  /// mapping old-id -> new-id (-1 for dropped nodes).
+  Digraph induced_subgraph(const std::vector<bool>& keep,
+                           std::vector<NodeId>* old_to_new = nullptr) const;
+
+  /// Returns a copy with all edges reversed.
+  Digraph reversed() const;
+
+ private:
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace tsyn::graph

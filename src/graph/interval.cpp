@@ -1,0 +1,81 @@
+#include "graph/interval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tsyn::graph {
+
+namespace {
+
+// Alive-step mask of an interval over [0, num_steps).
+std::vector<bool> alive_mask(const Interval& iv, int num_steps) {
+  std::vector<bool> alive(num_steps, false);
+  if (!iv.wraps()) {
+    for (int s = iv.birth; s < iv.death; ++s) alive[s] = true;
+  } else {
+    // death <= birth: alive from birth to the end and from 0 to death.
+    // birth == death means alive across the whole iteration.
+    for (int s = iv.birth; s < num_steps; ++s) alive[s] = true;
+    for (int s = 0; s < iv.death; ++s) alive[s] = true;
+    if (iv.birth == iv.death)
+      std::fill(alive.begin(), alive.end(), true);
+  }
+  return alive;
+}
+
+}  // namespace
+
+bool lifetimes_overlap(const Interval& a, const Interval& b, int num_steps) {
+  assert(num_steps > 0);
+  const std::vector<bool> ma = alive_mask(a, num_steps);
+  const std::vector<bool> mb = alive_mask(b, num_steps);
+  for (int s = 0; s < num_steps; ++s)
+    if (ma[s] && mb[s]) return true;
+  return false;
+}
+
+std::vector<int> left_edge_assign(const std::vector<Interval>& intervals,
+                                  int num_steps, int* num_registers) {
+  assert(num_steps > 0);
+  const int n = static_cast<int>(intervals.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Wrapping intervals first (they pairwise conflict at the last step and
+  // each anchors a register); then by increasing birth — the left edge.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (intervals[a].wraps() != intervals[b].wraps())
+      return intervals[a].wraps();
+    if (intervals[a].birth != intervals[b].birth)
+      return intervals[a].birth < intervals[b].birth;
+    return a < b;
+  });
+
+  std::vector<int> assignment(n, -1);
+  // One occupancy mask per register.
+  std::vector<std::vector<bool>> occupancy;
+  for (int idx : order) {
+    const std::vector<bool> mask = alive_mask(intervals[idx], num_steps);
+    int reg = -1;
+    for (std::size_t r = 0; r < occupancy.size(); ++r) {
+      bool clash = false;
+      for (int s = 0; s < num_steps && !clash; ++s)
+        clash = occupancy[r][s] && mask[s];
+      if (!clash) {
+        reg = static_cast<int>(r);
+        break;
+      }
+    }
+    if (reg < 0) {
+      occupancy.emplace_back(num_steps, false);
+      reg = static_cast<int>(occupancy.size()) - 1;
+    }
+    for (int s = 0; s < num_steps; ++s)
+      if (mask[s]) occupancy[reg][s] = true;
+    assignment[idx] = reg;
+  }
+  if (num_registers) *num_registers = static_cast<int>(occupancy.size());
+  return assignment;
+}
+
+}  // namespace tsyn::graph

@@ -1,0 +1,34 @@
+// Lifetime intervals and the left-edge algorithm.
+//
+// Conventional register allocation in HLS assigns variable lifetimes to a
+// minimum number of registers with the left-edge algorithm (optimal for
+// interval conflict graphs). This is the "conventional" baseline against
+// which the testability-driven assignments of §3.2 and §5.1 are compared.
+#pragma once
+
+#include <vector>
+
+namespace tsyn::graph {
+
+/// A half-open lifetime [birth, death): the value is written at `birth` and
+/// last read at `death` (alive during [birth, death)). Cyclic (loop-carried)
+/// lifetimes that wrap the iteration boundary are modelled by the client as
+/// death <= birth, meaning alive in [birth, end] U [0, death).
+struct Interval {
+  int birth = 0;
+  int death = 0;
+  bool wraps() const { return death <= birth; }
+};
+
+/// True if the two lifetimes overlap (cannot share a register), over a
+/// schedule of `num_steps` control steps (needed to resolve wrapping).
+bool lifetimes_overlap(const Interval& a, const Interval& b, int num_steps);
+
+/// Left-edge assignment: result[i] = register index for interval i.
+/// Wrapping intervals each get a dedicated register first (they conflict
+/// with everything alive at the boundary); this matches standard practice.
+/// Returns the number of registers used via `num_registers`.
+std::vector<int> left_edge_assign(const std::vector<Interval>& intervals,
+                                  int num_steps, int* num_registers);
+
+}  // namespace tsyn::graph

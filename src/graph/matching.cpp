@@ -1,0 +1,39 @@
+#include "graph/matching.h"
+
+namespace tsyn::graph {
+
+namespace {
+
+bool try_augment(const std::vector<std::vector<int>>& adj, int l,
+                 std::vector<bool>& visited, std::vector<int>& match_l,
+                 std::vector<int>& match_r) {
+  for (int r : adj[l]) {
+    if (visited[r]) continue;
+    visited[r] = true;
+    if (match_r[r] < 0 ||
+        try_augment(adj, match_r[r], visited, match_l, match_r)) {
+      match_l[l] = r;
+      match_r[r] = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<int> max_bipartite_matching(
+    const std::vector<std::vector<int>>& adj_left_to_right, int num_right,
+    std::vector<int>* match_right) {
+  const int num_left = static_cast<int>(adj_left_to_right.size());
+  std::vector<int> match_l(num_left, -1);
+  std::vector<int> match_r(num_right, -1);
+  for (int l = 0; l < num_left; ++l) {
+    std::vector<bool> visited(num_right, false);
+    try_augment(adj_left_to_right, l, visited, match_l, match_r);
+  }
+  if (match_right) *match_right = std::move(match_r);
+  return match_l;
+}
+
+}  // namespace tsyn::graph

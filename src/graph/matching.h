@@ -1,0 +1,20 @@
+// Maximum bipartite matching (augmenting paths / Hopcroft–Karp light).
+//
+// Used by the register-merge step of Lee et al. [25] (pairing input registers
+// with output registers whose lifetimes permit merging) and by test-session
+// scheduling.
+#pragma once
+
+#include <vector>
+
+namespace tsyn::graph {
+
+/// Maximum matching of a bipartite graph given as adjacency from left
+/// vertices to right vertices.
+/// Returns match_left[l] = matched right vertex or -1, and fills
+/// match_right symmetrically if non-null.
+std::vector<int> max_bipartite_matching(
+    const std::vector<std::vector<int>>& adj_left_to_right, int num_right,
+    std::vector<int>* match_right = nullptr);
+
+}  // namespace tsyn::graph

@@ -1,0 +1,181 @@
+#include "graph/mfvs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/scc.h"
+
+namespace tsyn::graph {
+
+namespace {
+
+// Strips self-loops if requested; MFVS then only needs to kill non-trivial
+// SCCs.
+Digraph normalize(const Digraph& g, const MfvsOptions& opts) {
+  Digraph h(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.successors(u))
+      if (!(opts.ignore_self_loops && u == v)) h.add_edge_unique(u, v);
+  return h;
+}
+
+// Nodes currently on a cycle of h restricted to `alive`.
+std::vector<NodeId> cyclic_nodes(const Digraph& h,
+                                 const std::vector<bool>& alive) {
+  std::vector<NodeId> map;
+  const Digraph sub = h.induced_subgraph(alive, &map);
+  const SccResult scc = strongly_connected_components(sub);
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < h.num_nodes(); ++u) {
+    if (!alive[u]) continue;
+    const NodeId su = map[u];
+    if (scc.members[scc.component[su]].size() > 1 || sub.has_self_loop(su))
+      out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> greedy_mfvs(const Digraph& g, MfvsOptions opts) {
+  const Digraph h = normalize(g, opts);
+  std::vector<bool> alive(h.num_nodes(), true);
+  std::vector<NodeId> selected;
+
+  for (;;) {
+    const std::vector<NodeId> cyclic = cyclic_nodes(h, alive);
+    if (cyclic.empty()) break;
+
+    // Degree products restricted to the live cyclic subgraph.
+    std::vector<bool> in_cyc(h.num_nodes(), false);
+    for (NodeId u : cyclic) in_cyc[u] = true;
+    NodeId best = -1;
+    long best_score = -1;
+    for (NodeId u : cyclic) {
+      long in_d = 0;
+      long out_d = 0;
+      for (NodeId p : h.predecessors(u))
+        if (alive[p] && in_cyc[p]) ++in_d;
+      for (NodeId s : h.successors(u))
+        if (alive[s] && in_cyc[s]) ++out_d;
+      const long score = in_d * out_d;
+      if (score > best_score) {
+        best_score = score;
+        best = u;
+      }
+    }
+    assert(best >= 0);
+    selected.push_back(best);
+    alive[best] = false;
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+namespace {
+
+// Branch and bound over the cyclic core: at each step pick a shortest cycle
+// and branch on which of its nodes to delete.
+class ExactSolver {
+ public:
+  explicit ExactSolver(const Digraph& h) : h_(h), alive_(h.num_nodes(), true) {}
+
+  std::vector<NodeId> solve(std::size_t upper_bound_hint) {
+    best_size_ = upper_bound_hint;
+    best_.clear();
+    current_.clear();
+    recurse();
+    return best_;
+  }
+
+ private:
+  // Finds one shortest cycle in the live subgraph via BFS from each node;
+  // empty if acyclic.
+  std::vector<NodeId> shortest_cycle() const {
+    std::vector<NodeId> best_cycle;
+    for (NodeId s = 0; s < h_.num_nodes(); ++s) {
+      if (!alive_[s]) continue;
+      // BFS from s; find the shortest path back to s.
+      std::vector<int> parent(h_.num_nodes(), -2);
+      std::vector<NodeId> queue{s};
+      parent[s] = -1;
+      bool found = false;
+      for (std::size_t qi = 0; qi < queue.size() && !found; ++qi) {
+        const NodeId u = queue[qi];
+        for (NodeId v : h_.successors(u)) {
+          if (!alive_[v]) continue;
+          if (v == s) {
+            // Reconstruct path s..u, cycle = that path.
+            std::vector<NodeId> cyc;
+            for (NodeId w = u; w != -1; w = parent[w]) cyc.push_back(w);
+            std::reverse(cyc.begin(), cyc.end());
+            if (best_cycle.empty() || cyc.size() < best_cycle.size())
+              best_cycle = std::move(cyc);
+            found = true;
+            break;
+          }
+          if (parent[v] == -2) {
+            parent[v] = u;
+            queue.push_back(v);
+          }
+        }
+      }
+      if (best_cycle.size() == 1) break;  // cannot do better
+    }
+    return best_cycle;
+  }
+
+  void recurse() {
+    if (current_.size() + 1 > best_size_ && !best_.empty()) return;
+    if (current_.size() >= best_size_) return;
+    const std::vector<NodeId> cyc = shortest_cycle();
+    if (cyc.empty()) {
+      best_ = current_;
+      best_size_ = current_.size();
+      return;
+    }
+    for (NodeId u : cyc) {
+      alive_[u] = false;
+      current_.push_back(u);
+      recurse();
+      current_.pop_back();
+      alive_[u] = true;
+    }
+  }
+
+  const Digraph& h_;
+  std::vector<bool> alive_;
+  std::vector<NodeId> current_;
+  std::vector<NodeId> best_;
+  std::size_t best_size_ = 0;
+};
+
+}  // namespace
+
+std::vector<NodeId> exact_mfvs(const Digraph& g, MfvsOptions opts,
+                               int max_nodes) {
+  const Digraph h = normalize(g, opts);
+  std::vector<bool> all(h.num_nodes(), true);
+  const std::vector<NodeId> core = cyclic_nodes(h, all);
+  const std::vector<NodeId> greedy = greedy_mfvs(g, opts);
+  if (static_cast<int>(core.size()) > max_nodes) return greedy;
+  if (core.empty()) return {};
+
+  ExactSolver solver(h);
+  std::vector<NodeId> best = solver.solve(greedy.size());
+  if (best.empty() && !greedy.empty()) best = greedy;  // bound never improved
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+bool is_feedback_vertex_set(const Digraph& g, const std::vector<NodeId>& fvs,
+                            MfvsOptions opts) {
+  const Digraph h = normalize(g, opts);
+  std::vector<bool> alive(h.num_nodes(), true);
+  for (NodeId u : fvs) alive[u] = false;
+  std::vector<NodeId> map;
+  const Digraph sub = h.induced_subgraph(alive, &map);
+  return is_acyclic(sub, /*ignore_self_loops=*/false);
+}
+
+}  // namespace tsyn::graph

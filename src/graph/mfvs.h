@@ -1,0 +1,40 @@
+// Minimum feedback vertex set (MFVS) selection.
+//
+// Gate-level partial scan (Cheng–Agrawal [10], Lee–Reddy [22]) breaks all
+// S-graph loops except self-loops by scanning an (approximately) minimum set
+// of flip-flops whose removal makes the S-graph acyclic. This module provides
+// the greedy heuristic used as the gate-level baseline in EXP-SCANSEL, and an
+// exact branch-and-bound solver for small graphs used to validate it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tsyn::graph {
+
+struct MfvsOptions {
+  /// When set (the partial-scan convention), self-loops do not need to be
+  /// broken: a node whose only cycle is u->u is not selected.
+  bool ignore_self_loops = true;
+};
+
+/// Greedy MFVS: repeatedly remove the node with the largest
+/// in-degree * out-degree product among nodes on (non-self) cycles, until the
+/// graph is acyclic. This mirrors the classic Lee–Reddy heuristic.
+std::vector<NodeId> greedy_mfvs(const Digraph& g, MfvsOptions opts = {});
+
+/// Exact minimum FVS via branch and bound; intended for graphs of up to a
+/// few dozen cyclic nodes (used in tests and the FIG1 bench).
+/// `max_nodes` guards against accidental use on big graphs: if the cyclic
+/// core exceeds it, falls back to the greedy result.
+std::vector<NodeId> exact_mfvs(const Digraph& g, MfvsOptions opts = {},
+                               int max_nodes = 32);
+
+/// Verifies that removing `fvs` makes g acyclic (up to self-loops when
+/// opts.ignore_self_loops).
+bool is_feedback_vertex_set(const Digraph& g, const std::vector<NodeId>& fvs,
+                            MfvsOptions opts = {});
+
+}  // namespace tsyn::graph

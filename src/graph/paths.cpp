@@ -1,0 +1,96 @@
+#include "graph/paths.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/scc.h"
+
+namespace tsyn::graph {
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> in_deg(n, 0);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v : g.successors(u)) ++in_deg[v];
+
+  std::deque<NodeId> ready;
+  for (NodeId u = 0; u < n; ++u)
+    if (in_deg[u] == 0) ready.push_back(u);
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (NodeId v : g.successors(u))
+      if (--in_deg[v] == 0) ready.push_back(v);
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+std::vector<int> bfs_distances(const Digraph& g,
+                               const std::vector<NodeId>& sources) {
+  std::vector<int> dist(g.num_nodes(), -1);
+  std::deque<NodeId> queue;
+  for (NodeId s : sources) {
+    if (dist[s] == -1) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.successors(u)) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<bool> reachable_from(const Digraph& g,
+                                 const std::vector<NodeId>& sources) {
+  const std::vector<int> dist = bfs_distances(g, sources);
+  std::vector<bool> reach(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) reach[i] = dist[i] >= 0;
+  return reach;
+}
+
+std::optional<std::vector<int>> dag_longest_distances(
+    const Digraph& g, const std::vector<NodeId>& sources) {
+  const auto order = topological_order(g);
+  if (!order) return std::nullopt;
+  std::vector<int> dist(g.num_nodes(), -1);
+  for (NodeId s : sources) dist[s] = 0;
+  for (NodeId u : *order) {
+    if (dist[u] < 0) continue;
+    for (NodeId v : g.successors(u))
+      dist[v] = std::max(dist[v], dist[u] + 1);
+  }
+  return dist;
+}
+
+std::optional<int> sequential_depth(const Digraph& g) {
+  // Drop self-loops, then require acyclicity.
+  Digraph h(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.successors(u))
+      if (u != v) h.add_edge(u, v);
+  if (!is_acyclic(h)) return std::nullopt;
+
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < h.num_nodes(); ++u)
+    if (h.in_degree(u) == 0) sources.push_back(u);
+  // A graph with nodes but no in-degree-0 node is impossible here (acyclic).
+  const auto dist = dag_longest_distances(h, sources);
+  int depth = 0;
+  for (int d : *dist) depth = std::max(depth, d);
+  return depth;
+}
+
+}  // namespace tsyn::graph

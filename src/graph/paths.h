@@ -1,0 +1,37 @@
+// Path and depth queries on digraphs.
+//
+// Sequential depth — the longest FF-to-FF distance in the S-graph — is the
+// second testability measure of §3.1 (ATPG effort grows linearly with it).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tsyn::graph {
+
+/// Topological order of an acyclic graph; std::nullopt if the graph has a
+/// cycle (self-loops count as cycles here).
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+/// BFS shortest distances (in edges) from `sources`; -1 for unreachable.
+std::vector<int> bfs_distances(const Digraph& g,
+                               const std::vector<NodeId>& sources);
+
+/// Nodes reachable from `sources` (including the sources themselves).
+std::vector<bool> reachable_from(const Digraph& g,
+                                 const std::vector<NodeId>& sources);
+
+/// Longest path length (in edges) in a DAG from any of `sources` to each
+/// node; -1 for unreachable. Precondition: g restricted to reachable nodes
+/// is acyclic (checked; returns std::nullopt on a cycle).
+std::optional<std::vector<int>> dag_longest_distances(
+    const Digraph& g, const std::vector<NodeId>& sources);
+
+/// Sequential depth of a DAG: the longest path (in edges) from any in-degree-0
+/// node to any node. Self-loops are ignored (the partial-scan convention).
+/// Returns std::nullopt if non-self-loop cycles remain.
+std::optional<int> sequential_depth(const Digraph& g);
+
+}  // namespace tsyn::graph

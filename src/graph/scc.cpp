@@ -1,0 +1,104 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsyn::graph {
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const int n = g.num_nodes();
+  SccResult result;
+  result.component.assign(n, -1);
+
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  int next_index = 0;
+
+  // Explicit DFS stack: (node, position within its successor list).
+  struct Frame {
+    NodeId node;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& succ = g.successors(f.node);
+      if (f.child < succ.size()) {
+        const NodeId w = succ[f.child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+      } else {
+        const NodeId v = f.node;
+        dfs.pop_back();
+        if (!dfs.empty())
+          lowlink[dfs.back().node] = std::min(lowlink[dfs.back().node],
+                                              lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          result.members.emplace_back();
+          auto& comp = result.members.back();
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = result.num_components;
+            comp.push_back(w);
+            if (w == v) break;
+          }
+          ++result.num_components;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool in_cycle(const Digraph& g, const SccResult& scc, NodeId u) {
+  const int c = scc.component[u];
+  return scc.members[c].size() > 1 || g.has_self_loop(u);
+}
+
+std::vector<NodeId> nodes_on_cycles(const Digraph& g,
+                                    bool ignore_self_loops) {
+  const SccResult scc = strongly_connected_components(g);
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const bool nontrivial = scc.members[scc.component[u]].size() > 1;
+    if (nontrivial || (!ignore_self_loops && g.has_self_loop(u)))
+      out.push_back(u);
+  }
+  return out;
+}
+
+bool is_acyclic(const Digraph& g, bool ignore_self_loops) {
+  return nodes_on_cycles(g, ignore_self_loops).empty();
+}
+
+Digraph condensation(const Digraph& g, const SccResult& scc) {
+  Digraph c(scc.num_components);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.successors(u)) {
+      const int cu = scc.component[u];
+      const int cv = scc.component[v];
+      if (cu != cv) c.add_edge_unique(cu, cv);
+    }
+  }
+  return c;
+}
+
+}  // namespace tsyn::graph

@@ -1,0 +1,47 @@
+// Strongly connected components (Tarjan) and derived structure queries.
+//
+// SCC analysis is the backbone of all loop-oriented testability measures:
+// a circuit's S-graph is loop-free (apart from self-loops) iff every SCC is
+// trivial, and partial-scan selection iterates SCC decomposition after each
+// scan choice.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tsyn::graph {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// component[u] = id of u's SCC, in reverse topological order of the
+  /// condensation (Tarjan numbering: a component is numbered before any
+  /// component that can reach it).
+  std::vector<int> component;
+  int num_components = 0;
+
+  /// Members of each component.
+  std::vector<std::vector<NodeId>> members;
+};
+
+/// Tarjan's algorithm, iterative (safe for large gate-level graphs).
+SccResult strongly_connected_components(const Digraph& g);
+
+/// True if the SCC containing u is non-trivial (size > 1, or size 1 with a
+/// self-loop).
+bool in_cycle(const Digraph& g, const SccResult& scc, NodeId u);
+
+/// Nodes that lie on at least one directed cycle (self-loops count unless
+/// `ignore_self_loops`).
+std::vector<NodeId> nodes_on_cycles(const Digraph& g,
+                                    bool ignore_self_loops = false);
+
+/// True if the graph has no directed cycle; self-loops are tolerated when
+/// `ignore_self_loops` is set (the partial-scan convention: self-loops do not
+/// impede sequential ATPG and need not be broken).
+bool is_acyclic(const Digraph& g, bool ignore_self_loops = false);
+
+/// Condensation digraph: one node per SCC, edges between distinct components.
+Digraph condensation(const Digraph& g, const SccResult& scc);
+
+}  // namespace tsyn::graph

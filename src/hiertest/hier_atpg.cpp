@@ -1,0 +1,69 @@
+#include "hiertest/hier_atpg.h"
+
+#include <algorithm>
+
+#include "gatelevel/expand.h"
+#include "gatelevel/faults.h"
+#include "hls/datapath_builder.h"
+
+namespace tsyn::hiertest {
+
+HierAtpgResult hierarchical_atpg(const cdfg::Cdfg& g, const hls::Binding& b,
+                                 int width) {
+  const EnvAnalysis env = analyze_test_environments(g);
+  HierAtpgResult result;
+  result.modules = b.num_fus();
+  result.modules_with_env = modules_with_env(g, b, env);
+
+  for (int fu = 0; fu < b.num_fus(); ++fu) {
+    // Kinds this unit implements.
+    std::vector<cdfg::OpKind> kinds;
+    bool has_env = false;
+    for (cdfg::OpId o : b.fu_ops[fu]) {
+      if (std::find(kinds.begin(), kinds.end(), g.op(o).kind) == kinds.end())
+        kinds.push_back(g.op(o).kind);
+      if (env.op_has_env[o]) has_env = true;
+    }
+    std::sort(kinds.begin(), kinds.end());
+    const gl::Netlist unit = gl::expand_standalone_fu(kinds, width);
+    const std::vector<gl::Fault> faults = gl::enumerate_faults(unit);
+    result.faults_total += static_cast<long>(faults.size());
+    if (!has_env) continue;  // no way to apply the module tests in situ
+
+    const gl::AtpgCampaign campaign = gl::run_combinational_atpg(unit, faults);
+    result.effort.decisions += campaign.total.decisions;
+    result.effort.backtracks += campaign.total.backtracks;
+    result.effort.implications += campaign.total.implications;
+    result.faults_detected += static_cast<long>(
+        campaign.fault_coverage * static_cast<double>(faults.size()) + 0.5);
+  }
+  result.module_fault_coverage =
+      result.faults_total == 0
+          ? 1.0
+          : static_cast<double>(result.faults_detected) /
+                static_cast<double>(result.faults_total);
+  return result;
+}
+
+FlatAtpgResult flat_atpg(const cdfg::Cdfg& g, const hls::Schedule& s,
+                         const hls::Binding& b, int width) {
+  hls::RtlDesign design = hls::build_rtl(g, s, b);
+  // Full scan: every register becomes PI/PO so the whole netlist is one
+  // combinational ATPG problem (the conventional flat flow).
+  for (rtl::RegisterInfo& r : design.datapath.regs)
+    r.test_kind = rtl::TestRegKind::kScan;
+  gl::ExpandOptions opts;
+  opts.width_override = width;
+  const gl::ExpandedDesign x = gl::expand_datapath(design.datapath, opts);
+  const std::vector<gl::Fault> faults = gl::enumerate_faults(x.netlist);
+
+  const gl::AtpgCampaign campaign =
+      gl::run_combinational_atpg(x.netlist, faults);
+  FlatAtpgResult result;
+  result.fault_coverage = campaign.fault_coverage;
+  result.effort = campaign.total;
+  result.faults_total = static_cast<long>(faults.size());
+  return result;
+}
+
+}  // namespace tsyn::hiertest

@@ -1,0 +1,45 @@
+// Hierarchical vs flat test generation (§6, [38],[29]).
+//
+// Hierarchical macro test: generate tests per module on its standalone
+// netlist (small PODEM problems), then reuse them through the module's test
+// environment. Flat test: PODEM over the whole expanded datapath. The
+// surveyed claim — hierarchical generation is much faster at comparable
+// coverage of module-internal faults, but only covers modules that have a
+// test environment — is what this harness measures.
+#pragma once
+
+#include "cdfg/ir.h"
+#include "gatelevel/atpg_comb.h"
+#include "hiertest/testenv.h"
+#include "hls/binding.h"
+
+namespace tsyn::hiertest {
+
+struct HierAtpgResult {
+  int modules = 0;
+  int modules_with_env = 0;
+  /// Coverage over module-internal faults (weighted by fault count);
+  /// modules without an environment contribute zero.
+  double module_fault_coverage = 0;
+  gl::AtpgStats effort;
+  long faults_total = 0;
+  long faults_detected = 0;
+};
+
+/// Runs per-module ATPG for every FU of the binding at the given bit width.
+HierAtpgResult hierarchical_atpg(const cdfg::Cdfg& g, const hls::Binding& b,
+                                 int width);
+
+/// Flat baseline: full-scan PODEM campaign over the complete expanded
+/// datapath (built from g + binding at `width`). Returns coverage over all
+/// faults and the total effort.
+struct FlatAtpgResult {
+  double fault_coverage = 0;
+  gl::AtpgStats effort;
+  long faults_total = 0;
+};
+
+FlatAtpgResult flat_atpg(const cdfg::Cdfg& g, const hls::Schedule& s,
+                         const hls::Binding& b, int width);
+
+}  // namespace tsyn::hiertest

@@ -1,0 +1,230 @@
+#include "hiertest/testenv.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/clique_partition.h"
+
+namespace tsyn::hiertest {
+
+namespace {
+
+using cdfg::OpKind;
+
+/// Can the side operand be driven to the identity element of this op?
+/// `side_controllable` = the side operand is justifiable; constants count
+/// when they equal the identity.
+bool side_neutralizable(const cdfg::Cdfg& g, OpKind kind, cdfg::VarId side,
+                        const std::vector<bool>& justifiable) {
+  const cdfg::Variable& v = g.var(side);
+  if (justifiable[side]) return true;
+  if (v.kind != cdfg::VarKind::kConstant) return false;
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kOr:
+    case OpKind::kXor:
+      return v.constant_value == 0;
+    case OpKind::kMul:
+      return v.constant_value == 1;
+    case OpKind::kAnd:
+      return v.constant_value == -1 ||
+             v.constant_value == (1L << v.width) - 1;
+    default:
+      return false;
+  }
+}
+
+bool transparent_kind(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kXor:
+    case OpKind::kNot:
+    case OpKind::kNeg:
+    case OpKind::kCopy:
+    case OpKind::kMux:
+      return true;
+    default:
+      return false;  // comparisons and shifts lose information
+  }
+}
+
+/// Justification transparency: output of op takes arbitrary values when
+/// one operand is justifiable and the sides are neutralizable. Multiply
+/// only composes with side == 1 (justifiable side is NOT enough to sweep
+/// all values because of zero divisors); we accept justifiable sides for
+/// add/sub/xor and constant identities elsewhere.
+bool op_justifies_output(const cdfg::Cdfg& g, const cdfg::Operation& op,
+                         const std::vector<bool>& justifiable) {
+  switch (op.kind) {
+    case OpKind::kNot:
+    case OpKind::kNeg:
+    case OpKind::kCopy:
+      return justifiable[op.inputs[0]];
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kXor:
+      // One controllable operand suffices: the other side's value is
+      // deterministic, so the offset is compensated symbolically.
+      return justifiable[op.inputs[0]] || justifiable[op.inputs[1]];
+    case OpKind::kMul:
+    case OpKind::kAnd:
+    case OpKind::kOr: {
+      // Identity side required.
+      return (justifiable[op.inputs[0]] &&
+              side_neutralizable(g, op.kind, op.inputs[1], justifiable)) ||
+             (justifiable[op.inputs[1]] &&
+              side_neutralizable(g, op.kind, op.inputs[0], justifiable));
+    }
+    case OpKind::kMux:
+      return justifiable[op.inputs[0]] &&
+             (justifiable[op.inputs[1]] || justifiable[op.inputs[2]]);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int EnvAnalysis::ops_with_env() const {
+  return static_cast<int>(
+      std::count(op_has_env.begin(), op_has_env.end(), true));
+}
+
+EnvAnalysis analyze_test_environments(const cdfg::Cdfg& g) {
+  EnvAnalysis env;
+  env.justifiable.assign(g.num_vars(), false);
+  env.propagatable.assign(g.num_vars(), false);
+  env.op_has_env.assign(g.num_ops(), false);
+
+  for (const cdfg::Variable& v : g.vars()) {
+    if (v.kind == cdfg::VarKind::kPrimaryInput) env.justifiable[v.id] = true;
+    if (v.is_output) env.propagatable[v.id] = true;
+  }
+
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < g.num_vars() + 4) {
+    changed = false;
+    // Justification: forward.
+    for (const cdfg::Operation& op : g.ops()) {
+      if (env.justifiable[op.output]) continue;
+      if (op_justifies_output(g, op, env.justifiable)) {
+        env.justifiable[op.output] = true;
+        changed = true;
+      }
+    }
+    for (cdfg::VarId s : g.states()) {
+      // The state holds last iteration's update value: justifiable across
+      // an iteration boundary if the update is.
+      if (!env.justifiable[s] &&
+          env.justifiable[g.var(s).update_var]) {
+        env.justifiable[s] = true;
+        changed = true;
+      }
+    }
+    // Propagation: backward.
+    for (const cdfg::Operation& op : g.ops()) {
+      if (!env.propagatable[op.output] || !transparent_kind(op.kind))
+        continue;
+      for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+        if (env.propagatable[op.inputs[i]]) continue;
+        bool sides_ok = true;
+        if (op.kind == OpKind::kMux) {
+          // Propagate a data leg by steering the (justifiable) select.
+          if (i == 0) continue;
+          sides_ok = env.justifiable[op.inputs[0]];
+        } else {
+          for (std::size_t jj = 0; jj < op.inputs.size(); ++jj)
+            if (jj != i &&
+                !side_neutralizable(g, op.kind, op.inputs[jj],
+                                    env.justifiable))
+              sides_ok = false;
+        }
+        if (sides_ok) {
+          env.propagatable[op.inputs[i]] = true;
+          changed = true;
+        }
+      }
+    }
+    for (cdfg::VarId s : g.states()) {
+      if (env.propagatable[s] &&
+          !env.propagatable[g.var(s).update_var]) {
+        env.propagatable[g.var(s).update_var] = true;
+        changed = true;
+      }
+    }
+  }
+
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const cdfg::Operation& op = g.op(o);
+    bool ok = env.propagatable[op.output];
+    for (cdfg::VarId in : op.inputs) {
+      const cdfg::Variable& v = g.var(in);
+      if (v.kind == cdfg::VarKind::kConstant) continue;  // fixed operand
+      if (!env.justifiable[in]) ok = false;
+    }
+    env.op_has_env[o] = ok;
+  }
+  return env;
+}
+
+int modules_with_env(const cdfg::Cdfg& g, const hls::Binding& b,
+                     const EnvAnalysis& env) {
+  std::set<int> covered;
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o)
+    if (b.fu_of_op[o] >= 0 && env.op_has_env[o])
+      covered.insert(b.fu_of_op[o]);
+  (void)g;
+  return static_cast<int>(covered.size());
+}
+
+namespace {
+
+struct EnvCtx {
+  const std::vector<bool>* op_has_env;
+};
+
+double env_weight(graph::NodeId u, graph::NodeId v, const void* ctx) {
+  const auto* c = static_cast<const EnvCtx*>(ctx);
+  const bool eu = (*c->op_has_env)[u];
+  const bool ev = (*c->op_has_env)[v];
+  if (eu && ev) return -3.0;  // spread environment carriers apart
+  if (eu != ev) return 3.0;   // attach env-less ops to a carrier
+  return 0.0;
+}
+
+}  // namespace
+
+hls::Binding env_aware_binding(const cdfg::Cdfg& g, const hls::Schedule& s) {
+  const EnvAnalysis env = analyze_test_environments(g);
+  graph::UndirectedGraph compat(g.num_ops());
+  for (cdfg::OpId i = 0; i < g.num_ops(); ++i) {
+    if (g.op(i).kind == cdfg::OpKind::kCopy) continue;
+    for (cdfg::OpId j = i + 1; j < g.num_ops(); ++j) {
+      if (g.op(j).kind == cdfg::OpKind::kCopy) continue;
+      if (hls::ops_compatible(g, s, i, j)) compat.add_edge(i, j);
+    }
+  }
+  EnvCtx ctx{&env.op_has_env};
+  const graph::CliquePartition part =
+      graph::clique_partition(compat, env_weight, &ctx);
+
+  std::vector<int> fu_of_op(g.num_ops(), -1);
+  int next = 0;
+  for (const auto& clique : part.cliques) {
+    bool real = false;
+    for (graph::NodeId o : clique)
+      if (g.op(o).kind != cdfg::OpKind::kCopy) real = true;
+    if (!real) continue;
+    for (graph::NodeId o : clique) fu_of_op[o] = next;
+    ++next;
+  }
+  return hls::make_binding_with_fu_map(g, s, fu_of_op);
+}
+
+}  // namespace tsyn::hiertest

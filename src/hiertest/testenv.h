@@ -1,0 +1,42 @@
+// Test environments for hierarchical test (§6, [7],[38]).
+//
+// A module's precomputed (gate-level) tests can be reused at the top level
+// only if a *test environment* exists: symbolic justification paths that
+// deliver arbitrary values from primary inputs to the module's operand
+// ports, and a propagation path that carries its response to a primary
+// output. Justification composes through value-transparent operations
+// (add with 0, multiply by 1, mux steering, ...). Genesis-style synthesis
+// [7] biases the assignment so every module executes at least one operation
+// that has a test environment.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+
+namespace tsyn::hiertest {
+
+struct EnvAnalysis {
+  /// Arbitrary values can be justified onto this variable from the PIs.
+  std::vector<bool> justifiable;
+  /// This variable's value can be propagated to a primary output.
+  std::vector<bool> propagatable;
+  /// The operation's inputs are justifiable and its output propagatable.
+  std::vector<bool> op_has_env;
+
+  int ops_with_env() const;
+};
+
+EnvAnalysis analyze_test_environments(const cdfg::Cdfg& g);
+
+/// Modules of the binding that own at least one operation with a test
+/// environment.
+int modules_with_env(const cdfg::Cdfg& g, const hls::Binding& b,
+                     const EnvAnalysis& env);
+
+/// FU binding that spreads environment-carrying operations across modules
+/// (the assignment assistance of [7]); registers conventional.
+hls::Binding env_aware_binding(const cdfg::Cdfg& g, const hls::Schedule& s);
+
+}  // namespace tsyn::hiertest

@@ -1,0 +1,154 @@
+#include "hls/binding.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/clique_partition.h"
+#include "graph/interval.h"
+
+namespace tsyn::hls {
+
+bool ops_compatible(const cdfg::Cdfg& g, const Schedule& s, cdfg::OpId a,
+                    cdfg::OpId b) {
+  const cdfg::Operation& oa = g.op(a);
+  const cdfg::Operation& ob = g.op(b);
+  if (cdfg::fu_type_of(oa.kind) != cdfg::fu_type_of(ob.kind)) return false;
+  if (s.step_of_op[a] != s.step_of_op[b]) return true;
+  // Same step: only mutually exclusive guarded ops can share.
+  return oa.guard >= 0 && oa.guard == ob.guard &&
+         oa.guard_polarity != ob.guard_polarity;
+}
+
+namespace {
+
+void bind_fus_conventional(const cdfg::Cdfg& g, const Schedule& s,
+                           Binding& b) {
+  b.fu_of_op.assign(g.num_ops(), -1);
+  // Partition ops by FU type, clique-partition each class.
+  std::map<cdfg::FuType, std::vector<cdfg::OpId>> classes;
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    if (g.op(o).kind == cdfg::OpKind::kCopy) continue;  // wires
+    classes[cdfg::fu_type_of(g.op(o).kind)].push_back(o);
+  }
+  for (const auto& [type, ops] : classes) {
+    graph::UndirectedGraph compat(static_cast<int>(ops.size()));
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      for (std::size_t j = i + 1; j < ops.size(); ++j)
+        if (ops_compatible(g, s, ops[i], ops[j]))
+          compat.add_edge(static_cast<int>(i), static_cast<int>(j));
+    const graph::CliquePartition part = graph::clique_partition(compat);
+    for (const auto& clique : part.cliques) {
+      const int fu = b.num_fus();
+      b.fu_type.push_back(type);
+      b.fu_ops.emplace_back();
+      for (graph::NodeId local : clique) {
+        b.fu_of_op[ops[local]] = fu;
+        b.fu_ops.back().push_back(ops[local]);
+      }
+      std::sort(b.fu_ops.back().begin(), b.fu_ops.back().end());
+    }
+  }
+}
+
+void bind_registers_left_edge(Binding& b) {
+  std::vector<graph::Interval> intervals;
+  intervals.reserve(b.lifetimes.lifetimes.size());
+  for (const cdfg::StorageLifetime& lt : b.lifetimes.lifetimes)
+    intervals.push_back(lt.interval);
+  b.reg_of_lifetime = graph::left_edge_assign(
+      intervals, b.lifetimes.num_slots, &b.num_regs);
+}
+
+}  // namespace
+
+Binding make_binding(const cdfg::Cdfg& g, const Schedule& s) {
+  Binding b;
+  b.lifetimes = cdfg::analyze_lifetimes(g, s.step_of_op, s.num_steps);
+  bind_fus_conventional(g, s, b);
+  bind_registers_left_edge(b);
+  validate_binding(g, s, b);
+  return b;
+}
+
+Binding make_binding_with_fu_map(const cdfg::Cdfg& g, const Schedule& s,
+                                 const std::vector<int>& fu_of_op) {
+  Binding b;
+  b.lifetimes = cdfg::analyze_lifetimes(g, s.step_of_op, s.num_steps);
+  b.fu_of_op = fu_of_op;
+  const int num_fus =
+      fu_of_op.empty()
+          ? 0
+          : 1 + *std::max_element(fu_of_op.begin(), fu_of_op.end());
+  b.fu_type.assign(num_fus, cdfg::FuType::kAlu);
+  b.fu_ops.assign(num_fus, {});
+  std::vector<bool> type_set(num_fus, false);
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const int fu = fu_of_op[o];
+    if (fu < 0) {
+      if (g.op(o).kind != cdfg::OpKind::kCopy)
+        throw std::runtime_error("non-copy op without an FU");
+      continue;
+    }
+    if (!type_set[fu]) {
+      b.fu_type[fu] = cdfg::fu_type_of(g.op(o).kind);
+      type_set[fu] = true;
+    }
+    b.fu_ops[fu].push_back(o);
+  }
+  bind_registers_left_edge(b);
+  validate_binding(g, s, b);
+  return b;
+}
+
+void rebind_registers(const cdfg::Cdfg& g, Binding& b,
+                      const std::vector<int>& reg_of_lifetime) {
+  if (reg_of_lifetime.size() != b.lifetimes.lifetimes.size())
+    throw std::runtime_error("register map size mismatch");
+  b.reg_of_lifetime = reg_of_lifetime;
+  b.num_regs = reg_of_lifetime.empty()
+                   ? 0
+                   : 1 + *std::max_element(reg_of_lifetime.begin(),
+                                           reg_of_lifetime.end());
+  // Conflict check.
+  const auto& lts = b.lifetimes.lifetimes;
+  for (std::size_t i = 0; i < lts.size(); ++i)
+    for (std::size_t j = i + 1; j < lts.size(); ++j)
+      if (reg_of_lifetime[i] == reg_of_lifetime[j] &&
+          b.lifetimes.overlap(static_cast<int>(i), static_cast<int>(j)))
+        throw std::runtime_error(
+            "overlapping lifetimes mapped to one register");
+  (void)g;
+}
+
+void validate_binding(const cdfg::Cdfg& g, const Schedule& s,
+                      const Binding& b) {
+  if (static_cast<int>(b.fu_of_op.size()) != g.num_ops())
+    throw std::runtime_error("fu_of_op size mismatch");
+  // FU sharing legality.
+  for (int fu = 0; fu < b.num_fus(); ++fu) {
+    const auto& ops = b.fu_ops[fu];
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (cdfg::fu_type_of(g.op(ops[i]).kind) != b.fu_type[fu])
+        throw std::runtime_error("op bound to FU of wrong type");
+      for (std::size_t j = i + 1; j < ops.size(); ++j)
+        if (!ops_compatible(g, s, ops[i], ops[j]))
+          throw std::runtime_error("incompatible ops share an FU");
+    }
+  }
+  // Register sharing legality.
+  const auto& lts = b.lifetimes.lifetimes;
+  if (b.reg_of_lifetime.size() != lts.size())
+    throw std::runtime_error("register map size mismatch");
+  for (std::size_t i = 0; i < lts.size(); ++i) {
+    if (b.reg_of_lifetime[i] < 0 || b.reg_of_lifetime[i] >= b.num_regs)
+      throw std::runtime_error("register index out of range");
+    for (std::size_t j = i + 1; j < lts.size(); ++j)
+      if (b.reg_of_lifetime[i] == b.reg_of_lifetime[j] &&
+          b.lifetimes.overlap(static_cast<int>(i), static_cast<int>(j)))
+        throw std::runtime_error(
+            "overlapping lifetimes mapped to one register");
+  }
+}
+
+}  // namespace tsyn::hls

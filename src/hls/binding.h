@@ -1,0 +1,61 @@
+// Resource binding (assignment): operations to FU instances, storage
+// lifetimes to registers (§1.1).
+//
+// The conventional binding here — clique partitioning for FUs, left-edge for
+// registers — is the baseline every testability-driven assignment in the
+// survey is measured against. Testability techniques produce alternative
+// register maps (or FU maps) and install them with rebind_registers /
+// make_binding_with_fu_map.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/lifetime.h"
+#include "hls/schedule.h"
+
+namespace tsyn::hls {
+
+struct Binding {
+  /// FU instance per op; -1 for copy ops (wires, no FU).
+  std::vector<int> fu_of_op;
+  /// Type of each FU instance.
+  std::vector<cdfg::FuType> fu_type;
+  /// Ops executed by each FU instance.
+  std::vector<std::vector<cdfg::OpId>> fu_ops;
+
+  cdfg::LifetimeAnalysis lifetimes;
+  /// Register index per storage lifetime.
+  std::vector<int> reg_of_lifetime;
+  int num_regs = 0;
+
+  int num_fus() const { return static_cast<int>(fu_type.size()); }
+  /// Register holding variable v (via its lifetime); -1 for constants.
+  int reg_of_var(cdfg::VarId v) const {
+    const int lt = lifetimes.lifetime_of_var[v];
+    return lt < 0 ? -1 : reg_of_lifetime[lt];
+  }
+};
+
+/// True if two ops may share an FU instance: same FU type and either
+/// different steps or mutually exclusive guards.
+bool ops_compatible(const cdfg::Cdfg& g, const Schedule& s, cdfg::OpId a,
+                    cdfg::OpId b);
+
+/// Conventional binding: clique-partitioned FUs + left-edge registers.
+Binding make_binding(const cdfg::Cdfg& g, const Schedule& s);
+
+/// Binding with a caller-supplied FU map (fu_of_op; -1 entries allowed only
+/// for copy ops). Registers are still left-edge. Validates compatibility.
+Binding make_binding_with_fu_map(const cdfg::Cdfg& g, const Schedule& s,
+                                 const std::vector<int>& fu_of_op);
+
+/// Replaces the register map; `reg_of_lifetime` must be conflict-free
+/// (validated: no two overlapping lifetimes share a register).
+void rebind_registers(const cdfg::Cdfg& g, Binding& b,
+                      const std::vector<int>& reg_of_lifetime);
+
+/// Validates the whole binding; throws std::runtime_error on violation.
+void validate_binding(const cdfg::Cdfg& g, const Schedule& s,
+                      const Binding& b);
+
+}  // namespace tsyn::hls

@@ -1,0 +1,227 @@
+#include "hls/datapath_builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tsyn::hls {
+
+namespace {
+
+using rtl::Source;
+
+int find_or_add_source(std::vector<Source>& list, const Source& s) {
+  const auto it = std::find(list.begin(), list.end(), s);
+  if (it != list.end()) return static_cast<int>(it - list.begin());
+  list.push_back(s);
+  return static_cast<int>(list.size()) - 1;
+}
+
+/// One register write event: at the end of `step`, load from `driver`.
+struct WriteEvent {
+  int step = 0;
+  int driver = 0;  ///< index into the register's driver list
+};
+
+/// Distinct op kinds executed by a set of ops, sorted by enum value.
+std::vector<cdfg::OpKind> fu_op_kinds(const cdfg::Cdfg& g,
+                                      const std::vector<cdfg::OpId>& ops) {
+  std::vector<cdfg::OpKind> kinds;
+  for (cdfg::OpId o : ops)
+    if (std::find(kinds.begin(), kinds.end(), g.op(o).kind) == kinds.end())
+      kinds.push_back(g.op(o).kind);
+  std::sort(kinds.begin(), kinds.end());
+  return kinds;
+}
+
+}  // namespace
+
+RtlDesign build_rtl(const cdfg::Cdfg& g, const Schedule& s,
+                    const Binding& b) {
+  RtlDesign design;
+  rtl::Datapath& dp = design.datapath;
+  dp.name = g.name();
+
+  // Primary inputs and constants, indexed by variable id.
+  std::vector<int> pi_index(g.num_vars(), -1);
+  std::vector<int> const_index(g.num_vars(), -1);
+  for (const cdfg::Variable& v : g.vars()) {
+    if (v.kind == cdfg::VarKind::kPrimaryInput) {
+      pi_index[v.id] = static_cast<int>(dp.primary_inputs.size());
+      dp.primary_inputs.push_back({v.name, v.width});
+    } else if (v.kind == cdfg::VarKind::kConstant) {
+      const_index[v.id] = static_cast<int>(dp.constants.size());
+      dp.constants.push_back({v.name, v.constant_value, v.width});
+    }
+  }
+
+  // Registers from the binding.
+  dp.regs.resize(b.num_regs);
+  for (int r = 0; r < b.num_regs; ++r) {
+    dp.regs[r].name = "R" + std::to_string(r);
+    dp.regs[r].width = 0;
+  }
+  for (std::size_t lt = 0; lt < b.lifetimes.lifetimes.size(); ++lt) {
+    const cdfg::StorageLifetime& life = b.lifetimes.lifetimes[lt];
+    rtl::RegisterInfo& reg = dp.regs[b.reg_of_lifetime[lt]];
+    reg.is_input |= life.is_input;
+    reg.is_output |= life.is_output;
+    reg.holds_state |= life.is_state;
+    for (cdfg::VarId v : life.vars) {
+      reg.vars.push_back(v);
+      reg.width = std::max(reg.width, g.var(v).width);
+    }
+  }
+  for (rtl::RegisterInfo& reg : dp.regs)
+    if (reg.width == 0) reg.width = 16;
+
+  // Where a variable's value is read from.
+  auto source_of_var = [&](cdfg::VarId v) -> Source {
+    if (const_index[v] >= 0)
+      return {Source::Kind::kConstant, const_index[v]};
+    const int reg = b.reg_of_var(v);
+    if (reg < 0)
+      throw std::runtime_error("variable " + g.var(v).name +
+                               " has no storage");
+    return {Source::Kind::kRegister, reg};
+  };
+
+  // FUs and their operand-port drivers.
+  dp.fus.resize(b.num_fus());
+  for (int f = 0; f < b.num_fus(); ++f) {
+    rtl::FuInfo& fu = dp.fus[f];
+    fu.type = b.fu_type[f];
+    fu.name = cdfg::to_string(fu.type) + std::to_string(f);
+    fu.ops = b.fu_ops[f];
+    int ports = 1;
+    int width = 0;
+    for (cdfg::OpId o : fu.ops) {
+      ports = std::max(ports, cdfg::arity_of(g.op(o).kind));
+      width = std::max(width, g.var(g.op(o).output).width);
+    }
+    fu.width = width == 0 ? 16 : width;
+    fu.port_drivers.resize(ports);
+    fu.op_kinds = fu_op_kinds(g, fu.ops);
+  }
+  // (op, port) -> driver index on that port, for the controller.
+  std::vector<std::vector<int>> op_port_driver(g.num_ops());
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const cdfg::Operation& op = g.op(o);
+    if (b.fu_of_op[o] < 0) continue;  // copy: wires, handled at registers
+    rtl::FuInfo& fu = dp.fus[b.fu_of_op[o]];
+    op_port_driver[o].resize(op.inputs.size());
+    for (std::size_t p = 0; p < op.inputs.size(); ++p)
+      op_port_driver[o][p] =
+          find_or_add_source(fu.port_drivers[p], source_of_var(op.inputs[p]));
+  }
+
+  // Register drivers and write events.
+  std::vector<std::vector<WriteEvent>> writes(b.num_regs);
+  auto add_write = [&](int reg, const Source& src, int step) {
+    const int driver = find_or_add_source(dp.regs[reg].drivers, src);
+    for (const WriteEvent& w : writes[reg])
+      if (w.step == step && w.driver != driver)
+        throw std::runtime_error("write conflict on register " +
+                                 dp.regs[reg].name + " at step " +
+                                 std::to_string(step));
+    writes[reg].push_back({step, driver});
+  };
+
+  const int last_step = s.num_steps - 1;
+  for (std::size_t lt_idx = 0; lt_idx < b.lifetimes.lifetimes.size();
+       ++lt_idx) {
+    const cdfg::StorageLifetime& life = b.lifetimes.lifetimes[lt_idx];
+    const int reg = b.reg_of_lifetime[lt_idx];
+    for (cdfg::VarId v : life.vars) {
+      const cdfg::Variable& var = g.var(v);
+      if (var.kind == cdfg::VarKind::kPrimaryInput) {
+        // Reloaded from the pad at the iteration boundary.
+        add_write(reg, {Source::Kind::kPrimaryInput, pi_index[v]},
+                  last_step);
+      } else if (var.kind == cdfg::VarKind::kTemp) {
+        const cdfg::Operation& def = g.op(var.def_op);
+        const int step = s.step_of_op[var.def_op];
+        if (def.kind == cdfg::OpKind::kCopy) {
+          add_write(reg, source_of_var(def.inputs[0]), step);
+        } else {
+          add_write(reg, {Source::Kind::kFu, b.fu_of_op[var.def_op]}, step);
+        }
+      }
+      // kState without transfer: covered by its merged update temp.
+    }
+    if (life.transfer_from >= 0)
+      add_write(reg, source_of_var(life.transfer_from), last_step);
+  }
+
+  // Primary outputs.
+  for (cdfg::VarId v : g.outputs()) {
+    const int reg = b.reg_of_var(v);
+    if (reg < 0) continue;  // constant marked as output: degenerate
+    dp.primary_outputs.push_back(
+        {g.var(v).name + "_out", {Source::Kind::kRegister, reg}});
+  }
+  dp.validate();
+
+  // ---- controller ----
+  rtl::Controller& ctrl = design.controller;
+  // Signal layout: per register [select (if >1 driver), load enable], then
+  // per FU port with >1 driver a select.
+  std::vector<int> reg_sel_signal(b.num_regs, -1);
+  std::vector<int> reg_ld_signal(b.num_regs, -1);
+  for (int r = 0; r < b.num_regs; ++r) {
+    if (dp.regs[r].drivers.size() > 1)
+      reg_sel_signal[r] = ctrl.add_signal(
+          "sel_" + dp.regs[r].name,
+          static_cast<int>(dp.regs[r].drivers.size()));
+    reg_ld_signal[r] = ctrl.add_signal("ld_" + dp.regs[r].name, 2);
+  }
+  std::vector<std::vector<int>> fu_port_signal(b.num_fus());
+  std::vector<int> fu_op_signal(b.num_fus(), -1);
+  std::vector<std::vector<cdfg::OpKind>> fu_kinds(b.num_fus());
+  for (int f = 0; f < b.num_fus(); ++f) {
+    fu_port_signal[f].assign(dp.fus[f].port_drivers.size(), -1);
+    for (std::size_t p = 0; p < dp.fus[f].port_drivers.size(); ++p)
+      if (dp.fus[f].port_drivers[p].size() > 1)
+        fu_port_signal[f][p] = ctrl.add_signal(
+            "sel_" + dp.fus[f].name + "_p" + std::to_string(p),
+            static_cast<int>(dp.fus[f].port_drivers[p].size()));
+    // Opcode select when the FU executes more than one operation kind.
+    fu_kinds[f] = fu_op_kinds(g, b.fu_ops[f]);
+    if (fu_kinds[f].size() > 1)
+      fu_op_signal[f] = ctrl.add_signal(
+          "op_" + dp.fus[f].name, static_cast<int>(fu_kinds[f].size()));
+  }
+
+  for (int step = 0; step < s.num_steps; ++step) {
+    std::vector<int> vec(ctrl.num_signals(), -1);
+    for (int r = 0; r < b.num_regs; ++r) {
+      int load = 0;
+      for (const WriteEvent& w : writes[r]) {
+        if (w.step != step) continue;
+        load = 1;
+        if (reg_sel_signal[r] >= 0) vec[reg_sel_signal[r]] = w.driver;
+      }
+      vec[reg_ld_signal[r]] = load;
+    }
+    for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+      if (s.step_of_op[o] != step || b.fu_of_op[o] < 0) continue;
+      // Guarded mutually exclusive ops leave the select a don't-care
+      // (resolved by the guard at run time); unguarded ops pin it.
+      if (g.op(o).guard >= 0) continue;
+      for (std::size_t p = 0; p < op_port_driver[o].size(); ++p) {
+        const int sig = fu_port_signal[b.fu_of_op[o]][p];
+        if (sig >= 0) vec[sig] = op_port_driver[o][p];
+      }
+      const int op_sig = fu_op_signal[b.fu_of_op[o]];
+      if (op_sig >= 0) {
+        const auto& kinds = fu_kinds[b.fu_of_op[o]];
+        const auto it =
+            std::find(kinds.begin(), kinds.end(), g.op(o).kind);
+        vec[op_sig] = static_cast<int>(it - kinds.begin());
+      }
+    }
+    ctrl.add_vector(std::move(vec));
+  }
+  return design;
+}
+
+}  // namespace tsyn::hls

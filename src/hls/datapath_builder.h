@@ -1,0 +1,27 @@
+// Datapath and controller construction from a scheduled, bound CDFG.
+//
+// Produces the structural RTL the testability analyses operate on: registers
+// with multiplexed drivers, FUs with multiplexed operand ports, primary I/O,
+// and the control table (mux selects + load enables per control step) that
+// the controller-DFT technique of [14] analyzes.
+#pragma once
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+#include "hls/schedule.h"
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+
+namespace tsyn::hls {
+
+struct RtlDesign {
+  rtl::Datapath datapath;
+  rtl::Controller controller;
+};
+
+/// Builds the datapath netlist and its control table.
+/// Throws std::runtime_error if the binding implies a write conflict
+/// (two loads of one register at the same clock edge).
+RtlDesign build_rtl(const cdfg::Cdfg& g, const Schedule& s, const Binding& b);
+
+}  // namespace tsyn::hls

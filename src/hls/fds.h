@@ -1,0 +1,16 @@
+// Force-directed scheduling (Paulin–Knight), time-constrained.
+//
+// Balances the expected number of concurrently active operations of each FU
+// type across control steps, minimizing the allocation needed to meet a
+// fixed latency. This is the conventional quality-oriented scheduler the
+// testability-driven schedulers are compared against.
+#pragma once
+
+#include "hls/schedule.h"
+
+namespace tsyn::hls {
+
+/// Schedules into exactly `num_steps` control steps (>= critical path).
+Schedule force_directed_schedule(const cdfg::Cdfg& g, int num_steps);
+
+}  // namespace tsyn::hls

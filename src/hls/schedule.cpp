@@ -1,0 +1,153 @@
+#include "hls/schedule.h"
+
+#include <algorithm>
+#include <climits>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/paths.h"
+
+namespace tsyn::hls {
+
+namespace {
+
+bool resource_limited(cdfg::FuType t) {
+  return t != cdfg::FuType::kMux && t != cdfg::FuType::kCopyUnit;
+}
+
+}  // namespace
+
+int Resources::get(cdfg::FuType t) const {
+  if (!resource_limited(t)) return INT_MAX;
+  const auto it = counts_.find(t);
+  return it == counts_.end() ? INT_MAX : it->second;
+}
+
+bool Resources::constrained(cdfg::FuType t) const {
+  return resource_limited(t) && counts_.count(t) > 0;
+}
+
+Schedule asap_schedule(const cdfg::Cdfg& g) {
+  const graph::Digraph dep = g.op_dependence_graph(false);
+  const auto order = graph::topological_order(dep);
+  if (!order) throw std::runtime_error("cyclic op dependences");
+  Schedule s;
+  s.step_of_op.assign(g.num_ops(), 0);
+  for (graph::NodeId o : *order)
+    for (graph::NodeId succ : dep.successors(o))
+      s.step_of_op[succ] =
+          std::max(s.step_of_op[succ], s.step_of_op[o] + 1);
+  for (int step : s.step_of_op) s.num_steps = std::max(s.num_steps, step + 1);
+  return s;
+}
+
+int critical_path_length(const cdfg::Cdfg& g) {
+  return asap_schedule(g).num_steps;
+}
+
+Schedule alap_schedule(const cdfg::Cdfg& g, int num_steps) {
+  if (num_steps < critical_path_length(g))
+    throw std::runtime_error("deadline below critical path length");
+  const graph::Digraph dep = g.op_dependence_graph(false);
+  const auto order = graph::topological_order(dep);
+  Schedule s;
+  s.num_steps = num_steps;
+  s.step_of_op.assign(g.num_ops(), num_steps - 1);
+  for (auto it = order->rbegin(); it != order->rend(); ++it)
+    for (graph::NodeId succ : dep.successors(*it))
+      s.step_of_op[*it] =
+          std::min(s.step_of_op[*it], s.step_of_op[succ] - 1);
+  return s;
+}
+
+std::vector<int> mobility(const cdfg::Cdfg& g, int num_steps) {
+  const Schedule asap = asap_schedule(g);
+  const Schedule alap = alap_schedule(g, num_steps);
+  std::vector<int> m(g.num_ops());
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o)
+    m[o] = alap.step_of_op[o] - asap.step_of_op[o];
+  return m;
+}
+
+Schedule list_schedule(const cdfg::Cdfg& g, const Resources& res) {
+  const graph::Digraph dep = g.op_dependence_graph(false);
+  const int cp = critical_path_length(g);
+  const Schedule alap = alap_schedule(g, cp);
+
+  Schedule s;
+  s.step_of_op.assign(g.num_ops(), -1);
+  std::vector<int> unscheduled_preds(g.num_ops(), 0);
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o)
+    unscheduled_preds[o] = dep.in_degree(o);
+
+  int scheduled = 0;
+  int step = 0;
+  while (scheduled < g.num_ops()) {
+    // Ready ops whose predecessors all finished before `step`.
+    std::vector<cdfg::OpId> ready;
+    for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+      if (s.step_of_op[o] != -1 || unscheduled_preds[o] > 0) continue;
+      bool ok = true;
+      for (graph::NodeId p : dep.predecessors(o))
+        if (s.step_of_op[p] >= step) ok = false;
+      if (ok) ready.push_back(o);
+    }
+    // Least ALAP slack first (most urgent).
+    std::sort(ready.begin(), ready.end(), [&](cdfg::OpId a, cdfg::OpId b) {
+      if (alap.step_of_op[a] != alap.step_of_op[b])
+        return alap.step_of_op[a] < alap.step_of_op[b];
+      return a < b;
+    });
+
+    std::map<cdfg::FuType, int> used;
+    for (cdfg::OpId o : ready) {
+      const cdfg::FuType t = cdfg::fu_type_of(g.op(o).kind);
+      if (used[t] >= res.get(t)) continue;
+      ++used[t];
+      s.step_of_op[o] = step;
+      ++scheduled;
+      for (graph::NodeId succ : dep.successors(o)) --unscheduled_preds[succ];
+    }
+    ++step;
+    if (step > g.num_ops() + cp + 1)
+      throw std::runtime_error("list scheduling failed to converge");
+  }
+  s.num_steps = *std::max_element(s.step_of_op.begin(), s.step_of_op.end()) + 1;
+  return s;
+}
+
+void validate_schedule(const cdfg::Cdfg& g, const Schedule& s,
+                       const Resources& res) {
+  if (!s.valid_for(g)) throw std::runtime_error("schedule size mismatch");
+  const graph::Digraph dep = g.op_dependence_graph(false);
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    if (s.step_of_op[o] < 0 || s.step_of_op[o] >= s.num_steps)
+      throw std::runtime_error("op " + g.op(o).name + " out of range");
+    for (graph::NodeId p : dep.predecessors(o))
+      if (s.step_of_op[p] >= s.step_of_op[o])
+        throw std::runtime_error("dependence violated: " + g.op(p).name +
+                                 " -> " + g.op(o).name);
+  }
+  for (const auto& [type, used] : peak_resource_usage(g, s))
+    if (used > res.get(type))
+      throw std::runtime_error("resource overuse of " +
+                               cdfg::to_string(type));
+}
+
+std::map<cdfg::FuType, int> peak_resource_usage(const cdfg::Cdfg& g,
+                                                const Schedule& s) {
+  std::map<cdfg::FuType, std::vector<int>> per_step;
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+    const cdfg::FuType t = cdfg::fu_type_of(g.op(o).kind);
+    if (!resource_limited(t)) continue;
+    auto& v = per_step[t];
+    v.resize(s.num_steps, 0);
+    ++v[s.step_of_op[o]];
+  }
+  std::map<cdfg::FuType, int> peak;
+  for (const auto& [type, v] : per_step)
+    peak[type] = *std::max_element(v.begin(), v.end());
+  return peak;
+}
+
+}  // namespace tsyn::hls

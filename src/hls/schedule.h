@@ -1,0 +1,73 @@
+// Operation scheduling (§1.1).
+//
+// Scheduling assigns each CDFG operation to a control step subject to data
+// dependencies and, for resource-constrained list scheduling, to an
+// allocation of functional units. All operations take one control step
+// (the convention of the surveyed benchmarks); copy operations consume no
+// FU and are never resource-limited.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cdfg/ir.h"
+
+namespace tsyn::hls {
+
+/// A schedule over 0-based control steps.
+struct Schedule {
+  int num_steps = 0;
+  std::vector<int> step_of_op;  ///< per OpId
+
+  bool valid_for(const cdfg::Cdfg& g) const {
+    return static_cast<int>(step_of_op.size()) == g.num_ops();
+  }
+};
+
+/// Allocation: number of functional units of each type. Types absent from
+/// the map are unconstrained; kMux and kCopyUnit are always unconstrained
+/// (interconnect, not datapath resources).
+class Resources {
+ public:
+  Resources() = default;
+  Resources(std::initializer_list<std::pair<const cdfg::FuType, int>> init)
+      : counts_(init) {}
+
+  void set(cdfg::FuType t, int count) { counts_[t] = count; }
+  /// Count for a type; INT_MAX when unconstrained.
+  int get(cdfg::FuType t) const;
+  bool constrained(cdfg::FuType t) const;
+  const std::map<cdfg::FuType, int>& counts() const { return counts_; }
+
+ private:
+  std::map<cdfg::FuType, int> counts_;
+};
+
+/// ASAP schedule: each op at its earliest dependence-feasible step.
+Schedule asap_schedule(const cdfg::Cdfg& g);
+
+/// ALAP schedule against a deadline of `num_steps` (must be >= critical
+/// path length; throws otherwise).
+Schedule alap_schedule(const cdfg::Cdfg& g, int num_steps);
+
+/// Critical path length in control steps (the minimum schedule length).
+int critical_path_length(const cdfg::Cdfg& g);
+
+/// Per-op mobility (ALAP - ASAP) under the given deadline.
+std::vector<int> mobility(const cdfg::Cdfg& g, int num_steps);
+
+/// Resource-constrained list scheduling with least-ALAP-slack priority.
+/// The schedule length grows beyond the critical path as needed.
+Schedule list_schedule(const cdfg::Cdfg& g, const Resources& res);
+
+/// Checks dependence and resource feasibility; throws std::runtime_error
+/// with a diagnostic on violation.
+void validate_schedule(const cdfg::Cdfg& g, const Schedule& s,
+                       const Resources& res);
+
+/// FUs of each constrained type actually needed by a schedule (max ops of
+/// that type in any one step).
+std::map<cdfg::FuType, int> peak_resource_usage(const cdfg::Cdfg& g,
+                                                const Schedule& s);
+
+}  // namespace tsyn::hls

@@ -1,0 +1,19 @@
+#include "hls/synthesis.h"
+
+#include "hls/fds.h"
+
+namespace tsyn::hls {
+
+Synthesis synthesize(const cdfg::Cdfg& g, const SynthesisOptions& opts) {
+  Synthesis out;
+  if (opts.num_steps > 0)
+    out.schedule = force_directed_schedule(g, opts.num_steps);
+  else
+    out.schedule = list_schedule(g, opts.resources);
+  validate_schedule(g, out.schedule, opts.resources);
+  out.binding = make_binding(g, out.schedule);
+  out.rtl = build_rtl(g, out.schedule, out.binding);
+  return out;
+}
+
+}  // namespace tsyn::hls

@@ -1,0 +1,32 @@
+// One-call conventional synthesis flow: schedule -> bind -> build RTL.
+//
+// This is the baseline pipeline ("synthesize without regard for
+// testability, then apply gate-level DFT") that the survey's high-level
+// techniques are measured against.
+#pragma once
+
+#include "hls/binding.h"
+#include "hls/datapath_builder.h"
+#include "hls/schedule.h"
+
+namespace tsyn::hls {
+
+struct SynthesisOptions {
+  /// FU allocation for resource-constrained list scheduling. Ignored when
+  /// `num_steps` > 0.
+  Resources resources;
+  /// When > 0: time-constrained force-directed scheduling into this many
+  /// steps instead.
+  int num_steps = 0;
+};
+
+struct Synthesis {
+  Schedule schedule;
+  Binding binding;
+  RtlDesign rtl;
+};
+
+/// Runs the conventional flow end to end.
+Synthesis synthesize(const cdfg::Cdfg& g, const SynthesisOptions& opts = {});
+
+}  // namespace tsyn::hls

@@ -1,0 +1,71 @@
+#include "rtl/area.h"
+
+namespace tsyn::rtl {
+
+double register_area(const RegisterInfo& reg, const AreaModel& m) {
+  double per_bit = m.ff;
+  switch (reg.test_kind) {
+    case TestRegKind::kNone: break;
+    case TestRegKind::kScan: per_bit += m.scan_ff_extra; break;
+    case TestRegKind::kTpgr: per_bit += m.tpgr_extra; break;
+    case TestRegKind::kSr: per_bit += m.sr_extra; break;
+    case TestRegKind::kBilbo: per_bit += m.bilbo_extra; break;
+    case TestRegKind::kCbilbo: per_bit += m.cbilbo_extra; break;
+  }
+  return per_bit * reg.width;
+}
+
+double fu_area(const FuInfo& fu, const AreaModel& m) {
+  const double w = fu.width;
+  switch (fu.type) {
+    case cdfg::FuType::kAlu: return m.alu_per_bit * w;
+    case cdfg::FuType::kMultiplier: return m.multiplier_per_bit2 * w * w;
+    case cdfg::FuType::kDivider: return m.divider_per_bit2 * w * w;
+    case cdfg::FuType::kShifter: return m.shifter_per_bit * w;
+    case cdfg::FuType::kMux: return m.mux2 * w;
+    case cdfg::FuType::kCopyUnit: return m.copy_per_bit * w;
+  }
+  return 0;
+}
+
+namespace {
+
+double interconnect_area(const Datapath& dp, const AreaModel& m) {
+  // Every extra driver on a port costs one 2:1 mux slice per bit.
+  double area = 0;
+  for (const RegisterInfo& r : dp.regs)
+    if (r.drivers.size() > 1)
+      area += (static_cast<double>(r.drivers.size()) - 1) * m.mux2 * r.width;
+  for (const FuInfo& f : dp.fus)
+    for (const auto& port : f.port_drivers)
+      if (port.size() > 1)
+        area += (static_cast<double>(port.size()) - 1) * m.mux2 * f.width;
+  return area;
+}
+
+}  // namespace
+
+double datapath_area(const Datapath& dp, const AreaModel& m) {
+  double area = interconnect_area(dp, m);
+  for (const RegisterInfo& r : dp.regs) area += register_area(r, m);
+  for (const FuInfo& f : dp.fus) area += fu_area(f, m);
+  return area;
+}
+
+double datapath_functional_area(const Datapath& dp, const AreaModel& m) {
+  double area = interconnect_area(dp, m);
+  for (RegisterInfo r : dp.regs) {
+    r.test_kind = TestRegKind::kNone;
+    area += register_area(r, m);
+  }
+  for (const FuInfo& f : dp.fus) area += fu_area(f, m);
+  return area;
+}
+
+double test_area_overhead(const Datapath& dp, const AreaModel& m) {
+  const double functional = datapath_functional_area(dp, m);
+  if (functional <= 0) return 0;
+  return (datapath_area(dp, m) - functional) / functional;
+}
+
+}  // namespace tsyn::rtl

@@ -1,0 +1,47 @@
+// Structural area and delay model.
+//
+// The survey's area claims are relative overhead percentages, so a
+// gate-equivalent (GE) model suffices: each component contributes a per-bit
+// GE cost calibrated to typical standard-cell libraries of the era. Test
+// register variants carry their published overheads (scan FF ~ +30% of a FF;
+// BILBO adds XOR feedback + mode logic; CBILBO roughly doubles a BILBO).
+#pragma once
+
+#include "rtl/datapath.h"
+
+namespace tsyn::rtl {
+
+struct AreaModel {
+  // Gate equivalents per bit.
+  double ff = 6.0;
+  double scan_ff_extra = 2.0;     ///< scan mux + routing per bit
+  double tpgr_extra = 3.0;        ///< LFSR feedback XOR + mode mux per bit
+  double sr_extra = 3.0;          ///< MISR compactor per bit
+  double bilbo_extra = 4.5;       ///< combined TPGR/SR mode logic per bit
+  double cbilbo_extra = 10.0;     ///< duplicated register + both modes
+  double mux2 = 3.0;              ///< one 2:1 mux per bit
+  double alu_per_bit = 12.0;      ///< add/sub/logic/compare ALU slice
+  double adder_per_bit = 5.0;     ///< plain ripple adder cell
+  double multiplier_per_bit2 = 5.0;  ///< array multiplier, per bit^2
+  double divider_per_bit2 = 8.0;
+  double shifter_per_bit = 4.0;
+  double copy_per_bit = 0.0;      ///< wires only
+};
+
+/// Area of one register including its test configuration, in GE.
+double register_area(const RegisterInfo& reg, const AreaModel& m = {});
+
+/// Area of one functional unit, in GE.
+double fu_area(const FuInfo& fu, const AreaModel& m = {});
+
+/// Total datapath area: registers + FUs + interconnect muxes, in GE.
+double datapath_area(const Datapath& dp, const AreaModel& m = {});
+
+/// Area of the same datapath with all test_kind fields treated as kNone;
+/// the denominator of test-overhead percentages.
+double datapath_functional_area(const Datapath& dp, const AreaModel& m = {});
+
+/// Test area overhead fraction: (area - functional area) / functional area.
+double test_area_overhead(const Datapath& dp, const AreaModel& m = {});
+
+}  // namespace tsyn::rtl

@@ -1,0 +1,103 @@
+#include "rtl/controller.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tsyn::rtl {
+
+int Controller::add_signal(const std::string& name, int num_values) {
+  assert(num_values >= 1);
+  if (num_vectors() > 0)
+    throw std::runtime_error("add signals before vectors");
+  signals_.push_back({name, num_values});
+  return num_signals() - 1;
+}
+
+int Controller::add_vector(std::vector<int> values, bool is_test_vector) {
+  if (static_cast<int>(values.size()) != num_signals())
+    throw std::runtime_error("control vector width mismatch");
+  for (int s = 0; s < num_signals(); ++s)
+    if (values[s] < -1 || values[s] >= signals_[s].num_values)
+      throw std::runtime_error("control value out of range for " +
+                               signals_[s].name);
+  vectors_.push_back(std::move(values));
+  if (is_test_vector) ++num_test_vectors_;
+  return num_vectors() - 1;
+}
+
+bool Controller::value_occurs(int s, int value) const {
+  for (const auto& vec : vectors_)
+    if (vec[s] == value || vec[s] == -1) return true;
+  return false;
+}
+
+bool Controller::pair_occurs(int s1, int v1, int s2, int v2) const {
+  for (const auto& vec : vectors_) {
+    const bool a = vec[s1] == v1 || vec[s1] == -1;
+    const bool b = vec[s2] == v2 || vec[s2] == -1;
+    if (a && b) return true;
+  }
+  return false;
+}
+
+std::vector<PairConflict> find_pair_conflicts(const Controller& c) {
+  std::vector<PairConflict> conflicts;
+  for (int s1 = 0; s1 < c.num_signals(); ++s1) {
+    for (int v1 = 0; v1 < c.signal(s1).num_values; ++v1) {
+      if (!c.value_occurs(s1, v1)) continue;
+      for (int s2 = s1 + 1; s2 < c.num_signals(); ++s2) {
+        for (int v2 = 0; v2 < c.signal(s2).num_values; ++v2) {
+          if (!c.value_occurs(s2, v2)) continue;
+          if (!c.pair_occurs(s1, v1, s2, v2))
+            conflicts.push_back({s1, v1, s2, v2});
+        }
+      }
+    }
+  }
+  return conflicts;
+}
+
+int add_conflict_resolving_vectors(Controller& c) {
+  int added = 0;
+  for (;;) {
+    const std::vector<PairConflict> conflicts = find_pair_conflicts(c);
+    if (conflicts.empty()) break;
+    // Greedy: build one vector satisfying as many outstanding conflicts as
+    // fit without contradicting each other.
+    std::vector<int> vec(c.num_signals(), -1);
+    int packed = 0;
+    for (const PairConflict& pc : conflicts) {
+      const bool a_ok = vec[pc.signal_a] == -1 || vec[pc.signal_a] == pc.value_a;
+      const bool b_ok = vec[pc.signal_b] == -1 || vec[pc.signal_b] == pc.value_b;
+      if (a_ok && b_ok) {
+        vec[pc.signal_a] = pc.value_a;
+        vec[pc.signal_b] = pc.value_b;
+        ++packed;
+      }
+    }
+    if (packed == 0) break;  // cannot happen, but guards non-termination
+    c.add_vector(std::move(vec), /*is_test_vector=*/true);
+    ++added;
+  }
+  return added;
+}
+
+double pair_coverage(const Controller& c) {
+  long realizable = 0;
+  long total = 0;
+  for (int s1 = 0; s1 < c.num_signals(); ++s1) {
+    for (int v1 = 0; v1 < c.signal(s1).num_values; ++v1) {
+      if (!c.value_occurs(s1, v1)) continue;
+      for (int s2 = s1 + 1; s2 < c.num_signals(); ++s2) {
+        for (int v2 = 0; v2 < c.signal(s2).num_values; ++v2) {
+          if (!c.value_occurs(s2, v2)) continue;
+          ++total;
+          if (c.pair_occurs(s1, v1, s2, v2)) ++realizable;
+        }
+      }
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(realizable) / total;
+}
+
+}  // namespace tsyn::rtl

@@ -1,0 +1,75 @@
+// Controller (control FSM) model and control-vector analysis (§3.5, [14]).
+//
+// The controller steps through the schedule and drives the datapath's mux
+// selects and register load-enables. In functional mode only the vectors in
+// this table ever appear at the control outputs; combinations of control
+// values that never co-occur are *control signal implications* which create
+// conflicts during sequential ATPG on the composite circuit. The DFT remedy
+// of Dey/Gangaram/Potkonjak [14] adds a few extra (test-mode-only) control
+// vectors that realize the missing combinations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tsyn::rtl {
+
+struct ControlSignal {
+  std::string name;
+  int num_values = 2;  ///< cardinality (mux with k drivers has k values)
+};
+
+/// Control table: one output vector per control step (plus any appended
+/// test vectors). Entry -1 is a don't-care (the signal's consumer is
+/// inactive that step, e.g. a mux select while its register holds).
+class Controller {
+ public:
+  int add_signal(const std::string& name, int num_values);
+  /// Appends a vector (size must equal #signals); returns its index.
+  int add_vector(std::vector<int> values, bool is_test_vector = false);
+
+  int num_signals() const { return static_cast<int>(signals_.size()); }
+  int num_vectors() const { return static_cast<int>(vectors_.size()); }
+  int num_test_vectors() const { return num_test_vectors_; }
+  const ControlSignal& signal(int s) const { return signals_.at(s); }
+  const std::vector<int>& vector(int v) const { return vectors_.at(v); }
+
+  /// True if some vector has signal s == value (don't-cares count as
+  /// realizable: ATPG may choose them freely).
+  bool value_occurs(int s, int value) const;
+
+  /// True if some vector realizes s1==v1 and s2==v2 simultaneously.
+  bool pair_occurs(int s1, int v1, int s2, int v2) const;
+
+ private:
+  std::vector<ControlSignal> signals_;
+  std::vector<std::vector<int>> vectors_;
+  int num_test_vectors_ = 0;
+};
+
+/// A pairwise implication conflict: both assignments occur individually but
+/// never together, so ATPG cannot justify them simultaneously.
+struct PairConflict {
+  int signal_a = 0;
+  int value_a = 0;
+  int signal_b = 0;
+  int value_b = 0;
+};
+
+/// Enumerates all pairwise conflicts of a control table.
+std::vector<PairConflict> find_pair_conflicts(const Controller& c);
+
+/// The controller DFT of [14]: appends a minimal greedy set of extra control
+/// vectors so every previously conflicting pair is realized by some vector.
+/// Unconstrained entries of the new vectors are filled with don't-cares.
+/// Returns the number of vectors added.
+int add_conflict_resolving_vectors(Controller& c);
+
+/// Conflict-freedom measure in [0,1]: fraction of (occurring-value) pairs
+/// that are simultaneously realizable. 1.0 means no implications constrain
+/// ATPG.
+double pair_coverage(const Controller& c);
+
+}  // namespace tsyn::rtl

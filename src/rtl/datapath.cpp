@@ -1,0 +1,106 @@
+#include "rtl/datapath.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tsyn::rtl {
+
+std::string to_string(TestRegKind k) {
+  switch (k) {
+    case TestRegKind::kNone: return "reg";
+    case TestRegKind::kScan: return "scan";
+    case TestRegKind::kTpgr: return "TPGR";
+    case TestRegKind::kSr: return "SR";
+    case TestRegKind::kBilbo: return "BILBO";
+    case TestRegKind::kCbilbo: return "CBILBO";
+  }
+  return "?";
+}
+
+int Datapath::mux2_count() const {
+  int muxes = 0;
+  for (const RegisterInfo& r : regs)
+    if (r.drivers.size() > 1)
+      muxes += static_cast<int>(r.drivers.size()) - 1;
+  for (const FuInfo& f : fus)
+    for (const auto& port : f.port_drivers)
+      if (port.size() > 1) muxes += static_cast<int>(port.size()) - 1;
+  return muxes;
+}
+
+std::vector<int> Datapath::scan_registers() const {
+  std::vector<int> out;
+  for (int r = 0; r < num_regs(); ++r)
+    if (regs[r].test_kind != TestRegKind::kNone) out.push_back(r);
+  return out;
+}
+
+void Datapath::validate() const {
+  auto check_source = [&](const Source& s, bool allow_fu,
+                          const std::string& where) {
+    switch (s.kind) {
+      case Source::Kind::kRegister:
+        if (s.index < 0 || s.index >= num_regs())
+          throw std::runtime_error(where + ": bad register index");
+        break;
+      case Source::Kind::kFu:
+        if (!allow_fu)
+          throw std::runtime_error(where + ": FU chained into an FU port");
+        if (s.index < 0 || s.index >= num_fus())
+          throw std::runtime_error(where + ": bad FU index");
+        break;
+      case Source::Kind::kPrimaryInput:
+        if (s.index < 0 ||
+            s.index >= static_cast<int>(primary_inputs.size()))
+          throw std::runtime_error(where + ": bad primary input index");
+        break;
+      case Source::Kind::kConstant:
+        if (s.index < 0 || s.index >= static_cast<int>(constants.size()))
+          throw std::runtime_error(where + ": bad constant index");
+        break;
+    }
+  };
+  for (const RegisterInfo& r : regs)
+    for (const Source& s : r.drivers)
+      check_source(s, /*allow_fu=*/true, "register " + r.name);
+  for (const FuInfo& f : fus) {
+    if (f.port_drivers.empty())
+      throw std::runtime_error("FU " + f.name + " has no ports");
+    for (const auto& port : f.port_drivers)
+      for (const Source& s : port)
+        check_source(s, /*allow_fu=*/false, "fu " + f.name);
+  }
+  for (const PrimaryOutputInfo& po : primary_outputs) {
+    if (po.source.kind != Source::Kind::kRegister)
+      throw std::runtime_error("primary output " + po.name +
+                               " not register-sourced");
+    check_source(po.source, false, "primary output " + po.name);
+  }
+}
+
+std::string Datapath::to_string() const {
+  std::ostringstream out;
+  out << "datapath " << name << ": " << num_regs() << " regs, " << num_fus()
+      << " fus, " << mux2_count() << " mux2, "
+      << primary_inputs.size() << " PIs, " << primary_outputs.size()
+      << " POs\n";
+  for (const RegisterInfo& r : regs) {
+    out << "  " << rtl::to_string(r.test_kind) << " " << r.name << " ["
+        << r.drivers.size() << " drv]";
+    if (r.is_input) out << " in";
+    if (r.is_output) out << " out";
+    if (r.holds_state) out << " state";
+    out << "\n";
+  }
+  for (const FuInfo& f : fus) {
+    out << "  " << cdfg::to_string(f.type) << " " << f.name << " (";
+    for (std::size_t p = 0; p < f.port_drivers.size(); ++p) {
+      if (p) out << ", ";
+      out << f.port_drivers[p].size() << " drv";
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace tsyn::rtl

@@ -1,0 +1,112 @@
+// RTL datapath netlist.
+//
+// The output of high-level synthesis: registers, functional units, and the
+// interconnect between them (mux trees are implicit in multi-driver ports).
+// All loop/testability analyses (§3.3) and the gate-level expansion consume
+// this model.
+//
+// Structural invariant: FU operand ports are driven only by registers,
+// primary inputs, or constants — scheduling does not chain FUs — so every
+// combinational register-to-register path crosses at most one FU. Register
+// inputs may be driven by FU outputs, registers (copy/transfer paths),
+// primary inputs, or constants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/ir.h"
+
+namespace tsyn::rtl {
+
+/// A combinational signal source in the datapath.
+struct Source {
+  enum class Kind { kRegister, kFu, kPrimaryInput, kConstant };
+  Kind kind = Kind::kRegister;
+  int index = -1;  ///< into regs/fus/primary_inputs/constants
+
+  friend bool operator==(const Source&, const Source&) = default;
+};
+
+/// Kinds of test register a storage element can be configured as (§5, [21]).
+enum class TestRegKind {
+  kNone,     ///< plain functional register
+  kScan,     ///< scan register (partial/full scan)
+  kTpgr,     ///< pseudorandom test pattern generator
+  kSr,       ///< signature register (response analyzer)
+  kBilbo,    ///< TPGR or SR, one role per session
+  kCbilbo,   ///< concurrent BILBO: TPGR and SR simultaneously (expensive)
+};
+
+std::string to_string(TestRegKind k);
+
+struct RegisterInfo {
+  std::string name;
+  int width = 16;
+  bool is_input = false;   ///< loaded from a primary input
+  bool is_output = false;  ///< observed at a primary output
+  bool holds_state = false;  ///< carries a value across iterations
+  TestRegKind test_kind = TestRegKind::kNone;
+  /// Distinct sources multiplexed into this register's data input.
+  std::vector<Source> drivers;
+  /// Variables stored here over the schedule (reporting/trace).
+  std::vector<cdfg::VarId> vars;
+};
+
+struct FuInfo {
+  std::string name;
+  cdfg::FuType type = cdfg::FuType::kAlu;
+  int width = 16;
+  /// Distinct sources multiplexed into each operand port.
+  std::vector<std::vector<Source>> port_drivers;  // size = #ports (1..3)
+  /// Operations executed on this unit (reporting/trace).
+  std::vector<cdfg::OpId> ops;
+  /// Distinct operation kinds this unit implements, sorted; the opcode
+  /// control signal (if any) indexes into this list.
+  std::vector<cdfg::OpKind> op_kinds;
+};
+
+struct PrimaryInputInfo {
+  std::string name;
+  int width = 16;
+};
+
+struct ConstantInfo {
+  std::string name;
+  long value = 0;
+  int width = 16;
+};
+
+struct PrimaryOutputInfo {
+  std::string name;
+  Source source;  ///< must be a register (outputs are registered)
+};
+
+/// The datapath netlist.
+struct Datapath {
+  std::string name;
+  std::vector<RegisterInfo> regs;
+  std::vector<FuInfo> fus;
+  std::vector<PrimaryInputInfo> primary_inputs;
+  std::vector<ConstantInfo> constants;
+  std::vector<PrimaryOutputInfo> primary_outputs;
+
+  int num_regs() const { return static_cast<int>(regs.size()); }
+  int num_fus() const { return static_cast<int>(fus.size()); }
+
+  /// Total 2:1-mux-equivalents implied by multi-driver ports
+  /// (a k-driver port needs k-1 two-input muxes per bit).
+  int mux2_count() const;
+
+  /// Registers currently configured as scan (kScan or BILBO-family — all
+  /// are scannable in test mode).
+  std::vector<int> scan_registers() const;
+
+  /// Validates the structural invariants; throws std::runtime_error.
+  void validate() const;
+
+  /// Human-readable structural summary.
+  std::string to_string() const;
+};
+
+}  // namespace tsyn::rtl

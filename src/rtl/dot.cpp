@@ -1,0 +1,89 @@
+#include "rtl/dot.h"
+
+#include <sstream>
+
+#include "rtl/sgraph.h"
+
+namespace tsyn::rtl {
+
+namespace {
+
+std::string reg_color(TestRegKind k) {
+  switch (k) {
+    case TestRegKind::kNone: return "white";
+    case TestRegKind::kScan: return "lightsalmon";
+    case TestRegKind::kTpgr: return "lightblue";
+    case TestRegKind::kSr: return "lightgreen";
+    case TestRegKind::kBilbo: return "khaki";
+    case TestRegKind::kCbilbo: return "orangered";
+  }
+  return "white";
+}
+
+}  // namespace
+
+std::string datapath_to_dot(const Datapath& dp) {
+  std::ostringstream out;
+  out << "digraph \"" << dp.name << "\" {\n  rankdir=LR;\n"
+      << "  node [fontsize=10];\n";
+  for (std::size_t i = 0; i < dp.primary_inputs.size(); ++i)
+    out << "  pi" << i << " [label=\"" << dp.primary_inputs[i].name
+        << "\", shape=invtriangle];\n";
+  for (int r = 0; r < dp.num_regs(); ++r)
+    out << "  r" << r << " [label=\"" << dp.regs[r].name << "\\n"
+        << to_string(dp.regs[r].test_kind)
+        << "\", shape=box, style=filled, fillcolor="
+        << reg_color(dp.regs[r].test_kind) << "];\n";
+  for (int f = 0; f < dp.num_fus(); ++f)
+    out << "  f" << f << " [label=\"" << dp.fus[f].name
+        << "\", shape=trapezium, style=filled, fillcolor=lightgray];\n";
+
+  auto src_name = [&](const Source& s) -> std::string {
+    switch (s.kind) {
+      case Source::Kind::kRegister: return "r" + std::to_string(s.index);
+      case Source::Kind::kFu: return "f" + std::to_string(s.index);
+      case Source::Kind::kPrimaryInput:
+        return "pi" + std::to_string(s.index);
+      case Source::Kind::kConstant: return "";
+    }
+    return "";
+  };
+  for (int r = 0; r < dp.num_regs(); ++r)
+    for (const Source& s : dp.regs[r].drivers) {
+      const std::string from = src_name(s);
+      if (!from.empty()) out << "  " << from << " -> r" << r << ";\n";
+    }
+  for (int f = 0; f < dp.num_fus(); ++f)
+    for (std::size_t p = 0; p < dp.fus[f].port_drivers.size(); ++p)
+      for (const Source& s : dp.fus[f].port_drivers[p]) {
+        const std::string from = src_name(s);
+        if (!from.empty())
+          out << "  " << from << " -> f" << f << " [label=\"p" << p
+              << "\", fontsize=8];\n";
+      }
+  for (std::size_t o = 0; o < dp.primary_outputs.size(); ++o) {
+    out << "  po" << o << " [label=\"" << dp.primary_outputs[o].name
+        << "\", shape=triangle];\n";
+    out << "  r" << dp.primary_outputs[o].source.index << " -> po" << o
+        << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string sgraph_to_dot(const Datapath& dp) {
+  const graph::Digraph s = build_sgraph(dp);
+  std::ostringstream out;
+  out << "digraph sgraph {\n  node [shape=box, fontsize=10];\n";
+  for (int r = 0; r < dp.num_regs(); ++r) {
+    const bool scanned = dp.regs[r].test_kind != TestRegKind::kNone;
+    out << "  r" << r << " [label=\"" << dp.regs[r].name << "\""
+        << (scanned ? ", style=dashed, color=red" : "") << "];\n";
+  }
+  for (int u = 0; u < s.num_nodes(); ++u)
+    for (int v : s.successors(u)) out << "  r" << u << " -> r" << v << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tsyn::rtl

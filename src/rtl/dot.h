@@ -1,0 +1,18 @@
+// Graphviz (DOT) export of datapaths and their S-graphs.
+#pragma once
+
+#include <string>
+
+#include "rtl/datapath.h"
+
+namespace tsyn::rtl {
+
+/// Structural view: registers, FUs, and the driver edges between them.
+/// Scan/BIST registers are colored by role.
+std::string datapath_to_dot(const Datapath& dp);
+
+/// S-graph view: one node per register, an edge per combinational path;
+/// scanned registers dashed.
+std::string sgraph_to_dot(const Datapath& dp);
+
+}  // namespace tsyn::rtl

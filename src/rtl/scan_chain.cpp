@@ -1,0 +1,31 @@
+#include "rtl/scan_chain.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tsyn::rtl {
+
+ScanChainPlan build_scan_chain(const Datapath& dp) {
+  ScanChainPlan plan;
+  std::vector<int> pool = dp.scan_registers();
+  if (pool.empty()) return plan;
+
+  // Nearest-neighbor stitching from the lowest-index register.
+  std::sort(pool.begin(), pool.end());
+  int current = pool.front();
+  plan.order.push_back(current);
+  pool.erase(pool.begin());
+  while (!pool.empty()) {
+    auto best = pool.begin();
+    for (auto it = pool.begin(); it != pool.end(); ++it)
+      if (std::abs(*it - current) < std::abs(*best - current)) best = it;
+    plan.wire_cost += std::abs(*best - current);
+    current = *best;
+    plan.order.push_back(current);
+    pool.erase(best);
+  }
+  for (int r : plan.order) plan.chain_bits += dp.regs[r].width;
+  return plan;
+}
+
+}  // namespace tsyn::rtl

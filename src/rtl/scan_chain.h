@@ -1,0 +1,36 @@
+// Scan chain construction and test application time.
+//
+// The survey's practical context: scan registers must be stitched into a
+// serial chain, and every test pattern costs chain-length shift cycles.
+// Test application time is therefore where partial scan pays off — fewer
+// scanned bits means a shorter chain AND fewer shift cycles per pattern.
+#pragma once
+
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace tsyn::rtl {
+
+struct ScanChainPlan {
+  /// Register indices in chain order (scan_in -> ... -> scan_out).
+  std::vector<int> order;
+  /// Total scannable bits (sum of chained register widths).
+  int chain_bits = 0;
+  /// Stitching cost under the index-distance proxy for wire length.
+  int wire_cost = 0;
+
+  /// Cycles to apply `num_patterns` scan patterns: per pattern, shift-in
+  /// chain_bits, one capture cycle; plus the final shift-out.
+  long test_cycles(int num_patterns) const {
+    if (chain_bits == 0) return num_patterns;  // combinational application
+    return static_cast<long>(num_patterns) * (chain_bits + 1) + chain_bits;
+  }
+};
+
+/// Builds a chain over all registers with test_kind != kNone, ordered by a
+/// nearest-neighbor heuristic on the register index distance (a placement
+/// proxy: registers with close indices were allocated together).
+ScanChainPlan build_scan_chain(const Datapath& dp);
+
+}  // namespace tsyn::rtl

@@ -1,0 +1,87 @@
+#include "rtl/sgraph.h"
+
+#include "graph/paths.h"
+#include "graph/scc.h"
+
+namespace tsyn::rtl {
+
+graph::Digraph build_sgraph(const Datapath& dp, bool exclude_scan) {
+  const int n = dp.num_regs();
+  graph::Digraph g(n);
+  auto scanned = [&](int r) {
+    return exclude_scan && dp.regs[r].test_kind != TestRegKind::kNone;
+  };
+  for (int r = 0; r < n; ++r) {
+    if (scanned(r)) continue;
+    for (const Source& s : dp.regs[r].drivers) {
+      if (s.kind == Source::Kind::kRegister) {
+        if (!scanned(s.index)) g.add_edge_unique(s.index, r);
+      } else if (s.kind == Source::Kind::kFu) {
+        const FuInfo& fu = dp.fus[s.index];
+        for (const auto& port : fu.port_drivers)
+          for (const Source& ps : port)
+            if (ps.kind == Source::Kind::kRegister && !scanned(ps.index))
+              g.add_edge_unique(ps.index, r);
+      }
+    }
+  }
+  return g;
+}
+
+std::string to_string(LoopClass c) {
+  switch (c) {
+    case LoopClass::kSelfLoop: return "self";
+    case LoopClass::kCdfgLoop: return "cdfg";
+    case LoopClass::kAssignmentLoop: return "assignment";
+  }
+  return "?";
+}
+
+std::vector<DatapathLoop> analyze_loops(const Datapath& dp, bool exclude_scan,
+                                        std::size_t max_loops) {
+  const graph::Digraph g = build_sgraph(dp, exclude_scan);
+  std::vector<DatapathLoop> out;
+  for (graph::Cycle& c : graph::elementary_cycles(g, max_loops)) {
+    DatapathLoop loop;
+    if (c.size() == 1) {
+      loop.kind = LoopClass::kSelfLoop;
+    } else {
+      loop.kind = LoopClass::kAssignmentLoop;
+      for (graph::NodeId r : c)
+        if (dp.regs[r].holds_state) {
+          loop.kind = LoopClass::kCdfgLoop;
+          break;
+        }
+    }
+    loop.registers = std::move(c);
+    out.push_back(std::move(loop));
+  }
+  return out;
+}
+
+LoopStats loop_stats(const Datapath& dp, bool exclude_scan) {
+  LoopStats stats;
+  for (const DatapathLoop& l : analyze_loops(dp, exclude_scan)) {
+    switch (l.kind) {
+      case LoopClass::kSelfLoop: ++stats.self_loops; break;
+      case LoopClass::kCdfgLoop: ++stats.cdfg_loops; break;
+      case LoopClass::kAssignmentLoop: ++stats.assignment_loops; break;
+    }
+  }
+  return stats;
+}
+
+int datapath_sequential_depth(const Datapath& dp, bool exclude_scan) {
+  const graph::Digraph g = build_sgraph(dp, exclude_scan);
+  const auto depth = graph::sequential_depth(g);
+  return depth ? *depth : -1;
+}
+
+int io_register_count(const Datapath& dp) {
+  int count = 0;
+  for (const RegisterInfo& r : dp.regs)
+    if (r.is_input || r.is_output) ++count;
+  return count;
+}
+
+}  // namespace tsyn::rtl

@@ -1,0 +1,64 @@
+// S-graph extraction and loop taxonomy (§3.1, §3.3).
+//
+// The S-graph has one node per register and an edge u -> v when a strictly
+// combinational path runs from register u to register v. Sequential ATPG
+// effort grows empirically ~exponentially with the length of S-graph cycles
+// and ~linearly with sequential depth, so every testability-driven synthesis
+// technique in the survey reasons about this graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+#include "rtl/datapath.h"
+
+namespace tsyn::rtl {
+
+/// Builds the register-level S-graph of a datapath.
+/// Scan registers (`exclude_scan`) are removed from the graph: in test mode
+/// they are pseudo primary inputs/outputs and no longer propagate state.
+graph::Digraph build_sgraph(const Datapath& dp, bool exclude_scan = false);
+
+/// Classification of one S-graph loop, following the taxonomy of §3.3:
+/// self-loops are tolerable; CDFG loops stem from loop-carried behavior;
+/// assignment loops are artifacts of hardware sharing.
+enum class LoopClass { kSelfLoop, kCdfgLoop, kAssignmentLoop };
+
+std::string to_string(LoopClass c);
+
+struct DatapathLoop {
+  graph::Cycle registers;  ///< register indices along the loop
+  LoopClass kind = LoopClass::kSelfLoop;
+};
+
+/// Enumerates and classifies all S-graph loops (after scan exclusion when
+/// requested). A loop touching any state-holding register is a CDFG loop;
+/// a length-1 loop is a self-loop; everything else is an assignment loop.
+std::vector<DatapathLoop> analyze_loops(const Datapath& dp,
+                                        bool exclude_scan = false,
+                                        std::size_t max_loops = 10000);
+
+/// Summary counters used across the benches.
+struct LoopStats {
+  int self_loops = 0;
+  int cdfg_loops = 0;
+  int assignment_loops = 0;
+  int total() const { return self_loops + cdfg_loops + assignment_loops; }
+  /// Loops other than self-loops, i.e. the ones sequential ATPG cares about.
+  int breakable() const { return cdfg_loops + assignment_loops; }
+};
+
+LoopStats loop_stats(const Datapath& dp, bool exclude_scan = false);
+
+/// Sequential depth of the datapath's S-graph ignoring self-loops;
+/// -1 when non-self loops remain (depth undefined until they are broken).
+int datapath_sequential_depth(const Datapath& dp, bool exclude_scan = false);
+
+/// Number of registers directly connected to primary I/O: input registers
+/// (loadable from a PI) plus output registers (observed at a PO). The
+/// register C/O measure of §3.2.
+int io_register_count(const Datapath& dp);
+
+}  // namespace tsyn::rtl

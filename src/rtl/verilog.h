@@ -1,0 +1,29 @@
+// Structural Verilog emission for RTL designs.
+//
+// Writes the synthesized datapath (registers, FUs, mux trees) and its
+// controller (state counter + vector decode) as synthesizable Verilog-2001,
+// so tsyn output can be taken into any downstream flow. Scan registers get
+// a scan port chain (scan_en/scan_in/scan_out) stitched in register order.
+#pragma once
+
+#include <string>
+
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+
+namespace tsyn::rtl {
+
+struct VerilogOptions {
+  std::string module_name;  ///< default: datapath name
+  /// Emit the controller FSM and wire its outputs to the control ports;
+  /// false leaves mux selects / load enables as module inputs (test mode).
+  bool include_controller = true;
+  /// Stitch test_kind != kNone registers into a scan chain.
+  bool emit_scan_chain = true;
+};
+
+/// Emits one self-contained Verilog module for the design.
+std::string emit_verilog(const Datapath& dp, const Controller& ctrl,
+                         const VerilogOptions& opts = {});
+
+}  // namespace tsyn::rtl

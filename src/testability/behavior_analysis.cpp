@@ -1,0 +1,222 @@
+#include "testability/behavior_analysis.h"
+
+#include <algorithm>
+
+namespace tsyn::testability {
+
+namespace {
+
+using cdfg::OpKind;
+
+bool invertible(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kXor:
+    case OpKind::kNot:
+    case OpKind::kNeg:
+    case OpKind::kCopy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Can a fault effect on one operand pass transparently through this op
+/// when the side operands are fully controllable?
+bool value_transparent(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kXor:
+    case OpKind::kNot:
+    case OpKind::kNeg:
+    case OpKind::kCopy:
+    case OpKind::kMul:  // side = 1
+    case OpKind::kAnd:  // side = all-ones
+    case OpKind::kOr:   // side = 0
+    case OpKind::kMux:  // select the leg
+      return true;
+    default:
+      return false;  // lt/eq/shl/shr/div collapse information
+  }
+}
+
+int ctrl_rank(CtrlClass c) {
+  switch (c) {
+    case CtrlClass::kControllable: return 2;
+    case CtrlClass::kPartial: return 1;
+    case CtrlClass::kUncontrollable: return 0;
+  }
+  return 0;
+}
+
+int obs_rank(ObsClass o) {
+  switch (o) {
+    case ObsClass::kObservable: return 2;
+    case ObsClass::kPartial: return 1;
+    case ObsClass::kUnobservable: return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int BehaviorTestability::count_ctrl(CtrlClass c) const {
+  return static_cast<int>(std::count(ctrl.begin(), ctrl.end(), c));
+}
+
+int BehaviorTestability::count_obs(ObsClass o) const {
+  return static_cast<int>(std::count(obs.begin(), obs.end(), o));
+}
+
+BehaviorTestability analyze_behavior(const cdfg::Cdfg& g) {
+  BehaviorTestability t;
+  t.ctrl.assign(g.num_vars(), CtrlClass::kUncontrollable);
+  t.obs.assign(g.num_vars(), ObsClass::kUnobservable);
+
+  // Seeds.
+  for (const cdfg::Variable& v : g.vars()) {
+    if (v.kind == cdfg::VarKind::kPrimaryInput ||
+        v.kind == cdfg::VarKind::kConstant)
+      t.ctrl[v.id] = CtrlClass::kControllable;
+    if (v.is_output) t.obs[v.id] = ObsClass::kObservable;
+  }
+
+  // Monotone fixpoint (the graph has loops via state variables).
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < g.num_vars() + 4) {
+    changed = false;
+
+    // Controllability: forward.
+    for (const cdfg::Operation& op : g.ops()) {
+      CtrlClass out;
+      int min_in = 2;
+      int max_in = 0;
+      for (cdfg::VarId in : op.inputs) {
+        min_in = std::min(min_in, ctrl_rank(t.ctrl[in]));
+        max_in = std::max(max_in, ctrl_rank(t.ctrl[in]));
+      }
+      if (invertible(op.kind) && min_in == 2) {
+        out = CtrlClass::kControllable;
+      } else if (op.kind == OpKind::kMux &&
+                 ctrl_rank(t.ctrl[op.inputs[0]]) == 2 &&
+                 (ctrl_rank(t.ctrl[op.inputs[1]]) == 2 ||
+                  ctrl_rank(t.ctrl[op.inputs[2]]) == 2)) {
+        out = CtrlClass::kControllable;
+      } else if (max_in >= 1) {
+        out = CtrlClass::kPartial;
+      } else {
+        out = CtrlClass::kUncontrollable;
+      }
+      if (ctrl_rank(out) > ctrl_rank(t.ctrl[op.output])) {
+        t.ctrl[op.output] = out;
+        changed = true;
+      }
+    }
+    // State variables inherit their update's controllability (previous
+    // iteration's value), capped at partial: the test session cannot pick
+    // an arbitrary iteration-start value directly.
+    for (cdfg::VarId s : g.states()) {
+      const cdfg::VarId upd = g.var(s).update_var;
+      CtrlClass out = t.ctrl[upd] == CtrlClass::kUncontrollable
+                          ? CtrlClass::kUncontrollable
+                          : CtrlClass::kPartial;
+      if (ctrl_rank(out) > ctrl_rank(t.ctrl[s])) {
+        t.ctrl[s] = out;
+        changed = true;
+      }
+    }
+
+    // Observability: backward through consumers.
+    for (const cdfg::Operation& op : g.ops()) {
+      const ObsClass out_obs = t.obs[op.output];
+      if (out_obs == ObsClass::kUnobservable) continue;
+      for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+        ObsClass in_obs = ObsClass::kPartial;
+        if (value_transparent(op.kind)) {
+          // Fully transparent only if every side operand is controllable.
+          bool sides_ok = true;
+          for (std::size_t jj = 0; jj < op.inputs.size(); ++jj)
+            if (jj != i &&
+                t.ctrl[op.inputs[jj]] != CtrlClass::kControllable)
+              sides_ok = false;
+          in_obs = (sides_ok && out_obs == ObsClass::kObservable)
+                       ? ObsClass::kObservable
+                       : ObsClass::kPartial;
+        }
+        if (obs_rank(in_obs) > obs_rank(t.obs[op.inputs[i]])) {
+          t.obs[op.inputs[i]] = in_obs;
+          changed = true;
+        }
+      }
+    }
+    // A state's update temp is observable if the state itself is read and
+    // observable somewhere (the value persists into the next iteration).
+    for (cdfg::VarId s : g.states()) {
+      const cdfg::VarId upd = g.var(s).update_var;
+      ObsClass out = t.obs[s] == ObsClass::kUnobservable
+                         ? ObsClass::kUnobservable
+                         : ObsClass::kPartial;
+      if (obs_rank(out) > obs_rank(t.obs[upd])) {
+        t.obs[upd] = out;
+        changed = true;
+      }
+    }
+  }
+  return t;
+}
+
+TestStatementResult add_test_statements(const cdfg::Cdfg& g,
+                                        const TestStatementOptions& opts) {
+  TestStatementResult result{g, 0, 0};
+  cdfg::Cdfg& t = result.transformed;
+  const BehaviorTestability before = analyze_behavior(g);
+
+  auto hard_ctrl = [&](cdfg::VarId v) {
+    return before.ctrl[v] == CtrlClass::kUncontrollable ||
+           (opts.include_partial && before.ctrl[v] == CtrlClass::kPartial);
+  };
+  auto hard_obs = [&](cdfg::VarId v) {
+    return before.obs[v] == ObsClass::kUnobservable ||
+           (opts.include_partial && before.obs[v] == ObsClass::kPartial);
+  };
+
+  cdfg::VarId test_mode = -1;
+  auto ensure_test_mode = [&]() {
+    if (test_mode < 0) test_mode = t.add_input("TEST", 1);
+    return test_mode;
+  };
+
+  const int original_vars = g.num_vars();
+  for (cdfg::VarId v = 0; v < original_vars; ++v) {
+    const cdfg::Variable& var = g.var(v);
+    const bool is_value =
+        var.kind == cdfg::VarKind::kTemp || var.kind == cdfg::VarKind::kState;
+    if (!is_value) continue;
+
+    if (hard_ctrl(v) && !var.uses.empty()) {
+      // v_test = TEST ? tin : v; consumers read v_test.
+      const cdfg::VarId tin =
+          t.add_input("tin_" + var.name, var.width);
+      const cdfg::VarId vt = t.add_op(
+          cdfg::OpKind::kMux, "ts_" + var.name,
+          {ensure_test_mode(), tin, v});
+      for (cdfg::OpId use : g.var(v).uses) {
+        const cdfg::Operation& op = t.op(use);
+        for (std::size_t p = 0; p < op.inputs.size(); ++p)
+          if (op.inputs[p] == v) t.replace_op_input(use, p, vt);
+      }
+      ++result.injections;
+    }
+    if (hard_obs(v)) {
+      t.mark_output(v);
+      ++result.observations;
+    }
+  }
+  t.validate();
+  return result;
+}
+
+}  // namespace tsyn::testability

@@ -1,0 +1,51 @@
+// Behavioral testability analysis and test statements (§3.4, [9]).
+//
+// Chen, Karnik & Saab analyze the behavior itself: every variable is
+// classified as (fully/partially/un-) controllable and observable by
+// propagating transparency rules through the CDFG — add/sub/xor are
+// invertible, multiply is value-transparent only with a controllable side
+// operand, comparisons collapse information, etc. Test statements (executed
+// only in test mode) then inject or observe the hard variables, raising
+// the fault coverage of the synthesized circuit at modest area overhead.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+
+namespace tsyn::testability {
+
+enum class CtrlClass { kControllable, kPartial, kUncontrollable };
+enum class ObsClass { kObservable, kPartial, kUnobservable };
+
+struct BehaviorTestability {
+  std::vector<CtrlClass> ctrl;  ///< per VarId
+  std::vector<ObsClass> obs;    ///< per VarId
+
+  int count_ctrl(CtrlClass c) const;
+  int count_obs(ObsClass o) const;
+};
+
+/// Fixpoint classification over the variable dependence graph (loop-carried
+/// state included).
+BehaviorTestability analyze_behavior(const cdfg::Cdfg& g);
+
+struct TestStatementOptions {
+  /// Also inject/observe partially controllable/observable variables, not
+  /// just the fully hard ones.
+  bool include_partial = false;
+};
+
+struct TestStatementResult {
+  cdfg::Cdfg transformed;
+  int injections = 0;    ///< test-mode input muxes added
+  int observations = 0;  ///< test-mode observation ports added
+};
+
+/// Adds test statements: a TEST-mode mux with a fresh test input in front
+/// of each hard-to-control variable's consumers, and an observation port on
+/// each hard-to-observe variable.
+TestStatementResult add_test_statements(const cdfg::Cdfg& g,
+                                        const TestStatementOptions& opts = {});
+
+}  // namespace tsyn::testability

@@ -1,0 +1,62 @@
+#include "testability/boundary_scan.h"
+
+#include "rtl/area.h"
+
+namespace tsyn::testability {
+
+BoundaryScanResult insert_boundary_scan(rtl::Datapath& dp) {
+  BoundaryScanResult result;
+  const double area_before = rtl::datapath_area(dp);
+
+  // Input cells: one scan register per primary input; everything that read
+  // the pad now reads the cell.
+  const int num_pis = static_cast<int>(dp.primary_inputs.size());
+  std::vector<int> cell_of_pi(num_pis, -1);
+  for (int pi = 0; pi < num_pis; ++pi) {
+    rtl::RegisterInfo cell;
+    cell.name = "BS_" + dp.primary_inputs[pi].name;
+    cell.width = dp.primary_inputs[pi].width;
+    cell.is_input = true;
+    cell.test_kind = rtl::TestRegKind::kScan;
+    cell.drivers = {{rtl::Source::Kind::kPrimaryInput, pi}};
+    cell_of_pi[pi] = dp.num_regs();
+    dp.regs.push_back(std::move(cell));
+    result.ring.push_back(cell_of_pi[pi]);
+    ++result.input_cells;
+  }
+  auto rewire = [&](rtl::Source& s) {
+    if (s.kind == rtl::Source::Kind::kPrimaryInput)
+      s = {rtl::Source::Kind::kRegister, cell_of_pi[s.index]};
+  };
+  for (int r = 0; r < dp.num_regs(); ++r) {
+    if (dp.regs[r].test_kind == rtl::TestRegKind::kScan &&
+        dp.regs[r].name.rfind("BS_", 0) == 0)
+      continue;  // the cells themselves keep their pad connection
+    for (rtl::Source& s : dp.regs[r].drivers) rewire(s);
+  }
+  for (rtl::FuInfo& fu : dp.fus)
+    for (auto& port : fu.port_drivers)
+      for (rtl::Source& s : port) rewire(s);
+
+  // Output cells: observe each primary output's register.
+  const int num_pos = static_cast<int>(dp.primary_outputs.size());
+  for (int po = 0; po < num_pos; ++po) {
+    rtl::RegisterInfo cell;
+    cell.name = "BS_" + dp.primary_outputs[po].name;
+    const int src_reg = dp.primary_outputs[po].source.index;
+    cell.width = dp.regs[src_reg].width;
+    cell.is_output = true;
+    cell.test_kind = rtl::TestRegKind::kScan;
+    cell.drivers = {{rtl::Source::Kind::kRegister, src_reg}};
+    result.ring.push_back(dp.num_regs());
+    dp.regs.push_back(std::move(cell));
+    ++result.output_cells;
+  }
+  dp.validate();
+  const double area_after = rtl::datapath_area(dp);
+  result.area_overhead =
+      area_before > 0 ? (area_after - area_before) / area_before : 0;
+  return result;
+}
+
+}  // namespace tsyn::testability

@@ -1,0 +1,31 @@
+// IEEE 1149.1-style boundary scan insertion (§4.2).
+//
+// The survey's RTL-structure example: boundary scan cells on every primary
+// input and output, stitched into a ring, so chip I/O becomes controllable
+// and observable through the test access port. Modelled here as dedicated
+// scan registers spliced between the pads and the datapath: each PI gains a
+// capture/update cell the datapath now reads, each PO a cell observing the
+// output register. Area is accounted through the normal register model.
+#pragma once
+
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace tsyn::testability {
+
+struct BoundaryScanResult {
+  /// Register indices of the inserted cells, in ring order (inputs first).
+  std::vector<int> ring;
+  int input_cells = 0;
+  int output_cells = 0;
+  /// Area overhead fraction added by the ring.
+  double area_overhead = 0;
+};
+
+/// Inserts the boundary ring in place. Every former PI consumer is rewired
+/// to read the input cell; each PO gets an observing cell appended (the
+/// functional output is unchanged).
+BoundaryScanResult insert_boundary_scan(rtl::Datapath& dp);
+
+}  // namespace tsyn::testability

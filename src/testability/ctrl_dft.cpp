@@ -1,0 +1,17 @@
+#include "testability/ctrl_dft.h"
+
+namespace tsyn::testability {
+
+ControllerDftResult apply_controller_dft(rtl::Controller& controller) {
+  ControllerDftResult r;
+  r.conflicts_before =
+      static_cast<int>(rtl::find_pair_conflicts(controller).size());
+  r.pair_coverage_before = rtl::pair_coverage(controller);
+  r.vectors_added = rtl::add_conflict_resolving_vectors(controller);
+  r.conflicts_after =
+      static_cast<int>(rtl::find_pair_conflicts(controller).size());
+  r.pair_coverage_after = rtl::pair_coverage(controller);
+  return r;
+}
+
+}  // namespace tsyn::testability

@@ -1,0 +1,27 @@
+// Controller-based DFT (§3.5, [14]).
+//
+// Even with a loop-free datapath, the composite controller/datapath circuit
+// can resist sequential ATPG because the controller only ever emits its
+// functional control vectors: control-value combinations ATPG needs may be
+// unreachable (control signal implications). The remedy adds a few extra
+// control vectors, reachable in test mode, that realize the conflicting
+// combinations. This module wraps the analysis in rtl/controller.h into the
+// flow and reports the metrics the survey cites.
+#pragma once
+
+#include "rtl/controller.h"
+
+namespace tsyn::testability {
+
+struct ControllerDftResult {
+  int conflicts_before = 0;
+  int conflicts_after = 0;
+  int vectors_added = 0;
+  double pair_coverage_before = 0;
+  double pair_coverage_after = 0;
+};
+
+/// Applies the conflict-eliminating vector augmentation in place.
+ControllerDftResult apply_controller_dft(rtl::Controller& controller);
+
+}  // namespace tsyn::testability

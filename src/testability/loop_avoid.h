@@ -1,0 +1,58 @@
+// Loop-avoiding simultaneous scheduling and assignment (§3.3.2, [33]).
+//
+// Hardware sharing can create assignment loops in the data path even when
+// the CDFG is loop-free (the paper's Figure 1). Potkonjak, Dey & Roy avoid
+// them during synthesis: operations are scheduled and assigned together,
+// least-slack first, choosing the (FU, step) pair whose testability cost —
+// new loops closed in the FU dependence structure — is smallest; register
+// assignment then places lifetimes so no register-level loop forms, reusing
+// scan registers (which break loops for free) wherever possible.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+#include "hls/schedule.h"
+
+namespace tsyn::testability {
+
+struct LoopAvoidOptions {
+  hls::Resources resources;
+  /// Schedule deadline; 0 = critical path length.
+  int num_steps = 0;
+  /// Variables already chosen to be scanned (their registers break loops
+  /// at no extra cost and are preferentially reused).
+  std::vector<cdfg::VarId> scan_vars;
+
+  // --- ablation knobs (DESIGN.md: each ON by default) ---
+  /// Charge candidate (FU, step) pairs for FU-level cycles they close.
+  bool fu_cycle_cost = true;
+  /// Model the structural mux cross-product when placing registers (off
+  /// falls back to per-operation producer/consumer edges only).
+  bool structural_reg_edges = true;
+  /// Reward placing non-scan lifetimes into scan registers.
+  bool scan_reuse_reward = true;
+};
+
+struct LoopAvoidResult {
+  hls::Schedule schedule;
+  hls::Binding binding;
+};
+
+/// Runs the combined scheduling+assignment flow.
+LoopAvoidResult loop_avoiding_synthesis(const cdfg::Cdfg& g,
+                                        const LoopAvoidOptions& opts);
+
+/// The register-assignment half on its own: assigns lifetimes to registers
+/// minimizing register-level loop formation (edges through scan registers
+/// do not count). `fu_of_op` supplies the module sharing structure, whose
+/// mux trees create register-to-register paths beyond the data-dependence
+/// pairs. Usable on any schedule/FU binding.
+std::vector<int> loop_aware_register_assignment(
+    const cdfg::Cdfg& g, const cdfg::LifetimeAnalysis& lts,
+    const std::vector<cdfg::VarId>& scan_vars,
+    const std::vector<int>& fu_of_op, bool structural_reg_edges = true,
+    bool scan_reuse_reward = true);
+
+}  // namespace tsyn::testability

@@ -1,0 +1,97 @@
+#include "testability/mobility_sched.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cdfg/lifetime.h"
+#include "graph/paths.h"
+#include "hls/fds.h"
+#include "testability/reg_assign.h"
+
+namespace tsyn::testability {
+
+namespace {
+
+/// Cost of a candidate schedule: extra (non-I/O) registers dominate, total
+/// registers break ties — both estimated through the I/O-maximizing
+/// assignment the final binding will use.
+long schedule_cost(const cdfg::Cdfg& g, const hls::Schedule& s) {
+  const cdfg::LifetimeAnalysis lts =
+      cdfg::analyze_lifetimes(g, s.step_of_op, s.num_steps);
+  const IoAssignResult a = io_maximizing_assignment(lts);
+  return static_cast<long>(a.num_regs - a.num_io_regs) * 100 + a.num_regs;
+}
+
+bool schedule_feasible(const cdfg::Cdfg& g, const hls::Schedule& s,
+                       const hls::Resources& res) {
+  const graph::Digraph dep = g.op_dependence_graph(false);
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o)
+    for (graph::NodeId p : dep.predecessors(o))
+      if (s.step_of_op[p] >= s.step_of_op[o]) return false;
+  for (const auto& [type, used] : hls::peak_resource_usage(g, s))
+    if (used > res.get(type)) return false;
+  return true;
+}
+
+}  // namespace
+
+hls::Schedule mobility_path_schedule(const cdfg::Cdfg& g, int num_steps,
+                                     const hls::Resources& res) {
+  if (num_steps < hls::critical_path_length(g))
+    throw std::runtime_error("deadline below critical path length");
+
+  // Start from the best feasible seed among ALAP (late intermediates =
+  // short intermediate lifetimes), FDS, and the list schedule.
+  std::vector<hls::Schedule> seeds;
+  seeds.push_back(hls::alap_schedule(g, num_steps));
+  seeds.push_back(hls::force_directed_schedule(g, num_steps));
+  {
+    hls::Schedule listed = hls::list_schedule(g, res);
+    if (listed.num_steps <= num_steps) {
+      listed.num_steps = num_steps;
+      seeds.push_back(std::move(listed));
+    }
+  }
+  hls::Schedule best;
+  long best_cost = 0;
+  bool have = false;
+  for (hls::Schedule& seed : seeds) {
+    if (!schedule_feasible(g, seed, res)) continue;
+    const long cost = schedule_cost(g, seed);
+    if (!have || cost < best_cost) {
+      best = std::move(seed);
+      best_cost = cost;
+      have = true;
+    }
+  }
+  if (!have) throw std::runtime_error("resources too tight for the deadline");
+
+  // Window-constrained iterative improvement: move one op at a time to the
+  // step that lowers the register cost most; repeat to a fixed point.
+  const hls::Schedule asap = hls::asap_schedule(g);
+  const hls::Schedule alap = hls::alap_schedule(g, num_steps);
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds++ < 20) {
+    improved = false;
+    for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
+      const int lo = asap.step_of_op[o];
+      const int hi = alap.step_of_op[o];
+      for (int step = lo; step <= hi; ++step) {
+        if (step == best.step_of_op[o]) continue;
+        hls::Schedule candidate = best;
+        candidate.step_of_op[o] = step;
+        if (!schedule_feasible(g, candidate, res)) continue;
+        const long cost = schedule_cost(g, candidate);
+        if (cost < best_cost) {
+          best = std::move(candidate);
+          best_cost = cost;
+          improved = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tsyn::testability

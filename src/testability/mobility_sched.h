@@ -1,0 +1,22 @@
+// Mobility-path scheduling for testability (§3.2, [26]).
+//
+// Lee, Wolf & Jha reschedule operations within their mobility windows so
+// intermediate lifetimes stop overlapping input/output lifetimes, letting
+// more intermediates share I/O registers and shrinking the sequential depth
+// between registers. Reimplemented here as window-constrained iterative
+// improvement over the I/O-register objective of reg_assign.h.
+#pragma once
+
+#include "cdfg/ir.h"
+#include "hls/schedule.h"
+
+namespace tsyn::testability {
+
+/// Schedules into `num_steps` (>= critical path), maximizing the number of
+/// I/O registers achievable by io_maximizing_assignment and minimizing
+/// extra registers, while respecting `res` (pass an unconstrained Resources
+/// for time-constrained mode).
+hls::Schedule mobility_path_schedule(const cdfg::Cdfg& g, int num_steps,
+                                     const hls::Resources& res = {});
+
+}  // namespace tsyn::testability

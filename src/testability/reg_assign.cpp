@@ -1,0 +1,184 @@
+#include "testability/reg_assign.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/matching.h"
+
+namespace tsyn::testability {
+
+namespace {
+
+/// A register under construction: member lifetimes + slot occupancy.
+struct Reg {
+  std::vector<int> members;
+  std::vector<bool> occupied;
+  bool is_input = false;
+  bool is_output = false;
+};
+
+std::vector<bool> mask_of(const graph::Interval& iv, int slots) {
+  std::vector<bool> m(slots, false);
+  if (!iv.wraps()) {
+    for (int s = iv.birth; s < iv.death && s < slots; ++s) m[s] = true;
+  } else {
+    for (int s = iv.birth; s < slots; ++s) m[s] = true;
+    for (int s = 0; s < iv.death; ++s) m[s] = true;
+    if (iv.birth == iv.death) std::fill(m.begin(), m.end(), true);
+  }
+  return m;
+}
+
+bool fits(const Reg& reg, const std::vector<bool>& mask) {
+  for (std::size_t s = 0; s < mask.size(); ++s)
+    if (mask[s] && reg.occupied[s]) return false;
+  return true;
+}
+
+void place(Reg& reg, int lifetime, const std::vector<bool>& mask) {
+  reg.members.push_back(lifetime);
+  for (std::size_t s = 0; s < mask.size(); ++s)
+    if (mask[s]) reg.occupied[s] = true;
+}
+
+}  // namespace
+
+IoAssignResult io_maximizing_assignment(const cdfg::LifetimeAnalysis& lts) {
+  const int slots = lts.num_slots;
+  const int n = static_cast<int>(lts.lifetimes.size());
+  std::vector<std::vector<bool>> masks(n);
+  for (int i = 0; i < n; ++i)
+    masks[i] = mask_of(lts.lifetimes[i].interval, slots);
+
+  std::vector<Reg> out_regs;
+  std::vector<Reg> in_regs;
+  std::vector<Reg> extra_regs;
+  std::vector<int> intermediates;
+
+  // 1. Every output lifetime anchors an output register; inputs likewise.
+  //    (A lifetime can be both — e.g. a state observed at a PO — treat it
+  //    as an output register.)
+  for (int i = 0; i < n; ++i) {
+    const cdfg::StorageLifetime& lt = lts.lifetimes[i];
+    if (lt.is_output) {
+      Reg r;
+      r.occupied.assign(slots, false);
+      r.is_output = true;
+      r.is_input = lt.is_input;
+      place(r, i, masks[i]);
+      out_regs.push_back(std::move(r));
+    } else if (lt.is_input) {
+      Reg r;
+      r.occupied.assign(slots, false);
+      r.is_input = true;
+      place(r, i, masks[i]);
+      in_regs.push_back(std::move(r));
+    } else {
+      intermediates.push_back(i);
+    }
+  }
+
+  // 2. Pack intermediates into output registers, longest lifetime first
+  //    (hardest to place later).
+  auto by_length_desc = [&](int a, int b) {
+    const auto len = [&](int i) {
+      return std::count(masks[i].begin(), masks[i].end(), true);
+    };
+    return len(a) > len(b);
+  };
+  std::sort(intermediates.begin(), intermediates.end(), by_length_desc);
+  std::vector<int> still_left;
+  for (int i : intermediates) {
+    bool placed = false;
+    for (Reg& r : out_regs)
+      if (fits(r, masks[i])) {
+        place(r, i, masks[i]);
+        placed = true;
+        break;
+      }
+    if (!placed) still_left.push_back(i);
+  }
+
+  // 4. Pack the rest into input registers.
+  std::vector<int> leftovers;
+  for (int i : still_left) {
+    bool placed = false;
+    for (Reg& r : in_regs)
+      if (fits(r, masks[i])) {
+        place(r, i, masks[i]);
+        placed = true;
+        break;
+      }
+    if (!placed) leftovers.push_back(i);
+  }
+
+  // 5. Merge input registers into compatible output registers (maximum
+  //    bipartite matching on the no-overlap relation).
+  std::vector<std::vector<int>> adj(in_regs.size());
+  for (std::size_t a = 0; a < in_regs.size(); ++a)
+    for (std::size_t b = 0; b < out_regs.size(); ++b) {
+      bool ok = true;
+      for (int s = 0; s < slots && ok; ++s)
+        ok = !(in_regs[a].occupied[s] && out_regs[b].occupied[s]);
+      if (ok) adj[a].push_back(static_cast<int>(b));
+    }
+  const std::vector<int> match =
+      graph::max_bipartite_matching(adj, static_cast<int>(out_regs.size()));
+  std::vector<bool> in_merged(in_regs.size(), false);
+  for (std::size_t a = 0; a < in_regs.size(); ++a) {
+    if (match[a] < 0) continue;
+    Reg& dst = out_regs[match[a]];
+    for (int m : in_regs[a].members) {
+      place(dst, m, masks[m]);
+    }
+    dst.is_input = true;
+    in_merged[a] = true;
+  }
+
+  // 6. Leftover intermediates: first-fit into extra registers.
+  for (int i : leftovers) {
+    bool placed = false;
+    for (Reg& r : extra_regs)
+      if (fits(r, masks[i])) {
+        place(r, i, masks[i]);
+        placed = true;
+        break;
+      }
+    if (!placed) {
+      Reg r;
+      r.occupied.assign(slots, false);
+      place(r, i, masks[i]);
+      extra_regs.push_back(std::move(r));
+    }
+  }
+
+  // Emit the final map.
+  IoAssignResult result;
+  result.reg_of_lifetime.assign(n, -1);
+  auto emit = [&](const Reg& r, bool io) {
+    const int idx = result.num_regs++;
+    if (io) ++result.num_io_regs;
+    for (int m : r.members) result.reg_of_lifetime[m] = idx;
+  };
+  for (const Reg& r : out_regs) emit(r, true);
+  for (std::size_t a = 0; a < in_regs.size(); ++a)
+    if (!in_merged[a]) emit(in_regs[a], true);
+  for (const Reg& r : extra_regs) emit(r, false);
+  return result;
+}
+
+int io_register_count(const cdfg::LifetimeAnalysis& lts,
+                      const std::vector<int>& reg_of_lifetime) {
+  const int num_regs =
+      reg_of_lifetime.empty()
+          ? 0
+          : 1 + *std::max_element(reg_of_lifetime.begin(),
+                                  reg_of_lifetime.end());
+  std::vector<bool> io(num_regs, false);
+  for (std::size_t i = 0; i < lts.lifetimes.size(); ++i)
+    if (lts.lifetimes[i].is_input || lts.lifetimes[i].is_output)
+      io[reg_of_lifetime[i]] = true;
+  return static_cast<int>(std::count(io.begin(), io.end(), true));
+}
+
+}  // namespace tsyn::testability

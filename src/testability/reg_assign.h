@@ -1,0 +1,30 @@
+// Testability-driven register assignment (§3.2, [25]).
+//
+// Conventional register allocation minimizes register count only; Lee,
+// Wolf, Jha & Acken instead maximize the number of registers directly
+// connected to primary I/O: outputs and inputs anchor registers, as many
+// intermediate variables as possible share those I/O registers, input and
+// output registers merge where lifetimes allow, and only the leftover
+// intermediates get extra (hard-to-control) registers.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/lifetime.h"
+
+namespace tsyn::testability {
+
+struct IoAssignResult {
+  std::vector<int> reg_of_lifetime;
+  int num_regs = 0;
+  int num_io_regs = 0;  ///< registers holding an input or output lifetime
+};
+
+/// The I/O-register-maximizing assignment of [25].
+IoAssignResult io_maximizing_assignment(const cdfg::LifetimeAnalysis& lts);
+
+/// Statistics helper: I/O register count of an arbitrary register map.
+int io_register_count(const cdfg::LifetimeAnalysis& lts,
+                      const std::vector<int>& reg_of_lifetime);
+
+}  // namespace tsyn::testability

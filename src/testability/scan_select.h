@@ -1,0 +1,64 @@
+// Scan-variable selection for breaking CDFG loops (§3.3.1).
+//
+// Three selectors with one contract — return a set of CDFG variables whose
+// registers will be made scannable, breaking every data-dependency loop:
+//
+//  * MFVS baseline: treat the variable dependence graph exactly like a
+//    gate-level S-graph and pick a minimum feedback vertex set ([10],[22]
+//    transplanted to the CDFG). Ignores register sharing entirely.
+//  * Loop-cutting / sharing effectiveness ([33]): greedily pick variables
+//    that cut many loops AND can share scan registers with other
+//    candidates, so fewer physical scan registers result.
+//  * Boundary variables ([24]): cut loops at the loop-carried state
+//    variables (the loop "boundary"), preferring short lifetimes so
+//    intermediate variables can pack into the scan registers.
+//
+// The number that matters downstream is not |scan vars| but the number of
+// scan *registers* after binding — count_scan_registers reports it.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "hls/binding.h"
+#include "rtl/datapath.h"
+
+namespace tsyn::testability {
+
+/// Gate-level-style baseline: (near-)minimum feedback vertex set over the
+/// variable dependence graph.
+std::vector<cdfg::VarId> select_scan_vars_mfvs(const cdfg::Cdfg& g);
+
+/// [33]: greedy selection by loop-cutting effectiveness combined with
+/// register-sharing effectiveness estimated from ASAP lifetimes.
+std::vector<cdfg::VarId> select_scan_vars_loopcut(const cdfg::Cdfg& g);
+
+/// [24]: boundary (state) variables chosen by greedy loop cover,
+/// shorter-estimated-lifetime first.
+std::vector<cdfg::VarId> select_scan_vars_boundary(const cdfg::Cdfg& g);
+
+/// Interior-temp selection: breaks loops at plain temporaries where
+/// possible (falling back to states only for loops without one). Interior
+/// lifetimes do not span the iteration boundary, so they can share scan
+/// registers — the precondition the deflection transformation of [16]
+/// exploits.
+std::vector<cdfg::VarId> select_scan_vars_interior(const cdfg::Cdfg& g);
+
+/// Marks the registers holding any scan variable as scan registers in the
+/// binding's register map and returns their count.
+int count_scan_registers(const cdfg::Cdfg& g, const hls::Binding& b,
+                         const std::vector<cdfg::VarId>& scan_vars);
+
+/// Minimum scan registers the selection can pack into under the given
+/// lifetimes (greedy first-fit by overlap) — the quantity the sharing
+/// measures of [33] and the transformation of [16] optimize.
+int min_scan_registers(const cdfg::LifetimeAnalysis& lts,
+                       const std::vector<cdfg::VarId>& scan_vars);
+
+/// Applies scan configuration to a datapath: every register holding a scan
+/// variable gets test_kind = kScan. Returns the number of scan registers.
+int apply_scan(const cdfg::Cdfg& g, const hls::Binding& b,
+               const std::vector<cdfg::VarId>& scan_vars,
+               rtl::Datapath& dp);
+
+}  // namespace tsyn::testability

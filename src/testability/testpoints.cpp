@@ -1,0 +1,121 @@
+#include "testability/testpoints.h"
+
+#include <algorithm>
+
+#include "graph/paths.h"
+#include "rtl/sgraph.h"
+
+namespace tsyn::testability {
+
+CoDistances co_distances(const rtl::Datapath& dp,
+                         const std::vector<int>& control_points,
+                         const std::vector<int>& observe_points) {
+  const graph::Digraph s = rtl::build_sgraph(dp);
+  std::vector<graph::NodeId> c_sources;
+  std::vector<graph::NodeId> o_sources;
+  for (int r = 0; r < dp.num_regs(); ++r) {
+    if (dp.regs[r].is_input) c_sources.push_back(r);
+    if (dp.regs[r].is_output) o_sources.push_back(r);
+  }
+  for (int r : control_points) c_sources.push_back(r);
+  for (int r : observe_points) o_sources.push_back(r);
+
+  CoDistances d;
+  d.control = graph::bfs_distances(s, c_sources);
+  d.observe = graph::bfs_distances(s.reversed(), o_sources);
+  return d;
+}
+
+namespace {
+
+int count_violations(const rtl::Datapath& dp, int k, const CoDistances& d) {
+  int violations = 0;
+  for (const rtl::DatapathLoop& loop : rtl::analyze_loops(dp)) {
+    if (loop.kind == rtl::LoopClass::kSelfLoop) continue;
+    bool controllable = false;
+    bool observable = false;
+    for (graph::NodeId r : loop.registers) {
+      if (d.control[r] >= 0 && d.control[r] <= k) controllable = true;
+      if (d.observe[r] >= 0 && d.observe[r] <= k) observable = true;
+    }
+    if (!controllable || !observable) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace
+
+int klevel_violations(const rtl::Datapath& dp, int k,
+                      const std::vector<int>& control_points,
+                      const std::vector<int>& observe_points) {
+  return count_violations(dp, k,
+                          co_distances(dp, control_points, observe_points));
+}
+
+TestPointResult insert_klevel_test_points(rtl::Datapath& dp, int k,
+                                          bool apply) {
+  TestPointResult result;
+  for (;;) {
+    const CoDistances d = co_distances(dp, result.control_point_regs,
+                                       result.observe_point_regs);
+    const int before = count_violations(dp, k, d);
+    if (before == 0) break;
+
+    // Try every candidate insertion; keep the one fixing most violations.
+    int best_reg = -1;
+    bool best_is_control = true;
+    int best_after = before;
+    for (int r = 0; r < dp.num_regs(); ++r) {
+      for (const bool is_control : {true, false}) {
+        auto cps = result.control_point_regs;
+        auto ops = result.observe_point_regs;
+        auto& list = is_control ? cps : ops;
+        if (std::find(list.begin(), list.end(), r) != list.end()) continue;
+        list.push_back(r);
+        const int after = count_violations(dp, k, co_distances(dp, cps, ops));
+        if (after < best_after) {
+          best_after = after;
+          best_reg = r;
+          best_is_control = is_control;
+        }
+      }
+    }
+    if (best_reg < 0) {
+      // No single insertion helps (disconnected loop): force a control and
+      // an observe point on the first violating loop.
+      for (const rtl::DatapathLoop& loop : rtl::analyze_loops(dp)) {
+        if (loop.kind == rtl::LoopClass::kSelfLoop) continue;
+        bool c = false;
+        bool o = false;
+        for (graph::NodeId r : loop.registers) {
+          if (d.control[r] >= 0 && d.control[r] <= k) c = true;
+          if (d.observe[r] >= 0 && d.observe[r] <= k) o = true;
+        }
+        if (!c) result.control_point_regs.push_back(loop.registers.front());
+        if (!o) result.observe_point_regs.push_back(loop.registers.front());
+        if (!c || !o) break;
+      }
+      continue;
+    }
+    if (best_is_control)
+      result.control_point_regs.push_back(best_reg);
+    else
+      result.observe_point_regs.push_back(best_reg);
+  }
+
+  if (apply) {
+    for (int r : result.control_point_regs) {
+      const int pi = static_cast<int>(dp.primary_inputs.size());
+      dp.primary_inputs.push_back(
+          {"tp_c_" + dp.regs[r].name, dp.regs[r].width});
+      dp.regs[r].drivers.push_back(
+          {rtl::Source::Kind::kPrimaryInput, pi});
+    }
+    for (int r : result.observe_point_regs)
+      dp.primary_outputs.push_back(
+          {"tp_o_" + dp.regs[r].name, {rtl::Source::Kind::kRegister, r}});
+  }
+  return result;
+}
+
+}  // namespace tsyn::testability

@@ -1,0 +1,102 @@
+#include "testability/transform.h"
+
+#include <algorithm>
+
+#include "cdfg/lifetime.h"
+#include "hls/schedule.h"
+
+namespace tsyn::testability {
+
+namespace {
+
+cdfg::LifetimeAnalysis estimate(const cdfg::Cdfg& g) {
+  const hls::Schedule s = hls::asap_schedule(g);
+  return cdfg::analyze_lifetimes(g, s.step_of_op, std::max(s.num_steps, 1));
+}
+
+/// The CDFG step at which a scan variable's stored value is born (def step
+/// of a temp/update, or 0 for inputs/states read at iteration start).
+int birth_step(const cdfg::Cdfg& g, const hls::Schedule& s, cdfg::VarId v) {
+  const cdfg::Variable& var = g.var(v);
+  if (var.kind == cdfg::VarKind::kTemp && var.def_op >= 0)
+    return s.step_of_op[var.def_op];
+  return -1;  // available from the start
+}
+
+cdfg::VarId zero_constant(cdfg::Cdfg& g) {
+  for (const cdfg::Variable& v : g.vars())
+    if (v.kind == cdfg::VarKind::kConstant && v.constant_value == 0)
+      return v.id;
+  return g.add_constant("__zero", 0);
+}
+
+}  // namespace
+
+DeflectionResult insert_deflections(
+    const cdfg::Cdfg& g, const std::vector<cdfg::VarId>& scan_vars) {
+  DeflectionResult result{g, 0};
+  cdfg::Cdfg& t = result.transformed;
+
+  const int baseline_cp = hls::critical_path_length(g);
+
+  bool progress = true;
+  int guard = 0;
+  while (progress && guard++ < 32) {
+    progress = false;
+    const hls::Schedule asap = hls::asap_schedule(t);
+    const cdfg::LifetimeAnalysis lts = estimate(t);
+
+    // Find an overlapping pair of scan variables.
+    for (std::size_t i = 0; i < scan_vars.size() && !progress; ++i) {
+      for (std::size_t j = i + 1; j < scan_vars.size() && !progress; ++j) {
+        const int la = lts.lifetime_of_var[scan_vars[i]];
+        const int lb = lts.lifetime_of_var[scan_vars[j]];
+        if (la < 0 || lb < 0 || la == lb) continue;
+        if (!lts.overlap(la, lb)) continue;
+
+        // Try shortening either one by deflecting its late consumers.
+        for (const cdfg::VarId victim : {scan_vars[i], scan_vars[j]}) {
+          const int born = birth_step(t, asap, victim);
+          // Late consumers: executed two or more steps after the value is
+          // produced (a deflection at born+1 can feed them instead).
+          std::vector<cdfg::OpId> late;
+          for (cdfg::OpId use : t.var(victim).uses)
+            if (asap.step_of_op[use] >= born + 2) late.push_back(use);
+          if (late.empty()) continue;
+
+          // Tentatively transform a copy; keep it only if the critical
+          // path is unchanged.
+          cdfg::Cdfg candidate = t;
+          const cdfg::VarId zero = zero_constant(candidate);
+          const cdfg::VarId defl = candidate.add_op(
+              cdfg::OpKind::kAdd,
+              "__defl" + std::to_string(result.inserted) + "_" +
+                  candidate.var(victim).name,
+              {victim, zero});
+          for (cdfg::OpId use : late) {
+            const cdfg::Operation& op = candidate.op(use);
+            for (std::size_t p = 0; p < op.inputs.size(); ++p)
+              if (op.inputs[p] == victim)
+                candidate.replace_op_input(use, p, defl);
+          }
+          candidate.validate();
+          if (hls::critical_path_length(candidate) > baseline_cp) continue;
+
+          // Accept only if the overlap actually went away.
+          const cdfg::LifetimeAnalysis new_lts = estimate(candidate);
+          const int na = new_lts.lifetime_of_var[scan_vars[i]];
+          const int nb = new_lts.lifetime_of_var[scan_vars[j]];
+          if (na >= 0 && nb >= 0 && na != nb && new_lts.overlap(na, nb))
+            continue;
+          t = std::move(candidate);
+          ++result.inserted;
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tsyn::testability

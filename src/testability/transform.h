@@ -1,0 +1,29 @@
+// Behavioral transformation with deflection operations (§3.4, [16]).
+//
+// A deflection operation computes the identity (add with 0) and therefore
+// preserves the behavior, but it re-times a value: redirecting a variable's
+// late consumers through a deflected copy shortens the variable's lifetime.
+// Applied to scan variables whose overlapping lifetimes block scan-register
+// sharing, the transformed specification needs fewer scan registers than
+// the original — at no performance cost (insertions that would stretch the
+// critical path are rejected).
+#pragma once
+
+#include <vector>
+
+#include "cdfg/ir.h"
+
+namespace tsyn::testability {
+
+struct DeflectionResult {
+  cdfg::Cdfg transformed;
+  int inserted = 0;  ///< deflection operations added
+};
+
+/// Inserts deflection ops so the given scan variables can share scan
+/// registers. Variable ids of the original graph remain valid in the
+/// transformed graph (new vars/ops are appended).
+DeflectionResult insert_deflections(const cdfg::Cdfg& g,
+                                    const std::vector<cdfg::VarId>& scan_vars);
+
+}  // namespace tsyn::testability

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// Every stochastic component in tsyn (workload generators, randomized
+// heuristics, pseudorandom pattern sources) draws from an explicitly seeded
+// Rng so that all experiments are exactly reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsyn::util {
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+///
+/// We intentionally avoid std::mt19937 default-seeding and
+/// std::random_device: reproducibility across platforms matters more than
+/// statistical perfection for synthesis heuristics and workload generation.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield identical streams on every
+  /// platform.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t pick_index(std::size_t size);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tsyn::util

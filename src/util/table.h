@@ -1,0 +1,41 @@
+// Plain-text result tables for benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure of the survey's claims and
+// prints it through this formatter so EXPERIMENTS.md entries can be pasted
+// verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsyn::util {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule, columns padded to content width.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fmt(double v, int decimals = 2);
+
+/// Formats a ratio as "x.yz x" (speedup/overhead factor).
+std::string fmt_factor(double v, int decimals = 2);
+
+/// Formats a fraction as a percentage string "97.3%".
+std::string fmt_pct(double fraction, int decimals = 1);
+
+}  // namespace tsyn::util

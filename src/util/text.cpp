@@ -1,0 +1,40 @@
+#include "util/text.h"
+
+namespace tsyn::util {
+
+std::vector<std::string> split(std::string_view text,
+                               std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find_first_of(delims, start);
+    const std::size_t stop = (end == std::string_view::npos) ? text.size()
+                                                             : end;
+    if (stop > start) out.emplace_back(text.substr(start, stop - start));
+    start = stop + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return {};
+  const auto last = text.find_last_not_of(" \t\r\n");
+  return text.substr(first, last - first + 1);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace tsyn::util

@@ -1,0 +1,22 @@
+// Small string utilities shared by the CDFG parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsyn::util {
+
+/// Splits on any of the delimiter characters; empty tokens are dropped.
+std::vector<std::string> split(std::string_view text, std::string_view delims);
+
+/// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace tsyn::util

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "gatelevel/atpg_comb.h"
+#include "gatelevel/atpg_seq.h"
+#include "gatelevel/expand.h"
+#include "gatelevel/faultsim.h"
+
+namespace tsyn::gl {
+namespace {
+
+TEST(Podem, SimpleAndGate) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int g = n.add_gate(GateType::kAnd, {a, b});
+  n.mark_output(g);
+  Podem podem(n);
+  // Output sa0: needs a=b=1.
+  const AtpgResult r = podem.generate({g, -1, false});
+  ASSERT_EQ(r.status, AtpgStatus::kDetected);
+  EXPECT_EQ(r.pi_values[0], V::k1);
+  EXPECT_EQ(r.pi_values[1], V::k1);
+}
+
+TEST(Podem, InputFaultOnAnd) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int g = n.add_gate(GateType::kAnd, {a, b});
+  n.mark_output(g);
+  Podem podem(n);
+  // a sa0 at the gate pin: set a=1 (activate), b=1 (propagate).
+  const AtpgResult r = podem.generate({g, 0, false});
+  ASSERT_EQ(r.status, AtpgStatus::kDetected);
+  EXPECT_EQ(r.pi_values[0], V::k1);
+  EXPECT_EQ(r.pi_values[1], V::k1);
+}
+
+TEST(Podem, UntestableRedundantFault) {
+  // y = a OR (a AND b): the AND output sa0 is undetectable when a=1
+  // masks it and a=0 blocks activation... actually a&b sa0 requires
+  // a=1,b=1 to activate but then OR output is 1 either way: redundant.
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int g1 = n.add_gate(GateType::kAnd, {a, b});
+  const int g2 = n.add_gate(GateType::kOr, {a, g1});
+  n.mark_output(g2);
+  Podem podem(n);
+  const AtpgResult r = podem.generate({g1, -1, false});
+  EXPECT_EQ(r.status, AtpgStatus::kUntestable);
+}
+
+TEST(Podem, XorChainNeedsSpecificValues) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int c = n.add_input("c");
+  const int g1 = n.add_gate(GateType::kXor, {a, b});
+  const int g2 = n.add_gate(GateType::kXor, {g1, c});
+  n.mark_output(g2);
+  Podem podem(n);
+  for (const Fault f : {Fault{g1, -1, false}, Fault{g1, -1, true},
+                        Fault{a, -1, false}, Fault{a, -1, true}}) {
+    const AtpgResult r = podem.generate(f);
+    EXPECT_EQ(r.status, AtpgStatus::kDetected);
+  }
+}
+
+TEST(Podem, AdderFullEfficiency) {
+  Netlist n;
+  const Word a = make_input_word(n, "a", 6);
+  const Word b = make_input_word(n, "b", 6);
+  const Word s = ripple_add(n, a, b, n.add_const(false));
+  for (int bit : s) n.mark_output(bit);
+  const auto faults = enumerate_faults(n);
+  const AtpgCampaign c = run_combinational_atpg(n, faults);
+  EXPECT_DOUBLE_EQ(c.fault_efficiency, 1.0);
+  EXPECT_GT(c.fault_coverage, 0.999);
+}
+
+TEST(Podem, MultiplierHighCoverage) {
+  Netlist n;
+  const Word a = make_input_word(n, "a", 5);
+  const Word b = make_input_word(n, "b", 5);
+  const Word p = array_multiply(n, a, b);
+  for (int bit : p) n.mark_output(bit);
+  const auto faults = enumerate_faults(n);
+  const AtpgCampaign c = run_combinational_atpg(n, faults, 2000);
+  EXPECT_GT(c.fault_efficiency, 0.95);
+  // The truncated array multiplier has genuinely redundant logic in the
+  // upper carry chains, so coverage < efficiency is expected.
+  EXPECT_GT(c.fault_coverage, 0.80);
+}
+
+TEST(Podem, GeneratedTestsActuallyDetect) {
+  Netlist n;
+  const Word a = make_input_word(n, "a", 4);
+  const Word b = make_input_word(n, "b", 4);
+  const Word s = ripple_sub(n, a, b);
+  for (int bit : s) n.mark_output(bit);
+  const auto faults = enumerate_faults(n);
+  Podem podem(n);
+  FaultSimulator sim(n);
+  int checked = 0;
+  for (std::size_t i = 0; i < faults.size() && checked < 25; i += 3) {
+    const AtpgResult r = podem.generate(faults[i]);
+    if (r.status != AtpgStatus::kDetected) continue;
+    ++checked;
+    std::vector<Bits> block(n.primary_inputs().size());
+    for (std::size_t p = 0; p < block.size(); ++p)
+      block[p] = r.pi_values[p] == V::k1   ? Bits::all1()
+                 : r.pi_values[p] == V::k0 ? Bits::all0()
+                                           : Bits::all0();
+    std::vector<bool> det(faults.size(), false);
+    // Mask everything except the target so run_block simulates it.
+    std::vector<Fault> one{faults[i]};
+    std::vector<bool> d1;
+    sim.run_block(block, one, d1);
+    EXPECT_TRUE(d1[0]) << "fault " << describe(n, faults[i]);
+  }
+  EXPECT_GE(checked, 20);
+}
+
+TEST(Podem, FrozenInputsStayX) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int g = n.add_gate(GateType::kAnd, {a, b});
+  n.mark_output(g);
+  Podem podem(n);
+  podem.freeze_inputs({1});  // b may not be assigned
+  const AtpgResult r = podem.generate({g, -1, false});
+  // Detection impossible without b: PODEM must give up (untestable under
+  // the freeze, reported as untestable after exhausting 'a').
+  EXPECT_NE(r.status, AtpgStatus::kDetected);
+}
+
+TEST(Unroll, StructureAndMapping) {
+  // 2-bit shift register.
+  Netlist n;
+  const int a = n.add_input("a");
+  const int q0 = n.add_dff(-1, "q0");
+  const int q1 = n.add_dff(-1, "q1");
+  n.set_dff_input(q0, a);
+  n.set_dff_input(q1, q0);
+  n.mark_output(q1);
+  const Unrolled u = unroll(n, 3);
+  EXPECT_EQ(u.net.flops().size(), 0u);
+  EXPECT_EQ(u.frozen_pi_positions.size(), 2u);  // frame-0 q0, q1
+  // 3 frames x 1 PI + 2 frozen.
+  EXPECT_EQ(u.net.primary_inputs().size(), 5u);
+  EXPECT_EQ(u.net.primary_outputs().size(), 3u);
+}
+
+TEST(SeqAtpg, ShiftRegisterFaultNeedsPipelineDepth) {
+  // Fault at the head of a 3-deep shift register needs 4 frames.
+  Netlist n;
+  const int a = n.add_input("a");
+  int prev = a;
+  std::vector<int> qs;
+  for (int i = 0; i < 3; ++i) {
+    const int q = n.add_dff(-1, "q" + std::to_string(i));
+    n.set_dff_input(q, prev);
+    qs.push_back(q);
+    prev = q;
+  }
+  n.mark_output(prev);
+  const SeqAtpgResult r = sequential_atpg(n, {a, -1, false}, 8);
+  ASSERT_EQ(r.status, AtpgStatus::kDetected);
+  EXPECT_EQ(r.frames_used, 4);
+}
+
+TEST(SeqAtpg, TestVerifiedBySequentialSim) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int q = n.add_dff(-1, "q");
+  const int g = n.add_gate(GateType::kAnd, {a, q});
+  n.set_dff_input(q, b);
+  n.mark_output(g);
+  const Fault f{g, -1, false};
+  const SeqAtpgResult r = sequential_atpg(n, f, 6);
+  ASSERT_EQ(r.status, AtpgStatus::kDetected);
+  // Replay the generated frames through the sequential fault simulator.
+  std::vector<std::vector<Bits>> frames;
+  for (const auto& fv : r.frame_inputs) {
+    std::vector<Bits> bits(fv.size());
+    for (std::size_t i = 0; i < fv.size(); ++i)
+      bits[i] = fv[i] == V::k1 ? Bits::all1() : Bits::all0();
+    frames.push_back(bits);
+  }
+  const auto det = sequential_fault_sim(n, frames, {f});
+  EXPECT_TRUE(det[0]);
+}
+
+TEST(SeqAtpg, CampaignOnResettableCounter) {
+  // 2-bit toggle counter with synchronous reset:
+  //   q0' = !rst & (q0 ^ en);  q1' = !rst & (q1 ^ (q0 & en)).
+  // The reset gives ATPG an initialization path from the unknown state.
+  Netlist n;
+  const int en = n.add_input("en");
+  const int rst = n.add_input("rst");
+  const int nrst = n.add_gate(GateType::kNot, {rst});
+  const int q0 = n.add_dff(-1, "q0");
+  const int q1 = n.add_dff(-1, "q1");
+  const int t0 = n.add_gate(GateType::kXor, {q0, en});
+  const int c0 = n.add_gate(GateType::kAnd, {q0, en});
+  const int t1 = n.add_gate(GateType::kXor, {q1, c0});
+  const int d0 = n.add_gate(GateType::kAnd, {nrst, t0});
+  const int d1 = n.add_gate(GateType::kAnd, {nrst, t1});
+  n.set_dff_input(q0, d0);
+  n.set_dff_input(q1, d1);
+  n.mark_output(t0);
+  n.mark_output(t1);
+  const auto faults = enumerate_faults(n);
+  const SeqAtpgCampaign c = run_sequential_atpg(n, faults, 8, 4000);
+  EXPECT_GT(c.fault_coverage, 0.5);
+  EXPECT_GT(c.total.decisions, 0);
+}
+
+}  // namespace
+}  // namespace tsyn::gl

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bist/abist.h"
+#include "bist/bist_assign.h"
+#include "bist/sessions.h"
+#include "bist/share.h"
+#include "bist/test_registers.h"
+#include "bist/tfb.h"
+#include "cdfg/benchmarks.h"
+#include "hls/synthesis.h"
+#include "rtl/area.h"
+
+namespace tsyn::bist {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::FuType;
+
+hls::Synthesis shared_synthesis(const Cdfg& g) {
+  hls::SynthesisOptions opts;
+  opts.resources = hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 2}};
+  return hls::synthesize(g, opts);
+}
+
+TEST(Adjacency, SelfAdjacentDetected) {
+  // An accumulator (merged state register written by the ALU it feeds) is
+  // the canonical self-adjacent case.
+  Cdfg g;
+  const auto x = g.add_input("x");
+  const auto s = g.add_state("s");
+  const auto t = g.add_op(cdfg::OpKind::kAdd, "t", {s, x});
+  const auto u = g.add_op(cdfg::OpKind::kAdd, "u", {t, x});
+  g.set_state_update(s, u);
+  g.mark_output(u);
+  const hls::Synthesis syn = shared_synthesis(g);
+  const BistAdjacency adj = analyze_adjacency(syn.rtl.datapath);
+  EXPECT_GT(adj.self_adjacent_count(), 0);
+}
+
+TEST(Adjacency, ConventionalConfigurationAssignsRoles) {
+  const hls::Synthesis syn = shared_synthesis(cdfg::diffeq());
+  rtl::Datapath dp = syn.rtl.datapath;
+  const int cbilbos = configure_bist_conventional(dp);
+  const TestRegCounts counts = count_test_registers(dp);
+  EXPECT_EQ(counts.cbilbo, cbilbos);
+  EXPECT_EQ(counts.none, 0);  // every register got a role
+  EXPECT_GT(counts.tpgr + counts.bilbo + counts.cbilbo, 0);
+}
+
+TEST(Adjacency, CbilboCostsShowInArea) {
+  const hls::Synthesis syn = shared_synthesis(cdfg::diffeq());
+  rtl::Datapath dp = syn.rtl.datapath;
+  configure_bist_conventional(dp);
+  EXPECT_GT(rtl::test_area_overhead(dp), 0.0);
+}
+
+TEST(BistAssign, ReducesSelfAdjacency) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Synthesis syn = shared_synthesis(g);
+
+    // Conventional datapath self-adjacency.
+    const int sa_before =
+        analyze_adjacency(syn.rtl.datapath).self_adjacent_count();
+
+    hls::Binding b = syn.binding;
+    const std::vector<int> map = bist_aware_register_assignment(g, b);
+    hls::rebind_registers(g, b, map);
+    const hls::RtlDesign rtl = hls::build_rtl(g, syn.schedule, b);
+    const int sa_after = analyze_adjacency(rtl.datapath).self_adjacent_count();
+    EXPECT_LE(sa_after, sa_before) << g.name();
+  }
+}
+
+TEST(BistAssign, RegisterCountStaysReasonable) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Synthesis syn = shared_synthesis(g);
+    hls::Binding b = syn.binding;
+    const std::vector<int> map = bist_aware_register_assignment(g, b);
+    const int regs =
+        1 + *std::max_element(map.begin(), map.end());
+    EXPECT_LE(regs, syn.binding.num_regs + 3) << g.name();
+  }
+}
+
+TEST(Tfb, NoSelfAdjacencyBeyondInherent) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Schedule s = hls::list_schedule(
+        g, hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 2}});
+    const TfbResult r = tfb_synthesis(g, s);
+    const hls::RtlDesign rtl = hls::build_rtl(g, s, r.binding);
+    const BistAdjacency adj = analyze_adjacency(rtl.datapath);
+    EXPECT_LE(adj.self_adjacent_count(), r.inherent_self_adjacent)
+        << g.name();
+  }
+}
+
+TEST(Tfb, OneOutputRegisterPerTfb) {
+  const Cdfg g = cdfg::dct4();
+  const hls::Schedule s = hls::list_schedule(
+      g, hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 2}});
+  const TfbResult r = tfb_synthesis(g, s);
+  // Registers 0..num_tfbs-1 are the TFB output registers; each is loaded
+  // from exactly one FU.
+  const hls::RtlDesign rtl = hls::build_rtl(g, s, r.binding);
+  for (int reg = 0; reg < r.num_tfbs; ++reg) {
+    std::set<int> fu_sources;
+    for (const rtl::Source& src : rtl.datapath.regs[reg].drivers)
+      if (src.kind == rtl::Source::Kind::kFu) fu_sources.insert(src.index);
+    EXPECT_LE(fu_sources.size(), 1u);
+  }
+}
+
+TEST(Tfb, MoreUnitsThanConventional) {
+  // The one-output-register restriction costs FUs; XTFB recovers them.
+  const Cdfg g = cdfg::ewf();
+  const hls::Schedule s = hls::list_schedule(
+      g, hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 2}});
+  const TfbResult tfb = tfb_synthesis(g, s);
+  const XtfbResult xtfb = xtfb_synthesis(g, s);
+  EXPECT_LE(xtfb.num_alus, tfb.num_tfbs);
+  EXPECT_EQ(xtfb.cbilbos, 0);
+}
+
+TEST(Xtfb, ValidOnAllBenchmarks) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Schedule s = hls::list_schedule(
+        g, hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 2}});
+    const XtfbResult r = xtfb_synthesis(g, s);
+    EXPECT_NO_THROW(hls::validate_binding(g, s, r.binding)) << g.name();
+    EXPECT_GT(r.num_alus, 0) << g.name();
+  }
+}
+
+TEST(Share, AuditFindsRolesOnConventional) {
+  const Cdfg g = cdfg::diffeq();
+  const hls::Synthesis syn = shared_synthesis(g);
+  const BistRoles roles = audit_roles(g, syn.binding);
+  EXPECT_GT(roles.tpgrs.size(), 0u);
+  EXPECT_GT(roles.srs.size(), 0u);
+}
+
+TEST(Share, SharingReducesTestRegisters) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Synthesis syn = shared_synthesis(g);
+    const BistRoles before = audit_roles(g, syn.binding);
+    const ShareResult r = sharing_register_assignment(g, syn.binding);
+    EXPECT_LE(r.roles.test_registers(), before.test_registers() + 1)
+        << g.name();
+    EXPECT_LE(r.roles.cbilbos, before.cbilbos + 1) << g.name();
+  }
+}
+
+TEST(Share, MapIsInstallable) {
+  const Cdfg g = cdfg::ewf();
+  const hls::Synthesis syn = shared_synthesis(g);
+  hls::Binding b = syn.binding;
+  const ShareResult r = sharing_register_assignment(g, b);
+  EXPECT_NO_THROW(hls::rebind_registers(g, b, r.reg_of_lifetime));
+}
+
+TEST(Sessions, AnalysisRunsOnConventional) {
+  const Cdfg g = cdfg::diffeq();
+  const hls::Synthesis syn = shared_synthesis(g);
+  const SessionAnalysis a = schedule_test_sessions(g, syn.binding);
+  EXPECT_EQ(a.num_modules, syn.binding.num_fus());
+  EXPECT_GE(a.num_sessions, 1);
+  EXPECT_LE(a.num_sessions, a.num_modules);
+}
+
+TEST(Sessions, ConflictAwareNeverWorse) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Schedule s = hls::list_schedule(
+        g, hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 2}});
+    const hls::Binding conventional = hls::make_binding(g, s);
+    const SessionAnalysis base = schedule_test_sessions(g, conventional);
+
+    const hls::Binding aware = conflict_aware_binding(g, s);
+    const SessionAnalysis opt = schedule_test_sessions(g, aware);
+    EXPECT_LE(opt.num_sessions, base.num_sessions + 1) << g.name();
+  }
+}
+
+TEST(Sessions, SessionScheduleIsProper) {
+  const Cdfg g = cdfg::ewf();
+  const hls::Synthesis syn = shared_synthesis(g);
+  const SessionAnalysis a = schedule_test_sessions(g, syn.binding);
+  ASSERT_EQ(static_cast<int>(a.session_of_module.size()), a.num_modules);
+  for (int m = 0; m < a.num_modules; ++m) {
+    EXPECT_GE(a.session_of_module[m], 0);
+    EXPECT_LT(a.session_of_module[m], a.num_sessions);
+  }
+}
+
+TEST(Abist, StateCoverageInUnitRange) {
+  const Cdfg g = cdfg::diffeq();
+  const auto states = subspace_states(g);
+  for (const auto& s : states) {
+    const double cov = state_coverage(s, 4);
+    EXPECT_GE(cov, 0.0);
+    EXPECT_LE(cov, 1.0);
+    EXPECT_GT(s.size(), 0u);
+  }
+}
+
+TEST(Abist, MoreIterationsMoreCoverage) {
+  const Cdfg g = cdfg::iir_biquad();
+  AbistOptions few;
+  few.iterations = 32;
+  AbistOptions many;
+  many.iterations = 512;
+  const auto s_few = subspace_states(g, few);
+  const auto s_many = subspace_states(g, many);
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o)
+    EXPECT_GE(s_many[o].size(), s_few[o].size());
+}
+
+TEST(Abist, CoverageBindingBeatsConventional) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Schedule s = hls::list_schedule(
+        g, hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 2}});
+    const hls::Binding conventional = hls::make_binding(g, s);
+    const hls::Binding guided = coverage_maximizing_binding(g, s);
+    const BindingCoverage base = binding_state_coverage(g, conventional);
+    const BindingCoverage opt = binding_state_coverage(g, guided);
+    EXPECT_GE(opt.mean, base.mean - 0.05) << g.name();
+  }
+}
+
+TEST(Abist, OperandStreamsMatchBindingOps) {
+  const Cdfg g = cdfg::diffeq();
+  const hls::Synthesis syn = shared_synthesis(g);
+  AbistOptions opts;
+  opts.iterations = 64;
+  const auto streams = fu_operand_streams(g, syn.binding, opts);
+  ASSERT_EQ(static_cast<int>(streams.size()), syn.binding.num_fus());
+  for (int fu = 0; fu < syn.binding.num_fus(); ++fu)
+    EXPECT_EQ(streams[fu].size(),
+              syn.binding.fu_ops[fu].size() * 64u);
+}
+
+}  // namespace
+}  // namespace tsyn::bist

@@ -1,0 +1,475 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/clique_partition.h"
+#include "graph/coloring.h"
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+#include "graph/interval.h"
+#include "graph/matching.h"
+#include "graph/mfvs.h"
+#include "graph/paths.h"
+#include "graph/scc.h"
+#include "util/rng.h"
+
+namespace tsyn::graph {
+namespace {
+
+Digraph ring(int n) {
+  Digraph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Digraph chain(int n) {
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Digraph random_digraph(int n, double p, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Digraph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v)
+      if (u != v && rng.next_bool(p)) g.add_edge(u, v);
+  return g;
+}
+
+TEST(Digraph, BasicConstruction) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(2), 1);
+}
+
+TEST(Digraph, AddEdgeUniqueSuppressesDuplicates) {
+  Digraph g(2);
+  g.add_edge_unique(0, 1);
+  g.add_edge_unique(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Digraph, InducedSubgraphRemapsIds) {
+  Digraph g = chain(4);
+  std::vector<bool> keep{true, false, true, true};
+  std::vector<NodeId> map;
+  const Digraph sub = g.induced_subgraph(keep, &map);
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(map[0], 0);
+  EXPECT_EQ(map[1], -1);
+  EXPECT_TRUE(sub.has_edge(map[2], map[3]));
+  EXPECT_EQ(sub.num_edges(), 1u);  // 0->1 and 1->2 dropped with node 1
+}
+
+TEST(Digraph, ReversedSwapsDirections) {
+  Digraph g = chain(3);
+  const Digraph r = g.reversed();
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_FALSE(r.has_edge(0, 1));
+}
+
+TEST(Scc, ChainIsAllTrivial) {
+  const SccResult scc = strongly_connected_components(chain(5));
+  EXPECT_EQ(scc.num_components, 5);
+}
+
+TEST(Scc, RingIsOneComponent) {
+  const SccResult scc = strongly_connected_components(ring(6));
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_EQ(scc.members[0].size(), 6u);
+}
+
+TEST(Scc, MixedGraph) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);  // {1,2} cycle
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 4);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[0], scc.component[1]);
+}
+
+TEST(Scc, CondensationIsAcyclic) {
+  const Digraph g = random_digraph(20, 0.15, 5);
+  const SccResult scc = strongly_connected_components(g);
+  const Digraph c = condensation(g, scc);
+  EXPECT_TRUE(is_acyclic(c));
+}
+
+TEST(Scc, TarjanReverseTopologicalNumbering) {
+  // Tarjan numbers a component before any component that reaches it.
+  const Digraph g = chain(4);
+  const SccResult scc = strongly_connected_components(g);
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v : g.successors(u))
+      EXPECT_GT(scc.component[u], scc.component[v]);
+}
+
+TEST(Scc, SelfLoopCounts) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  EXPECT_FALSE(is_acyclic(g));
+  EXPECT_TRUE(is_acyclic(g, /*ignore_self_loops=*/true));
+  const auto cyclic = nodes_on_cycles(g);
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(cyclic[0], 0);
+}
+
+TEST(Cycles, RingHasOneCycle) {
+  const auto cycles = elementary_cycles(ring(5));
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 5u);
+}
+
+TEST(Cycles, TwoTriangleGraph) {
+  Digraph g(5);
+  // Two triangles sharing node 0.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);
+  const auto cycles = elementary_cycles(g);
+  EXPECT_EQ(cycles.size(), 2u);
+}
+
+TEST(Cycles, CompleteGraphCycleCount) {
+  // K4 (directed both ways) has 6+8+6=20 elementary cycles.
+  Digraph g(4);
+  for (int u = 0; u < 4; ++u)
+    for (int v = 0; v < 4; ++v)
+      if (u != v) g.add_edge(u, v);
+  EXPECT_EQ(elementary_cycles(g).size(), 20u);
+}
+
+TEST(Cycles, SelfLoopIsLengthOne) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  const auto cycles = elementary_cycles(g);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 1u);
+}
+
+TEST(Cycles, BoundRespected) {
+  Digraph g(6);
+  for (int u = 0; u < 6; ++u)
+    for (int v = 0; v < 6; ++v)
+      if (u != v) g.add_edge(u, v);
+  EXPECT_LE(elementary_cycles(g, 10).size(), 10u);
+}
+
+TEST(Cycles, SortedShortestFirst) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  const auto cycles = elementary_cycles(g);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_LE(cycles[0].size(), cycles[1].size());
+}
+
+TEST(Paths, TopologicalOrderOnDag) {
+  const auto order = topological_order(chain(5));
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->front(), 0);
+  EXPECT_EQ(order->back(), 4);
+}
+
+TEST(Paths, TopologicalOrderRejectsCycle) {
+  EXPECT_FALSE(topological_order(ring(3)).has_value());
+}
+
+TEST(Paths, BfsDistances) {
+  const auto d = bfs_distances(chain(4), {0});
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[3], 3);
+  const auto d2 = bfs_distances(chain(4), {2});
+  EXPECT_EQ(d2[0], -1);  // unreachable backwards
+}
+
+TEST(Paths, DagLongestDistances) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 3);  // short path
+  g.add_edge(0, 2);
+  const auto d = dag_longest_distances(g, {0});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ((*d)[3], 2);  // via 1
+}
+
+TEST(Paths, SequentialDepthIgnoresSelfLoops) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 1);
+  const auto depth = sequential_depth(g);
+  ASSERT_TRUE(depth.has_value());
+  EXPECT_EQ(*depth, 2);
+}
+
+TEST(Paths, SequentialDepthUndefinedWithRealLoop) {
+  EXPECT_FALSE(sequential_depth(ring(3)).has_value());
+}
+
+TEST(Mfvs, GreedyBreaksAllLoops) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Digraph g = random_digraph(15, 0.2, seed);
+    const auto fvs = greedy_mfvs(g);
+    EXPECT_TRUE(is_feedback_vertex_set(g, fvs));
+  }
+}
+
+TEST(Mfvs, ExactNoLargerThanGreedy) {
+  for (std::uint64_t seed = 20; seed < 30; ++seed) {
+    const Digraph g = random_digraph(12, 0.18, seed);
+    const auto greedy = greedy_mfvs(g);
+    const auto exact = exact_mfvs(g);
+    EXPECT_TRUE(is_feedback_vertex_set(g, exact));
+    EXPECT_LE(exact.size(), greedy.size());
+  }
+}
+
+TEST(Mfvs, RingNeedsExactlyOne) {
+  const auto fvs = exact_mfvs(ring(7));
+  EXPECT_EQ(fvs.size(), 1u);
+}
+
+TEST(Mfvs, SelfLoopsIgnoredByDefault) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  EXPECT_TRUE(exact_mfvs(g).empty());
+  EXPECT_EQ(exact_mfvs(g, {.ignore_self_loops = false}).size(), 1u);
+}
+
+TEST(Mfvs, TwoDisjointRings) {
+  Digraph g(6);
+  for (int i = 0; i < 3; ++i) g.add_edge(i, (i + 1) % 3);
+  for (int i = 0; i < 3; ++i) g.add_edge(3 + i, 3 + (i + 1) % 3);
+  EXPECT_EQ(exact_mfvs(g).size(), 2u);
+}
+
+TEST(Mfvs, AcyclicNeedsNone) {
+  EXPECT_TRUE(greedy_mfvs(chain(10)).empty());
+  EXPECT_TRUE(exact_mfvs(chain(10)).empty());
+}
+
+TEST(Coloring, TriangleNeedsThree) {
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const Coloring c = dsatur_coloring(g);
+  EXPECT_EQ(c.num_colors, 3);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+}
+
+TEST(Coloring, BipartiteNeedsTwo) {
+  UndirectedGraph g(6);
+  for (int a = 0; a < 3; ++a)
+    for (int b = 3; b < 6; ++b) g.add_edge(a, b);
+  const Coloring c = dsatur_coloring(g);
+  EXPECT_EQ(c.num_colors, 2);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+}
+
+TEST(Coloring, EmptyGraphOneColorPerIsolatedNodeSetIsOne) {
+  UndirectedGraph g(4);
+  const Coloring c = dsatur_coloring(g);
+  EXPECT_EQ(c.num_colors, 1);
+}
+
+TEST(Coloring, SequentialRespectsOrder) {
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  const Coloring c = sequential_coloring(g, {2, 1, 0});
+  EXPECT_TRUE(is_proper_coloring(g, c));
+}
+
+TEST(Coloring, RandomGraphsProper) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    UndirectedGraph g(20);
+    for (int u = 0; u < 20; ++u)
+      for (int v = u + 1; v < 20; ++v)
+        if (rng.next_bool(0.3)) g.add_edge(u, v);
+    EXPECT_TRUE(is_proper_coloring(g, dsatur_coloring(g)));
+  }
+}
+
+TEST(Coloring, ComplementHasComplementEdges) {
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  const UndirectedGraph c = g.complement();
+  EXPECT_FALSE(c.has_edge(0, 1));
+  EXPECT_TRUE(c.has_edge(0, 2));
+  EXPECT_TRUE(c.has_edge(1, 2));
+}
+
+TEST(Interval, OverlapBasic) {
+  EXPECT_TRUE(lifetimes_overlap({0, 3}, {2, 5}, 6));
+  EXPECT_FALSE(lifetimes_overlap({0, 2}, {2, 4}, 6));
+}
+
+TEST(Interval, WrappingOverlap) {
+  // [4,6) wrap to [0,1) vs [0,2): overlap at slot 0.
+  EXPECT_TRUE(lifetimes_overlap({4, 1}, {0, 2}, 6));
+  // [4,6)+[0,1) vs [2,4): no overlap.
+  EXPECT_FALSE(lifetimes_overlap({4, 1}, {2, 4}, 6));
+}
+
+TEST(Interval, EqualBirthDeathWrapsWholeLoop) {
+  EXPECT_TRUE(lifetimes_overlap({2, 2}, {5, 6}, 8));
+}
+
+TEST(Interval, LeftEdgeMinimalOnDisjoint) {
+  std::vector<Interval> v{{0, 2}, {2, 4}, {4, 6}};
+  int regs = 0;
+  const auto assign = left_edge_assign(v, 6, &regs);
+  EXPECT_EQ(regs, 1);
+  EXPECT_EQ(assign[0], assign[1]);
+}
+
+TEST(Interval, LeftEdgeConflictsSeparate) {
+  std::vector<Interval> v{{0, 4}, {1, 3}, {2, 5}};
+  int regs = 0;
+  const auto assign = left_edge_assign(v, 6, &regs);
+  EXPECT_EQ(regs, 3);
+  (void)assign;
+}
+
+TEST(Interval, LeftEdgeValidity) {
+  util::Rng rng(5);
+  std::vector<Interval> v;
+  for (int i = 0; i < 30; ++i) {
+    const int b = rng.next_int(0, 7);
+    const int d = rng.next_int(0, 7);
+    v.push_back({b, d == b ? (b + 1) % 8 : d});
+  }
+  int regs = 0;
+  const auto assign = left_edge_assign(v, 8, &regs);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t j = i + 1; j < v.size(); ++j)
+      if (assign[i] == assign[j])
+        EXPECT_FALSE(lifetimes_overlap(v[i], v[j], 8))
+            << "intervals " << i << " and " << j;
+}
+
+TEST(CliquePartition, CompatibleTriangleMergesToOne) {
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const CliquePartition p = clique_partition(g);
+  EXPECT_EQ(p.cliques.size(), 1u);
+  EXPECT_TRUE(is_valid_clique_partition(g, p));
+}
+
+TEST(CliquePartition, IndependentSetStaysSeparate) {
+  UndirectedGraph g(4);
+  const CliquePartition p = clique_partition(g);
+  EXPECT_EQ(p.cliques.size(), 4u);
+  EXPECT_TRUE(is_valid_clique_partition(g, p));
+}
+
+TEST(CliquePartition, PathGraphPairsUp) {
+  UndirectedGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const CliquePartition p = clique_partition(g);
+  EXPECT_EQ(p.cliques.size(), 2u);
+  EXPECT_TRUE(is_valid_clique_partition(g, p));
+}
+
+TEST(CliquePartition, WeightSteersMerge) {
+  // Square: 0-1, 1-2, 2-3, 3-0. Unweighted may pair either way; a weight
+  // pulling (0,1) and (2,3) together must be honored.
+  UndirectedGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const auto weight = [](NodeId u, NodeId v, const void*) -> double {
+    if ((u == 0 && v == 1) || (u == 2 && v == 3)) return 10.0;
+    return 0.0;
+  };
+  const CliquePartition p = clique_partition(g, weight, nullptr);
+  EXPECT_TRUE(is_valid_clique_partition(g, p));
+  EXPECT_EQ(p.clique_of[0], p.clique_of[1]);
+  EXPECT_EQ(p.clique_of[2], p.clique_of[3]);
+}
+
+TEST(Matching, PerfectMatching) {
+  std::vector<std::vector<int>> adj{{0, 1}, {0}, {1, 2}};
+  const auto m = max_bipartite_matching(adj, 3);
+  int matched = 0;
+  for (int x : m)
+    if (x >= 0) ++matched;
+  EXPECT_EQ(matched, 3);
+}
+
+TEST(Matching, AugmentingPathNeeded) {
+  // l0 -> {r0}, l1 -> {r0, r1}: naive greedy might block l0.
+  std::vector<std::vector<int>> adj{{0}, {0, 1}};
+  const auto m = max_bipartite_matching(adj, 2);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], 1);
+}
+
+TEST(Matching, NoEdges) {
+  std::vector<std::vector<int>> adj{{}, {}};
+  const auto m = max_bipartite_matching(adj, 2);
+  EXPECT_EQ(m[0], -1);
+  EXPECT_EQ(m[1], -1);
+}
+
+// Property sweep: MFVS validity across graph densities.
+class MfvsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MfvsSweep, GreedyAlwaysValid) {
+  const int density_pct = GetParam();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Digraph g = random_digraph(14, density_pct / 100.0, seed * 7 + 1);
+    const auto fvs = greedy_mfvs(g);
+    EXPECT_TRUE(is_feedback_vertex_set(g, fvs));
+    // Minimality-ish: dropping any selected node must leave a loop.
+    for (std::size_t drop = 0; drop < fvs.size(); ++drop) {
+      std::vector<NodeId> smaller;
+      for (std::size_t i = 0; i < fvs.size(); ++i)
+        if (i != drop) smaller.push_back(fvs[i]);
+      // Not required to fail for greedy, but must fail for exact:
+    }
+    const auto exact = exact_mfvs(g);
+    for (std::size_t drop = 0; drop < exact.size(); ++drop) {
+      std::vector<NodeId> smaller;
+      for (std::size_t i = 0; i < exact.size(); ++i)
+        if (i != drop) {
+        smaller.push_back(exact[i]);
+      }
+      EXPECT_FALSE(is_feedback_vertex_set(g, smaller))
+          << "exact MFVS not minimal at density " << density_pct;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, MfvsSweep,
+                         ::testing::Values(5, 10, 20, 30));
+
+}  // namespace
+}  // namespace tsyn::graph

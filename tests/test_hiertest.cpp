@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "cdfg/benchmarks.h"
+#include "hiertest/hier_atpg.h"
+#include "hiertest/testenv.h"
+#include "hls/synthesis.h"
+
+namespace tsyn::hiertest {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::FuType;
+using cdfg::OpKind;
+
+TEST(TestEnv, InputsJustifiableOutputsPropagatable) {
+  const Cdfg g = cdfg::diffeq();
+  const EnvAnalysis env = analyze_test_environments(g);
+  for (cdfg::VarId v : g.inputs()) EXPECT_TRUE(env.justifiable[v]);
+  for (cdfg::VarId v : g.outputs()) EXPECT_TRUE(env.propagatable[v]);
+}
+
+TEST(TestEnv, AddChainHasFullEnvironment) {
+  Cdfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto c = g.add_op(OpKind::kAdd, "c", {a, b});
+  const auto d = g.add_op(OpKind::kSub, "d", {c, b});
+  g.mark_output(d);
+  const EnvAnalysis env = analyze_test_environments(g);
+  EXPECT_TRUE(env.op_has_env[0]);
+  EXPECT_TRUE(env.op_has_env[1]);
+  EXPECT_EQ(env.ops_with_env(), 2);
+}
+
+TEST(TestEnv, ComparisonBlocksPropagation) {
+  Cdfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto m = g.add_op(OpKind::kMul, "m", {a, b});
+  const auto c = g.add_op(OpKind::kLt, "c", {m, b});
+  g.mark_output(c);
+  const EnvAnalysis env = analyze_test_environments(g);
+  EXPECT_FALSE(env.propagatable[m]);
+  EXPECT_FALSE(env.op_has_env[0]);  // mul's response can't reach a PO
+}
+
+TEST(TestEnv, MulNeedsIdentitySide) {
+  Cdfg g;
+  const auto a = g.add_input("a");
+  const auto k2 = g.add_constant("two", 2);
+  const auto m = g.add_op(OpKind::kMul, "m", {a, k2});  // a*2: not onto
+  g.mark_output(m);
+  const EnvAnalysis env = analyze_test_environments(g);
+  EXPECT_FALSE(env.justifiable[m]);
+
+  Cdfg h;
+  const auto x = h.add_input("x");
+  const auto one = h.add_constant("one", 1);
+  const auto p = h.add_op(OpKind::kMul, "p", {x, one});
+  h.mark_output(p);
+  const EnvAnalysis env2 = analyze_test_environments(h);
+  EXPECT_TRUE(env2.justifiable[p]);
+}
+
+TEST(TestEnv, StateCrossesIterationBoundary) {
+  Cdfg g;
+  const auto x = g.add_input("x");
+  const auto s = g.add_state("s");
+  const auto u = g.add_op(OpKind::kAdd, "u", {s, x});
+  g.set_state_update(s, u);
+  g.mark_output(u);
+  const EnvAnalysis env = analyze_test_environments(g);
+  EXPECT_TRUE(env.justifiable[s]);   // via the update, one iteration later
+  EXPECT_TRUE(env.op_has_env[0]);
+}
+
+TEST(TestEnv, EnvAwareBindingCoversAtLeastAsManyModules) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const hls::Schedule s = hls::list_schedule(
+        g, hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 2}});
+    const EnvAnalysis env = analyze_test_environments(g);
+    const hls::Binding conventional = hls::make_binding(g, s);
+    const hls::Binding aware = env_aware_binding(g, s);
+    const double base =
+        conventional.num_fus() == 0
+            ? 1.0
+            : static_cast<double>(
+                  modules_with_env(g, conventional, env)) /
+                  conventional.num_fus();
+    const double opt =
+        aware.num_fus() == 0
+            ? 1.0
+            : static_cast<double>(modules_with_env(g, aware, env)) /
+                  aware.num_fus();
+    EXPECT_GE(opt, base - 0.26) << g.name();
+  }
+}
+
+TEST(HierAtpg, ModuleTestsCheaperThanFlat) {
+  const Cdfg g = cdfg::tseng();
+  const hls::Schedule s = hls::list_schedule(
+      g, hls::Resources{{FuType::kAlu, 2}, {FuType::kMultiplier, 1}});
+  const hls::Binding b = hls::make_binding(g, s);
+  const HierAtpgResult hier = hierarchical_atpg(g, b, 6);
+  const FlatAtpgResult flat = flat_atpg(g, s, b, 6);
+  EXPECT_GT(hier.module_fault_coverage, 0.5);
+  EXPECT_GT(flat.fault_coverage, 0.9);
+  // The hierarchical decomposition must spend fewer implications: its
+  // PODEM instances run on small cones.
+  EXPECT_LT(hier.effort.implications, flat.effort.implications);
+}
+
+TEST(HierAtpg, EnvLessModulesUncovered) {
+  // A behavior whose multiplier response funnels through a comparison has
+  // no environment for the multiplier: hierarchical ATPG must not claim
+  // its faults.
+  Cdfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto m = g.add_op(OpKind::kMul, "m", {a, b});
+  const auto c = g.add_op(OpKind::kLt, "c", {m, b});
+  g.mark_output(c);
+  const hls::Schedule s = hls::list_schedule(g, {});
+  const hls::Binding bind = hls::make_binding(g, s);
+  const HierAtpgResult hier = hierarchical_atpg(g, bind, 4);
+  EXPECT_LT(hier.modules_with_env, hier.modules);
+  EXPECT_LT(hier.module_fault_coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace tsyn::hiertest

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cdfg/benchmarks.h"
+#include "cdfg/generator.h"
+#include "hls/datapath_builder.h"
+#include "hls/fds.h"
+#include "hls/synthesis.h"
+
+namespace tsyn::hls {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::FuType;
+using cdfg::OpKind;
+
+TEST(Asap, CriticalPathOfChain) {
+  Cdfg g;
+  const auto a = g.add_input("a");
+  auto v = a;
+  for (int i = 0; i < 5; ++i)
+    v = g.add_op(OpKind::kAdd, "t" + std::to_string(i), {v, a});
+  g.mark_output(v);
+  EXPECT_EQ(critical_path_length(g), 5);
+  const Schedule s = asap_schedule(g);
+  EXPECT_EQ(s.num_steps, 5);
+  EXPECT_EQ(s.step_of_op[0], 0);
+  EXPECT_EQ(s.step_of_op[4], 4);
+}
+
+TEST(Asap, ParallelOpsShareStepZero) {
+  const Cdfg g = cdfg::dct4();
+  const Schedule s = asap_schedule(g);
+  int at_zero = 0;
+  for (int step : s.step_of_op)
+    if (step == 0) ++at_zero;
+  EXPECT_GE(at_zero, 4);  // the four butterflies are independent
+}
+
+TEST(Alap, RespectsDeadline) {
+  const Cdfg g = cdfg::diffeq();
+  const int cp = critical_path_length(g);
+  const Schedule s = alap_schedule(g, cp + 2);
+  EXPECT_EQ(s.num_steps, cp + 2);
+  validate_schedule(g, s, {});
+  EXPECT_THROW(alap_schedule(g, cp - 1), std::runtime_error);
+}
+
+TEST(Mobility, ZeroOnCriticalPath) {
+  const Cdfg g = cdfg::diffeq();
+  const int cp = critical_path_length(g);
+  const std::vector<int> m = mobility(g, cp);
+  EXPECT_EQ(*std::min_element(m.begin(), m.end()), 0);
+  // With slack added, every op gains at least that much mobility.
+  const std::vector<int> m2 = mobility(g, cp + 3);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m2[i], m[i] + 3);
+}
+
+TEST(ListSchedule, RespectsResources) {
+  const Cdfg g = cdfg::diffeq();
+  Resources res{{FuType::kMultiplier, 2}, {FuType::kAlu, 1}};
+  const Schedule s = list_schedule(g, res);
+  validate_schedule(g, s, res);
+  const auto peak = peak_resource_usage(g, s);
+  EXPECT_LE(peak.at(FuType::kMultiplier), 2);
+  EXPECT_LE(peak.at(FuType::kAlu), 1);
+}
+
+TEST(ListSchedule, TighterResourcesLongerSchedule) {
+  const Cdfg g = cdfg::ewf();
+  Resources loose{{FuType::kMultiplier, 4}, {FuType::kAlu, 4}};
+  Resources tight{{FuType::kMultiplier, 1}, {FuType::kAlu, 1}};
+  EXPECT_LE(list_schedule(g, loose).num_steps,
+            list_schedule(g, tight).num_steps);
+}
+
+TEST(ListSchedule, UnconstrainedEqualsCriticalPath) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const Schedule s = list_schedule(g, {});
+    EXPECT_EQ(s.num_steps, critical_path_length(g)) << g.name();
+  }
+}
+
+TEST(Fds, MeetsDeadlineAndDependences) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const int cp = critical_path_length(g);
+    const Schedule s = force_directed_schedule(g, cp + 1);
+    EXPECT_EQ(s.num_steps, cp + 1) << g.name();
+    validate_schedule(g, s, {});
+  }
+}
+
+TEST(Fds, BalancesMultipliers) {
+  // diffeq with slack: FDS should not pile all 6 muls into 2 steps.
+  const Cdfg g = cdfg::diffeq();
+  const Schedule s = force_directed_schedule(g, critical_path_length(g) + 2);
+  const auto peak = peak_resource_usage(g, s);
+  EXPECT_LE(peak.at(FuType::kMultiplier), 3);
+}
+
+TEST(Binding, ConventionalIsValid) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    const Schedule s = list_schedule(g, {});
+    const Binding b = make_binding(g, s);
+    EXPECT_NO_THROW(validate_binding(g, s, b)) << g.name();
+    EXPECT_GT(b.num_regs, 0) << g.name();
+  }
+}
+
+TEST(Binding, FuCountMatchesPeakUsage) {
+  const Cdfg g = cdfg::diffeq();
+  Resources res{{FuType::kMultiplier, 2}, {FuType::kAlu, 2}};
+  const Schedule s = list_schedule(g, res);
+  const Binding b = make_binding(g, s);
+  int muls = 0;
+  for (const auto t : b.fu_type)
+    if (t == FuType::kMultiplier) ++muls;
+  const auto peak = peak_resource_usage(g, s);
+  EXPECT_EQ(muls, peak.at(FuType::kMultiplier));
+}
+
+TEST(Binding, CopiesGetNoFu) {
+  const Cdfg g = cdfg::fir(4);
+  const Schedule s = list_schedule(g, {});
+  const Binding b = make_binding(g, s);
+  for (cdfg::OpId o = 0; o < g.num_ops(); ++o)
+    if (g.op(o).kind == OpKind::kCopy) {
+      EXPECT_EQ(b.fu_of_op[o], -1);
+    }
+}
+
+TEST(Binding, RebindRejectsConflicts) {
+  const Cdfg g = cdfg::diffeq();
+  const Schedule s = list_schedule(g, {});
+  Binding b = make_binding(g, s);
+  // All lifetimes into one register: must throw (overlaps exist).
+  std::vector<int> all_zero(b.lifetimes.lifetimes.size(), 0);
+  EXPECT_THROW(rebind_registers(g, b, all_zero), std::runtime_error);
+}
+
+TEST(Binding, OpsCompatibleRules) {
+  Cdfg g;
+  const auto a = g.add_input("a");
+  const auto t1 = g.add_op(OpKind::kAdd, "t1", {a, a});
+  const auto t2 = g.add_op(OpKind::kAdd, "t2", {a, a});
+  const auto t3 = g.add_op(OpKind::kMul, "t3", {t1, t2});
+  g.mark_output(t3);
+  Schedule s;
+  s.num_steps = 2;
+  s.step_of_op = {0, 0, 1};
+  EXPECT_FALSE(ops_compatible(g, s, 0, 1));  // same step, same type
+  EXPECT_FALSE(ops_compatible(g, s, 0, 2));  // different type
+  s.step_of_op = {0, 1, 1};
+  EXPECT_TRUE(ops_compatible(g, s, 0, 1));
+}
+
+TEST(Synthesis, EndToEndOnAllBenchmarks) {
+  for (const Cdfg& g : cdfg::standard_benchmarks()) {
+    SynthesisOptions opts;
+    const Synthesis result = synthesize(g, opts);
+    EXPECT_NO_THROW(result.rtl.datapath.validate()) << g.name();
+    EXPECT_EQ(result.rtl.controller.num_vectors(),
+              result.schedule.num_steps)
+        << g.name();
+    EXPECT_EQ(result.rtl.datapath.primary_outputs.size(),
+              g.outputs().size())
+        << g.name();
+  }
+}
+
+TEST(Synthesis, ResourceConstrainedVariant) {
+  const Cdfg g = cdfg::diffeq();
+  SynthesisOptions opts;
+  opts.resources = Resources{{FuType::kMultiplier, 2}, {FuType::kAlu, 1}};
+  const Synthesis result = synthesize(g, opts);
+  int muls = 0;
+  for (const auto& fu : result.rtl.datapath.fus)
+    if (fu.type == FuType::kMultiplier) ++muls;
+  EXPECT_LE(muls, 2);
+}
+
+TEST(Datapath, FuPortsAreRegisterOrConstantDriven) {
+  const Synthesis r = synthesize(cdfg::ewf());
+  for (const auto& fu : r.rtl.datapath.fus)
+    for (const auto& port : fu.port_drivers)
+      for (const auto& src : port)
+        EXPECT_NE(src.kind, rtl::Source::Kind::kFu);
+}
+
+TEST(Datapath, OutputsAreRegistered) {
+  const Synthesis r = synthesize(cdfg::diffeq());
+  for (const auto& po : r.rtl.datapath.primary_outputs)
+    EXPECT_EQ(po.source.kind, rtl::Source::Kind::kRegister);
+}
+
+TEST(Datapath, ControllerSignalsCoverMuxesAndLoads) {
+  const Synthesis r = synthesize(cdfg::diffeq());
+  const rtl::Datapath& dp = r.rtl.datapath;
+  int expected = 0;
+  for (const auto& reg : dp.regs) {
+    if (reg.drivers.size() > 1) ++expected;  // select
+    ++expected;                              // load enable
+  }
+  for (const auto& fu : dp.fus) {
+    for (const auto& port : fu.port_drivers)
+      if (port.size() > 1) ++expected;
+    if (fu.op_kinds.size() > 1) ++expected;
+  }
+  EXPECT_EQ(r.rtl.controller.num_signals(), expected);
+}
+
+TEST(Datapath, EveryRegisterWrittenOrInput) {
+  const Synthesis r = synthesize(cdfg::ewf());
+  for (const auto& reg : r.rtl.datapath.regs)
+    EXPECT_FALSE(reg.drivers.empty());
+}
+
+TEST(Datapath, RandomGraphsSynthesize) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    cdfg::GeneratorParams p;
+    p.num_ops = 20;
+    p.num_states = 2;
+    p.seed = seed;
+    const Cdfg g = cdfg::random_cdfg(p);
+    EXPECT_NO_THROW({
+      const Synthesis r = synthesize(g);
+      r.rtl.datapath.validate();
+    }) << "seed " << seed;
+  }
+}
+
+TEST(Datapath, MuxCountsPositiveWhenSharing) {
+  const Cdfg g = cdfg::diffeq();
+  SynthesisOptions opts;
+  opts.resources = Resources{{FuType::kMultiplier, 1}, {FuType::kAlu, 1}};
+  const Synthesis r = synthesize(g, opts);
+  EXPECT_GT(r.rtl.datapath.mux2_count(), 0);
+}
+
+}  // namespace
+}  // namespace tsyn::hls

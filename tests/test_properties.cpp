@@ -1,0 +1,284 @@
+// Property-based sweeps: full-flow invariants over randomly generated
+// behaviors and netlists. These are the "does the whole stack stay
+// consistent" checks — every seed exercises a different CDFG shape.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bist/share.h"
+#include "bist/test_registers.h"
+#include "bist/tfb.h"
+#include "cdfg/generator.h"
+#include "cdfg/interp.h"
+#include "cdfg/lifetime.h"
+#include "cdfg/loops.h"
+#include "cdfg/parser.h"
+#include "gatelevel/expand.h"
+#include "gatelevel/faults.h"
+#include "gatelevel/atpg_comb.h"
+#include "gatelevel/bistgen.h"
+#include "gatelevel/faultsim.h"
+#include "gatelevel/scoap.h"
+#include "hls/synthesis.h"
+#include "rtl/sgraph.h"
+#include "graph/mfvs.h"
+#include "testability/loop_avoid.h"
+#include "testability/scan_select.h"
+#include "util/rng.h"
+
+namespace tsyn {
+namespace {
+
+cdfg::Cdfg make_random(std::uint64_t seed, int ops = 24, int states = 2) {
+  cdfg::GeneratorParams p;
+  p.num_ops = ops;
+  p.num_states = states;
+  p.seed = seed;
+  p.mul_fraction = 0.25;
+  return cdfg::random_cdfg(p);
+}
+
+class FlowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowSweep, ParserRoundTripIsStable) {
+  const cdfg::Cdfg g = make_random(GetParam());
+  const std::string once = cdfg::serialize_cdfg(g);
+  const std::string twice = cdfg::serialize_cdfg(cdfg::parse_cdfg(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(FlowSweep, SynthesisInvariants) {
+  const cdfg::Cdfg g = make_random(GetParam());
+  hls::SynthesisOptions opts;
+  opts.resources = hls::Resources{{cdfg::FuType::kAlu, 2},
+                                  {cdfg::FuType::kMultiplier, 1}};
+  const hls::Synthesis s = hls::synthesize(g, opts);
+
+  // Every op scheduled in range and every dependence respected.
+  hls::validate_schedule(g, s.schedule, opts.resources);
+  hls::validate_binding(g, s.schedule, s.binding);
+  s.rtl.datapath.validate();
+
+  // The datapath's primary I/O matches the behavior.
+  EXPECT_EQ(s.rtl.datapath.primary_inputs.size(), g.inputs().size());
+  EXPECT_EQ(s.rtl.datapath.primary_outputs.size(), g.outputs().size());
+  // The controller has one vector per control step.
+  EXPECT_EQ(s.rtl.controller.num_vectors(), s.schedule.num_steps);
+}
+
+TEST_P(FlowSweep, ScanSelectionBreaksAllLoops) {
+  const cdfg::Cdfg g = make_random(GetParam(), 30, 3);
+  for (const auto& select :
+       {testability::select_scan_vars_mfvs,
+        testability::select_scan_vars_loopcut,
+        testability::select_scan_vars_boundary,
+        testability::select_scan_vars_interior}) {
+    const auto vars = select(g);
+    EXPECT_TRUE(cdfg::breaks_all_cdfg_loops(g, vars));
+  }
+}
+
+TEST_P(FlowSweep, LoopAvoidanceIsValidAndDeterministic) {
+  // Quality is heuristic (see EXP-LOOPAVOID for the comparative study);
+  // what must always hold is validity, deadline compliance, determinism,
+  // and that committed scan variables still break every CDFG loop.
+  const cdfg::Cdfg g = make_random(GetParam(), 20, 2);
+  const hls::Resources res{{cdfg::FuType::kAlu, 2},
+                           {cdfg::FuType::kMultiplier, 1}};
+  const int deadline = hls::list_schedule(g, res).num_steps + 1;
+
+  testability::LoopAvoidOptions lopts;
+  lopts.resources = res;
+  lopts.num_steps = deadline;
+  lopts.scan_vars = testability::select_scan_vars_loopcut(g);
+  const testability::LoopAvoidResult a =
+      testability::loop_avoiding_synthesis(g, lopts);
+  const testability::LoopAvoidResult b =
+      testability::loop_avoiding_synthesis(g, lopts);
+
+  hls::validate_schedule(g, a.schedule, res);
+  hls::validate_binding(g, a.schedule, a.binding);
+  EXPECT_EQ(a.schedule.num_steps, deadline);
+  EXPECT_EQ(a.schedule.step_of_op, b.schedule.step_of_op);
+  EXPECT_EQ(a.binding.reg_of_lifetime, b.binding.reg_of_lifetime);
+  EXPECT_TRUE(cdfg::breaks_all_cdfg_loops(g, lopts.scan_vars));
+  EXPECT_NO_THROW(hls::build_rtl(g, a.schedule, a.binding));
+}
+
+TEST_P(FlowSweep, LifetimesCoverEveryStoredVariable) {
+  const cdfg::Cdfg g = make_random(GetParam());
+  const hls::Schedule s = hls::asap_schedule(g);
+  const cdfg::LifetimeAnalysis lts =
+      cdfg::analyze_lifetimes(g, s.step_of_op, s.num_steps);
+  for (const cdfg::Variable& v : g.vars()) {
+    if (v.kind == cdfg::VarKind::kConstant) continue;
+    const int lt = lts.lifetime_of_var[v.id];
+    ASSERT_GE(lt, 0) << v.name;
+    // The interval is within range.
+    EXPECT_GE(lts.lifetimes[lt].interval.birth, 0);
+    EXPECT_LE(lts.lifetimes[lt].interval.death, lts.num_slots);
+  }
+}
+
+TEST_P(FlowSweep, TfbBindingValid) {
+  const cdfg::Cdfg g = make_random(GetParam(), 18, 2);
+  const hls::Schedule s = hls::list_schedule(
+      g, hls::Resources{{cdfg::FuType::kAlu, 2},
+                        {cdfg::FuType::kMultiplier, 1}});
+  const bist::TfbResult r = bist::tfb_synthesis(g, s);
+  EXPECT_NO_THROW(hls::validate_binding(g, s, r.binding));
+  const hls::RtlDesign rtl = hls::build_rtl(g, s, r.binding);
+  EXPECT_LE(bist::analyze_adjacency(rtl.datapath).self_adjacent_count(),
+            r.inherent_self_adjacent);
+}
+
+TEST_P(FlowSweep, SharingAuditConsistent) {
+  const cdfg::Cdfg g = make_random(GetParam(), 18, 2);
+  const hls::Schedule s = hls::list_schedule(
+      g, hls::Resources{{cdfg::FuType::kAlu, 2},
+                        {cdfg::FuType::kMultiplier, 1}});
+  hls::Binding b = hls::make_binding(g, s);
+  const bist::ShareResult r = bist::sharing_register_assignment(g, b);
+  EXPECT_NO_THROW(hls::rebind_registers(g, b, r.reg_of_lifetime));
+  // Roles audited on the installed map agree with the result.
+  const bist::BistRoles roles = bist::audit_roles(g, b);
+  EXPECT_EQ(roles.test_registers(), r.roles.test_registers());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowSweep, ::testing::Range(1, 13));
+
+class GateSweep : public ::testing::TestWithParam<int> {};
+
+// Random combinational netlist builder.
+gl::Netlist random_netlist(std::uint64_t seed, int gates = 60) {
+  util::Rng rng(seed);
+  gl::Netlist n;
+  std::vector<int> nodes;
+  for (int i = 0; i < 6; ++i)
+    nodes.push_back(n.add_input("i" + std::to_string(i)));
+  for (int i = 0; i < gates; ++i) {
+    static constexpr gl::GateType kTypes[] = {
+        gl::GateType::kAnd,  gl::GateType::kOr,  gl::GateType::kNand,
+        gl::GateType::kNor,  gl::GateType::kXor, gl::GateType::kXnor,
+        gl::GateType::kNot,  gl::GateType::kMux};
+    const gl::GateType t = kTypes[rng.pick_index(8)];
+    const int arity = t == gl::GateType::kNot   ? 1
+                      : t == gl::GateType::kMux ? 3
+                                                : 2;
+    std::vector<int> fanins;
+    for (int a = 0; a < arity; ++a)
+      fanins.push_back(nodes[rng.pick_index(nodes.size())]);
+    nodes.push_back(n.add_gate(t, fanins));
+  }
+  for (int i = 0; i < 4; ++i)
+    n.mark_output(nodes[nodes.size() - 1 - i]);
+  n.validate();
+  return n;
+}
+
+TEST_P(GateSweep, FaultSimAgreesWithSequentialSim) {
+  // The event-driven combinational fault simulator and the brute-force
+  // full-resimulation must agree on every fault.
+  const gl::Netlist n = random_netlist(GetParam());
+  const auto faults = gl::enumerate_faults(n);
+  const auto blocks = gl::lfsr_pattern_blocks(
+      static_cast<int>(n.primary_inputs().size()), 1, GetParam());
+
+  gl::FaultSimulator sim(n);
+  std::vector<bool> fast(faults.size(), false);
+  sim.run_block(blocks[0], faults, fast);
+
+  std::vector<std::vector<gl::Bits>> frames;
+  frames.push_back(blocks[0]);
+  const std::vector<bool> slow = gl::sequential_fault_sim(n, frames, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_EQ(fast[i], slow[i]) << gl::describe(n, faults[i]);
+}
+
+TEST_P(GateSweep, PodemTestsVerifiedByFaultSim) {
+  const gl::Netlist n = random_netlist(GetParam(), 40);
+  const auto faults = gl::enumerate_faults(n);
+  gl::Podem podem(n);
+  gl::FaultSimulator sim(n);
+  int checked = 0;
+  for (std::size_t i = 0; i < faults.size() && checked < 20; i += 5) {
+    const gl::AtpgResult r = podem.generate(faults[i]);
+    if (r.status != gl::AtpgStatus::kDetected) continue;
+    ++checked;
+    std::vector<gl::Bits> block(n.primary_inputs().size());
+    for (std::size_t p = 0; p < block.size(); ++p)
+      block[p] = r.pi_values[p] == gl::V::k1 ? gl::Bits::all1()
+                                             : gl::Bits::all0();
+    std::vector<bool> det;
+    std::vector<gl::Fault> one{faults[i]};
+    sim.run_block(block, one, det);
+    EXPECT_TRUE(det[0]) << gl::describe(n, faults[i]);
+  }
+}
+
+TEST_P(GateSweep, ScoapBoundsAreSane) {
+  const gl::Netlist n = random_netlist(GetParam());
+  const gl::Scoap s = gl::compute_scoap(n);
+  for (int pi : n.primary_inputs()) {
+    EXPECT_EQ(s.cc0[pi], 1);
+    EXPECT_EQ(s.cc1[pi], 1);
+  }
+  for (int po : n.primary_outputs()) EXPECT_EQ(s.co[po], 0);
+  // Controllability grows along paths: every gate costs at least 1 more
+  // than its cheapest fanin on the corresponding value.
+  for (int id = 0; id < n.num_nodes(); ++id) {
+    const auto& node = n.node(id);
+    if (node.fanins.empty()) continue;
+    int cheapest = INT_MAX;
+    for (int f : node.fanins)
+      cheapest = std::min({cheapest, s.cc0[f], s.cc1[f]});
+    EXPECT_GE(std::min(s.cc0[id], s.cc1[id]), cheapest);
+  }
+}
+
+TEST_P(GateSweep, InterpreterMatchesGateLevelOnRandomBehaviors) {
+  // Behavioral interpreter vs full-scan gate expansion on one iteration:
+  // drive the expanded netlist's register inputs per the schedule is
+  // covered by the e2e suite; here we check the pure combinational FU
+  // construction against 64 random operand lanes for every op kind.
+  util::Rng rng(GetParam() * 31 + 7);
+  for (const cdfg::OpKind kind :
+       {cdfg::OpKind::kAdd, cdfg::OpKind::kSub, cdfg::OpKind::kMul,
+        cdfg::OpKind::kAnd, cdfg::OpKind::kOr, cdfg::OpKind::kXor,
+        cdfg::OpKind::kLt, cdfg::OpKind::kEq}) {
+    cdfg::Cdfg g;
+    const auto a = g.add_input("a", 6);
+    const auto b = g.add_input("b", 6);
+    const auto y = g.add_op(kind, "y", {a, b});
+    g.mark_output(y);
+
+    gl::Netlist n;
+    const gl::Word wa = gl::make_input_word(n, "a", 6);
+    const gl::Word wb = gl::make_input_word(n, "b", 6);
+    const gl::Word wy = gl::build_op_result(
+        n, kind, wa, wb, gl::make_const_word(n, 0, 6));
+    for (int bit : wy) n.mark_output(bit);
+
+    const std::uint64_t va = rng.next_u64() & 0x3F;
+    const std::uint64_t vb = rng.next_u64() & 0x3F;
+    std::map<cdfg::VarId, std::uint64_t> state;
+    const auto vals = cdfg::execute_iteration(g, {{a, va}, {b, vb}}, state);
+
+    std::vector<gl::Bits> values(n.num_nodes(), gl::Bits::unknown());
+    for (int i = 0; i < 6; ++i) {
+      values[wa[i]] = ((va >> i) & 1) ? gl::Bits::all1() : gl::Bits::all0();
+      values[wb[i]] = ((vb >> i) & 1) ? gl::Bits::all1() : gl::Bits::all0();
+    }
+    gl::simulate_frame(n, values);
+    std::uint64_t got = 0;
+    for (int i = 0; i < 6; ++i)
+      if (values[wy[i]].v & 1) got |= 1ULL << i;
+    EXPECT_EQ(got, vals[y]) << cdfg::to_string(kind) << " " << va << ","
+                            << vb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GateSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace tsyn

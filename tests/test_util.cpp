@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/text.h"
+
+namespace tsyn::util {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int bound : {1, 2, 3, 10, 1000}) {
+    for (int i = 0; i < 200; ++i)
+      EXPECT_LT(r.next_below(bound), static_cast<std::uint64_t>(bound));
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng r(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = r.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng r(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.next_bool(0.5);
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(Fmt, Decimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_factor(1.5), "1.50x");
+  EXPECT_EQ(fmt_pct(0.973, 1), "97.3%");
+}
+
+TEST(Text, SplitDropsEmptyTokens) {
+  const auto tokens = split("a  b\tc ", " \t");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[2], "c");
+}
+
+TEST(Text, SplitEmptyInput) { EXPECT_TRUE(split("", " ").empty()); }
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  hello \n"), "hello");
+  EXPECT_EQ(trim("\t\t"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(starts_with("input x", "input"));
+  EXPECT_FALSE(starts_with("in", "input"));
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace tsyn::util

@@ -1,0 +1,265 @@
+// tsyn command-line driver.
+//
+//   tsyn_cli synth <file.cdfg|bench:NAME> [options]   synthesize + report
+//   tsyn_cli analyze <file.cdfg|bench:NAME>           behavioral analysis
+//   tsyn_cli bist <file.cdfg|bench:NAME> [options]    self-testable synthesis
+//   tsyn_cli list                                     list built-in benchmarks
+//
+// Common options:
+//   --alu N --mul N        FU allocation (default 2/2)
+//   --steps N              time-constrained schedule length
+//   --width N              datapath bit width override in reports
+// synth options:
+//   --scan MODE            none|mfvs|loopcut|boundary|interior (default none)
+//   --loop-avoid           use the simultaneous scheduler/assigner of [33]
+//   --verilog FILE         write the design as Verilog (- for stdout)
+// bist options:
+//   --arch A               conventional|avra|tfb|xtfb|share (default tfb)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bist/bist_assign.h"
+#include "bist/sessions.h"
+#include "bist/share.h"
+#include "bist/test_registers.h"
+#include "bist/tfb.h"
+#include "cdfg/benchmarks.h"
+#include "cdfg/loops.h"
+#include "cdfg/parser.h"
+#include "hls/synthesis.h"
+#include "rtl/area.h"
+#include "rtl/sgraph.h"
+#include "rtl/verilog.h"
+#include "testability/behavior_analysis.h"
+#include "testability/loop_avoid.h"
+#include "testability/scan_select.h"
+
+namespace {
+
+using namespace tsyn;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: tsyn_cli <synth|analyze|bist|list> "
+               "<file.cdfg|bench:NAME> [options]\n"
+               "run with no arguments for the option list in the source "
+               "header.\n");
+  std::exit(2);
+}
+
+cdfg::Cdfg load_behavior(const std::string& spec) {
+  if (spec.rfind("bench:", 0) == 0) {
+    const std::string name = spec.substr(6);
+    for (cdfg::Cdfg& g : cdfg::standard_benchmarks())
+      if (g.name() == name) return std::move(g);
+    usage(("unknown benchmark: " + name).c_str());
+  }
+  std::ifstream in(spec);
+  if (!in) usage(("cannot open " + spec).c_str());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return cdfg::parse_cdfg(buf.str());
+}
+
+struct Args {
+  std::string command;
+  std::string behavior;
+  int alu = 2;
+  int mul = 2;
+  int steps = 0;
+  std::string scan = "none";
+  bool loop_avoid = false;
+  std::string verilog;
+  std::string arch = "tfb";
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc < 2) usage();
+  a.command = argv[1];
+  if (a.command == "list") return a;
+  if (argc < 3) usage("missing behavior argument");
+  a.behavior = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string opt = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage((opt + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (opt == "--alu") a.alu = std::stoi(value());
+    else if (opt == "--mul") a.mul = std::stoi(value());
+    else if (opt == "--steps") a.steps = std::stoi(value());
+    else if (opt == "--scan") a.scan = value();
+    else if (opt == "--loop-avoid") a.loop_avoid = true;
+    else if (opt == "--verilog") a.verilog = value();
+    else if (opt == "--arch") a.arch = value();
+    else usage(("unknown option: " + opt).c_str());
+  }
+  return a;
+}
+
+std::vector<cdfg::VarId> select_scan(const cdfg::Cdfg& g,
+                                     const std::string& mode) {
+  if (mode == "none") return {};
+  if (mode == "mfvs") return testability::select_scan_vars_mfvs(g);
+  if (mode == "loopcut") return testability::select_scan_vars_loopcut(g);
+  if (mode == "boundary") return testability::select_scan_vars_boundary(g);
+  if (mode == "interior") return testability::select_scan_vars_interior(g);
+  usage(("unknown scan mode: " + mode).c_str());
+}
+
+void report_design(const cdfg::Cdfg& g, const hls::Schedule& s,
+                   const hls::Binding& b, const rtl::Datapath& dp) {
+  const rtl::LoopStats loops = rtl::loop_stats(dp);
+  std::printf("behavior  : %s (%d ops, %zu states)\n", g.name().c_str(),
+              g.num_ops(), g.states().size());
+  std::printf("schedule  : %d control steps\n", s.num_steps);
+  std::printf("resources : %d FUs, %d registers, %d mux2\n", b.num_fus(),
+              b.num_regs, dp.mux2_count());
+  std::printf("area      : %.0f GE (test overhead %.1f%%)\n",
+              rtl::datapath_area(dp), 100 * rtl::test_area_overhead(dp));
+  std::printf("S-graph   : %d self-loops, %d assignment loops, %d CDFG "
+              "loops\n",
+              loops.self_loops, loops.assignment_loops, loops.cdfg_loops);
+  std::printf("scan      : %zu scan registers\n",
+              dp.scan_registers().size());
+}
+
+int cmd_synth(const Args& a) {
+  const cdfg::Cdfg g = load_behavior(a.behavior);
+  const hls::Resources res{{cdfg::FuType::kAlu, a.alu},
+                           {cdfg::FuType::kMultiplier, a.mul}};
+  const std::vector<cdfg::VarId> scan_vars = select_scan(g, a.scan);
+
+  hls::Schedule schedule;
+  hls::Binding binding;
+  if (a.loop_avoid) {
+    testability::LoopAvoidOptions opts;
+    opts.resources = res;
+    opts.num_steps = a.steps;
+    opts.scan_vars = scan_vars;
+    testability::LoopAvoidResult r =
+        testability::loop_avoiding_synthesis(g, opts);
+    schedule = std::move(r.schedule);
+    binding = std::move(r.binding);
+  } else {
+    hls::SynthesisOptions opts;
+    opts.resources = res;
+    opts.num_steps = a.steps;
+    hls::Synthesis r = hls::synthesize(g, opts);
+    schedule = std::move(r.schedule);
+    binding = std::move(r.binding);
+  }
+  hls::RtlDesign design = hls::build_rtl(g, schedule, binding);
+  if (!scan_vars.empty())
+    testability::apply_scan(g, binding, scan_vars, design.datapath);
+  report_design(g, schedule, binding, design.datapath);
+
+  if (!a.verilog.empty()) {
+    const std::string v =
+        rtl::emit_verilog(design.datapath, design.controller);
+    if (a.verilog == "-") {
+      std::fputs(v.c_str(), stdout);
+    } else {
+      std::ofstream out(a.verilog);
+      out << v;
+      std::printf("verilog   : written to %s (%zu bytes)\n",
+                  a.verilog.c_str(), v.size());
+    }
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& a) {
+  const cdfg::Cdfg g = load_behavior(a.behavior);
+  std::printf("%s\n", g.to_string().c_str());
+  const auto loops = cdfg::cdfg_loops(g);
+  std::printf("CDFG loops: %zu\n", loops.size());
+  const testability::BehaviorTestability t =
+      testability::analyze_behavior(g);
+  std::printf(
+      "controllable: %d fully, %d partially, %d not\n"
+      "observable  : %d fully, %d partially, %d not\n",
+      t.count_ctrl(testability::CtrlClass::kControllable),
+      t.count_ctrl(testability::CtrlClass::kPartial),
+      t.count_ctrl(testability::CtrlClass::kUncontrollable),
+      t.count_obs(testability::ObsClass::kObservable),
+      t.count_obs(testability::ObsClass::kPartial),
+      t.count_obs(testability::ObsClass::kUnobservable));
+  for (const std::string mode : {"mfvs", "loopcut", "boundary", "interior"}) {
+    const auto vars = select_scan(g, mode);
+    std::printf("scan selection %-9s: %zu variables\n", mode.c_str(),
+                vars.size());
+  }
+  return 0;
+}
+
+int cmd_bist(const Args& a) {
+  const cdfg::Cdfg g = load_behavior(a.behavior);
+  const hls::Resources res{{cdfg::FuType::kAlu, a.alu},
+                           {cdfg::FuType::kMultiplier, a.mul}};
+  const hls::Schedule s = hls::list_schedule(g, res);
+
+  hls::Binding binding;
+  if (a.arch == "tfb") {
+    bist::TfbResult r = bist::tfb_synthesis(g, s);
+    binding = std::move(r.binding);
+    std::printf("architecture: TFB [31] (%d TFBs + %d input regs)\n",
+                r.num_tfbs, r.num_input_regs);
+  } else if (a.arch == "xtfb") {
+    bist::XtfbResult r = bist::xtfb_synthesis(g, s);
+    binding = std::move(r.binding);
+    std::printf("architecture: XTFB [19] (%d ALUs)\n", r.num_alus);
+  } else if (a.arch == "avra") {
+    binding = hls::make_binding(g, s);
+    hls::rebind_registers(g, binding,
+                          bist::bist_aware_register_assignment(g, binding));
+    std::printf("architecture: adjacency-aware registers [3]\n");
+  } else if (a.arch == "share") {
+    binding = hls::make_binding(g, s);
+    const bist::ShareResult r = bist::sharing_register_assignment(g, binding);
+    hls::rebind_registers(g, binding, r.reg_of_lifetime);
+    std::printf("architecture: TPGR/SR sharing [32]\n");
+  } else if (a.arch == "conventional") {
+    binding = hls::make_binding(g, s);
+    std::printf("architecture: conventional binding\n");
+  } else {
+    usage(("unknown BIST architecture: " + a.arch).c_str());
+  }
+
+  hls::RtlDesign design = hls::build_rtl(g, s, binding);
+  const int cbilbos = bist::configure_bist_conventional(design.datapath);
+  const bist::TestRegCounts counts =
+      bist::count_test_registers(design.datapath);
+  const bist::SessionAnalysis sessions =
+      bist::schedule_test_sessions(g, binding);
+  report_design(g, s, binding, design.datapath);
+  std::printf("BIST      : %d TPGR, %d SR, %d BILBO, %d CBILBO\n",
+              counts.tpgr, counts.sr, counts.bilbo, cbilbos);
+  std::printf("sessions  : %d (%d conflicts over %d modules)\n",
+              sessions.num_sessions, sessions.num_conflicts,
+              sessions.num_modules);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  if (a.command == "list") {
+    for (const cdfg::Cdfg& g : cdfg::standard_benchmarks())
+      std::printf("bench:%-8s %3d ops, %2zu states, %zu CDFG loops\n",
+                  g.name().c_str(), g.num_ops(), g.states().size(),
+                  cdfg::cdfg_loops(g).size());
+    return 0;
+  }
+  if (a.command == "synth") return cmd_synth(a);
+  if (a.command == "analyze") return cmd_analyze(a);
+  if (a.command == "bist") return cmd_bist(a);
+  usage(("unknown command: " + a.command).c_str());
+}
