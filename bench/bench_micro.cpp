@@ -97,6 +97,57 @@ void BM_FaultSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultSimulation)->Arg(4)->Arg(8);
 
+// Serial vs sharded PPSFP on the same workload: Arg is the worker count
+// (1 = the bit-identical serial path).
+void BM_FaultSimulationThreads(benchmark::State& state) {
+  hls::SynthesisOptions opts;
+  opts.resources = res();
+  const hls::Synthesis syn = hls::synthesize(cdfg::ewf(), opts);
+  rtl::Datapath dp = syn.rtl.datapath;
+  for (auto& reg : dp.regs) reg.test_kind = rtl::TestRegKind::kScan;
+  gl::ExpandOptions x;
+  x.width_override = 8;
+  const gl::ExpandedDesign design = gl::expand_datapath(dp, x);
+  const auto faults = gl::enumerate_faults(design.netlist);
+  const auto blocks = gl::lfsr_pattern_blocks(
+      static_cast<int>(design.netlist.primary_inputs().size()), 4, 99);
+  gl::FaultSimOptions fopts;
+  fopts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gl::fault_coverage(design.netlist, blocks, faults, nullptr, fopts));
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["gates"] = design.netlist.gate_count();
+}
+BENCHMARK(BM_FaultSimulationThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SequentialFaultSim(benchmark::State& state) {
+  // Non-scan diffeq expansion: the sequential engine's natural workload.
+  hls::SynthesisOptions opts;
+  opts.resources = res();
+  const hls::Synthesis syn = hls::synthesize(cdfg::diffeq(), opts);
+  gl::ExpandOptions x;
+  x.width_override = 4;
+  const gl::ExpandedDesign design = gl::expand_datapath(syn.rtl.datapath, x);
+  const auto faults = gl::enumerate_faults(design.netlist);
+  const auto blocks = gl::lfsr_pattern_blocks(
+      static_cast<int>(design.netlist.primary_inputs().size()), 8, 42);
+  const bool event_driven = state.range(0) != 0;
+  for (auto _ : state) {
+    if (event_driven)
+      benchmark::DoNotOptimize(
+          gl::sequential_fault_sim(design.netlist, blocks, faults));
+    else
+      benchmark::DoNotOptimize(gl::sequential_fault_sim_full_resim(
+          design.netlist, blocks, faults));
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["flops"] =
+      static_cast<double>(design.netlist.flops().size());
+}
+BENCHMARK(BM_SequentialFaultSim)->Arg(0)->Arg(1);
+
 void BM_PodemCampaign(benchmark::State& state) {
   gl::Netlist n;
   const gl::Word a = gl::make_input_word(n, "a", 8);

@@ -430,13 +430,14 @@ done:
 
 AtpgCampaign run_combinational_atpg(const Netlist& n,
                                     const std::vector<Fault>& faults,
-                                    long backtrack_limit) {
+                                    long backtrack_limit,
+                                    const FaultSimOptions& sim_options) {
   AtpgCampaign campaign;
   campaign.status.assign(faults.size(), AtpgStatus::kAborted);
   std::vector<bool> handled(faults.size(), false);
 
   Podem podem(n);
-  FaultSimulator sim(n);
+  FaultSimulator sim(n, sim_options);
   util::Rng rng(0x7357);
 
   long detected = 0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "gatelevel/faults.h"
+#include "gatelevel/faultsim.h"
 #include "gatelevel/netlist.h"
 
 namespace tsyn::gl {
@@ -103,8 +104,10 @@ struct AtpgCampaign {
   double fault_coverage = 0;    ///< detected / total
 };
 
+/// `sim_options` controls the fault-dropping simulator's parallelism.
 AtpgCampaign run_combinational_atpg(const Netlist& n,
                                     const std::vector<Fault>& faults,
-                                    long backtrack_limit = 10000);
+                                    long backtrack_limit = 10000,
+                                    const FaultSimOptions& sim_options = {});
 
 }  // namespace tsyn::gl

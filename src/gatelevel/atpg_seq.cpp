@@ -159,7 +159,8 @@ SeqAtpgResult sequential_atpg(const Netlist& n, const Fault& fault,
 
 SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
                                     const std::vector<Fault>& faults,
-                                    int max_frames, long backtrack_limit) {
+                                    int max_frames, long backtrack_limit,
+                                    const FaultSimOptions& sim_options) {
   SeqAtpgCampaign c;
   std::vector<bool> handled(faults.size(), false);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
@@ -194,7 +195,7 @@ SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
             remaining_idx.push_back(j);
           }
         const std::vector<bool> hit =
-            sequential_fault_sim(n, frames_bits, remaining);
+            sequential_fault_sim(n, frames_bits, remaining, sim_options);
         for (std::size_t k = 0; k < remaining.size(); ++k)
           if (hit[k]) {
             handled[remaining_idx[k]] = true;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gatelevel/atpg_comb.h"
+#include "gatelevel/faultsim.h"
 #include "gatelevel/netlist.h"
 
 namespace tsyn::gl {
@@ -65,9 +66,12 @@ struct SeqAtpgCampaign {
   double fault_efficiency = 0;
 };
 
+/// `sim_options` controls the reverse-order grading simulator that drops
+/// other faults caught by each generated sequence.
 SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
                                     const std::vector<Fault>& faults,
                                     int max_frames = 12,
-                                    long backtrack_limit = 20000);
+                                    long backtrack_limit = 20000,
+                                    const FaultSimOptions& sim_options = {});
 
 }  // namespace tsyn::gl

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gatelevel/faultsim.h"
+#include "util/thread_pool.h"
 
 namespace tsyn::gl {
 
@@ -19,7 +20,8 @@ std::vector<TransitionFault> enumerate_transition_faults(const Netlist& n) {
 
 double transition_fault_coverage(
     const Netlist& n, const std::vector<std::vector<Bits>>& blocks,
-    const std::vector<TransitionFault>& faults) {
+    const std::vector<TransitionFault>& faults,
+    const FaultSimOptions& options) {
   if (faults.empty()) return 1.0;
 
   // The capture pattern of a slow-to-rise fault must detect node SA0 (the
@@ -32,7 +34,7 @@ double transition_fault_coverage(
   for (std::size_t i = 0; i < faults.size(); ++i)
     sa[i].stuck_at_one = !faults[i].slow_to_rise;
 
-  FaultSimulator sim(n);
+  FaultSimulator sim(n, options);
   std::vector<bool> detected(faults.size(), false);
   // Carries the last lane's good node value across block boundaries.
   std::vector<char> prev_value(n.num_nodes(), -1);  // -1 unknown
@@ -73,29 +75,41 @@ double transition_fault_coverage(
 
 double iddq_fault_coverage(const Netlist& n,
                            const std::vector<std::vector<Bits>>& blocks,
-                           const std::vector<Fault>& faults) {
+                           const std::vector<Fault>& faults,
+                           const FaultSimOptions& options) {
   if (faults.empty()) return 1.0;
-  std::vector<bool> activated(faults.size(), false);
+  // Activation needs no propagation, so the per-fault scan is a pure read
+  // of the good values — shard it over the pool (char, not vector<bool>,
+  // so concurrent writes land on distinct bytes).
+  std::vector<char> activated(faults.size(), 0);
   std::vector<Bits> values(n.num_nodes(), Bits::unknown());
+  const int workers = std::min<int>(options.resolved_threads(),
+                                    static_cast<int>(faults.size()));
+  auto scan = [&](int i, int) {
+    if (activated[i]) return;
+    const Fault& f = faults[i];
+    // The line the fault sits on (its driver for pin faults).
+    const int line = f.fanin_index < 0
+                         ? f.node
+                         : n.node(f.node).fanins[f.fanin_index];
+    const Bits v = values[line];
+    const std::uint64_t opposite =
+        f.stuck_at_one ? (~v.v & ~v.x) : (v.v & ~v.x);
+    if (opposite != 0) activated[i] = 1;
+  };
   for (const auto& block : blocks) {
     for (std::size_t i = 0; i < n.primary_inputs().size(); ++i)
       values[n.primary_inputs()[i]] =
           i < block.size() ? block[i] : Bits::unknown();
     simulate_frame(n, values);
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (activated[i]) continue;
-      const Fault& f = faults[i];
-      // The line the fault sits on (its driver for pin faults).
-      const int line = f.fanin_index < 0
-                           ? f.node
-                           : n.node(f.node).fanins[f.fanin_index];
-      const Bits v = values[line];
-      const std::uint64_t opposite =
-          f.stuck_at_one ? (~v.v & ~v.x) : (v.v & ~v.x);
-      if (opposite != 0) activated[i] = true;
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < faults.size(); ++i) scan(static_cast<int>(i), 0);
+    } else {
+      util::ThreadPool::shared().run(static_cast<int>(faults.size()), workers,
+                                     scan);
     }
   }
-  const long hit = std::count(activated.begin(), activated.end(), true);
+  const long hit = std::count(activated.begin(), activated.end(), 1);
   return static_cast<double>(hit) / static_cast<double>(faults.size());
 }
 

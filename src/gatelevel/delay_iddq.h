@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gatelevel/faults.h"
+#include "gatelevel/faultsim.h"
 #include "gatelevel/netlist.h"
 
 namespace tsyn::gl {
@@ -30,14 +31,16 @@ std::vector<TransitionFault> enumerate_transition_faults(const Netlist& n);
 /// Two-pattern transition coverage under an applied pattern sequence
 /// (consecutive lanes form launch/capture pairs; pairs chain across
 /// blocks). Combinational netlists only.
-double transition_fault_coverage(const Netlist& n,
-                                 const std::vector<std::vector<Bits>>& blocks,
-                                 const std::vector<TransitionFault>& faults);
+double transition_fault_coverage(
+    const Netlist& n, const std::vector<std::vector<Bits>>& blocks,
+    const std::vector<TransitionFault>& faults,
+    const FaultSimOptions& options = {});
 
 /// IDDQ (pseudo-stuck-at) coverage: fraction of stuck-at faults whose site
 /// is driven to the opposite value by at least one pattern.
 double iddq_fault_coverage(const Netlist& n,
                            const std::vector<std::vector<Bits>>& blocks,
-                           const std::vector<Fault>& faults);
+                           const std::vector<Fault>& faults,
+                           const FaultSimOptions& options = {});
 
 }  // namespace tsyn::gl

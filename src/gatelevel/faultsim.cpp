@@ -2,108 +2,221 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+#include <limits>
 #include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.h"
 
 namespace tsyn::gl {
 
-FaultSimulator::FaultSimulator(const Netlist& n) : n_(n) {
+int FaultSimOptions::resolved_threads() const {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPropagator — the one propagation routine every path shares.
+// ---------------------------------------------------------------------------
+
+FaultPropagator::FaultPropagator(const Netlist& n) : n_(n) {
+  topo_pos_.assign(n.num_nodes(), 0);
+  const auto& topo = n.topo_order();  // also builds the fanout cache
+  topo_ = &topo;
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    topo_pos_[topo[i]] = static_cast<int>(i);
+  flags_.assign(n.num_nodes(), 0);
+  for (int po : n.primary_outputs()) flags_[po] |= 1;
+  for (int id = 0; id < n.num_nodes(); ++id)
+    if (n.node(id).type == GateType::kDff) flags_[id] |= 4;
+  const auto& fo = n.fanouts();
+  fan_off_.assign(n.num_nodes() + 1, 0);
+  for (int id = 0; id < n.num_nodes(); ++id)
+    fan_off_[id + 1] = fan_off_[id] + static_cast<int>(fo[id].size());
+  fan_flat_.resize(fan_off_.back());
+  for (int id = 0; id < n.num_nodes(); ++id)
+    std::copy(fo[id].begin(), fo[id].end(), fan_flat_.begin() + fan_off_[id]);
+  faulty_.assign(n.num_nodes(), Bits::unknown());
+  stamp_.assign(n.num_nodes(), -1);
+  sched_stamp_.assign(n.num_nodes(), -1);
+  po_stamp_.assign(n.num_nodes(), -1);
+  watch_stamp_.assign(n.num_nodes(), -1);
+}
+
+void FaultPropagator::set_watches(const std::vector<int>& nodes) {
+  for (char& f : flags_) f &= ~2;
+  for (int id : nodes)
+    if (id >= 0) flags_[id] |= 2;
+}
+
+void FaultPropagator::begin(const std::vector<Bits>& good) {
+  assert(good.size() == static_cast<std::size_t>(n_.num_nodes()));
+  good_ = &good;
+  if (current_stamp_ == std::numeric_limits<int>::max()) {
+    std::fill(stamp_.begin(), stamp_.end(), -1);
+    std::fill(sched_stamp_.begin(), sched_stamp_.end(), -1);
+    std::fill(po_stamp_.begin(), po_stamp_.end(), -1);
+    std::fill(watch_stamp_.begin(), watch_stamp_.end(), -1);
+    current_stamp_ = 0;
+  }
+  ++current_stamp_;
+  sweep_lo_ = static_cast<int>(topo_->size());
+  sweep_hi_ = -1;
+  touched_pos_.clear();
+  touched_watches_.clear();
+}
+
+void FaultPropagator::schedule_fanouts(int id) {
+  const int end = fan_off_[id + 1];
+  for (int k = fan_off_[id]; k < end; ++k) {
+    const int s = fan_flat_[k];
+    if (flags_[s] & 4) continue;  // D edges: caller's job
+    if (sched_stamp_[s] == current_stamp_) continue;
+    sched_stamp_[s] = current_stamp_;
+    const int pos = topo_pos_[s];
+    if (pos < sweep_lo_) sweep_lo_ = pos;
+    if (pos > sweep_hi_) sweep_hi_ = pos;
+  }
+}
+
+void FaultPropagator::force(int id, Bits v) {
+  const Bits old = value(id);
+  if (old.v == v.v && old.x == v.x) return;
+  faulty_[id] = v;
+  stamp_[id] = current_stamp_;
+  const char fl = flags_[id];
+  if (fl & 3) {  // PO / watched bookkeeping, off the fast path
+    if ((fl & 1) && po_stamp_[id] != current_stamp_) {
+      po_stamp_[id] = current_stamp_;
+      touched_pos_.push_back(id);
+    }
+    if ((fl & 2) && watch_stamp_[id] != current_stamp_) {
+      watch_stamp_[id] = current_stamp_;
+      touched_watches_.push_back(id);
+    }
+  }
+  schedule_fanouts(id);
+}
+
+void FaultPropagator::inject(const Fault& f) {
+  const Bits stuck = f.stuck_at_one ? Bits::all1() : Bits::all0();
+  if (f.fanin_index < 0) {
+    force(f.node, stuck);
+    return;
+  }
+  const Node& g = n_.node(f.node);
+  if (g.type == GateType::kDff) return;  // sampled at state capture
+  Bits fanin_vals[16];
+  for (std::size_t i = 0; i < g.fanins.size(); ++i)
+    fanin_vals[i] = static_cast<int>(i) == f.fanin_index
+                        ? stuck
+                        : value(g.fanins[i]);
+  force(f.node, eval_gate(g.type, fanin_vals,
+                          static_cast<int>(g.fanins.size())));
+}
+
+void FaultPropagator::drain(const Fault& f) {
+  const Bits stuck = f.stuck_at_one ? Bits::all1() : Bits::all0();
+  Bits fanin_vals[16];
+  const std::vector<int>& topo = *topo_;
+  // Fanouts sit strictly later in topo order, so scheduling during the
+  // sweep only ever raises sweep_hi_ — one forward pass suffices.
+  for (int pos = sweep_lo_; pos <= sweep_hi_; ++pos) {
+    const int id = topo[pos];
+    if (sched_stamp_[id] != current_stamp_) continue;
+    const Node& g = n_.node(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+    // An output-faulted node stays pinned at its stuck value even when its
+    // fanins diverge (possible through flip-flop feedback in the
+    // sequential engine); inject() already forced it.
+    if (f.fanin_index < 0 && id == f.node) continue;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      Bits v = value(g.fanins[i]);
+      if (f.fanin_index >= 0 && id == f.node &&
+          static_cast<int>(i) == f.fanin_index)
+        v = stuck;
+      fanin_vals[i] = v;
+    }
+    force(id, eval_gate(g.type, fanin_vals,
+                        static_cast<int>(g.fanins.size())));
+  }
+}
+
+std::uint64_t FaultPropagator::po_diff_mask() const {
+  std::uint64_t mask = 0;
+  for (int id : touched_pos_) {
+    const Bits& g = (*good_)[id];
+    const Bits& b = faulty_[id];
+    mask |= (g.v ^ b.v) & ~g.x & ~b.x;
+  }
+  return mask;
+}
+
+std::uint64_t FaultPropagator::propagate(const Fault& f,
+                                         const std::vector<Bits>& good) {
+  begin(good);
+  inject(f);
+  drain(f);
+  return po_diff_mask();
+}
+
+// ---------------------------------------------------------------------------
+// FaultSimulator — PPSFP with the fault list sharded over the worker pool.
+// ---------------------------------------------------------------------------
+
+FaultSimulator::FaultSimulator(const Netlist& n,
+                               const FaultSimOptions& options)
+    : n_(n), options_(options) {
   if (!n.flops().empty())
     throw std::runtime_error(
         "FaultSimulator is combinational; expand state as PI/PO first");
-  topo_pos_.assign(n.num_nodes(), 0);
-  const auto& topo = n.topo_order();
-  for (std::size_t i = 0; i < topo.size(); ++i)
-    topo_pos_[topo[i]] = static_cast<int>(i);
-  is_po_.assign(n.num_nodes(), 0);
-  for (int po : n.primary_outputs()) is_po_[po] = 1;
+  n.topo_order();  // build the lazy caches before any worker reads them
   good_.assign(n.num_nodes(), Bits::unknown());
-  faulty_.assign(n.num_nodes(), Bits::unknown());
-  stamp_.assign(n.num_nodes(), -1);
 }
 
-int FaultSimulator::run_block(const std::vector<Bits>& pi_values,
-                              const std::vector<Fault>& faults,
-                              std::vector<bool>& detected) {
+void FaultSimulator::simulate_good(const std::vector<Bits>& pi_values) {
   assert(pi_values.size() == n_.primary_inputs().size());
-  detected.resize(faults.size(), false);
-
-  // Good simulation.
   std::fill(good_.begin(), good_.end(), Bits::unknown());
   for (std::size_t i = 0; i < pi_values.size(); ++i)
     good_[n_.primary_inputs()[i]] = pi_values[i];
   simulate_frame(n_, good_);
   good_po_.clear();
   for (int po : n_.primary_outputs()) good_po_.push_back(good_[po]);
+}
 
-  const auto& fanouts = n_.fanouts();
+void FaultSimulator::propagate_shard(const std::vector<Fault>& faults,
+                                     const std::vector<bool>* skip,
+                                     std::vector<std::uint64_t>& masks) {
+  const int count = static_cast<int>(faults.size());
+  masks.assign(faults.size(), 0);
+  if (count == 0) return;
+  const int workers = std::min(options_.resolved_threads(), count);
+  while (static_cast<int>(propagators_.size()) < std::max(workers, 1))
+    propagators_.emplace_back(n_);
+
+  auto job = [&](int i, int slot) {
+    if (skip && (*skip)[i]) return;
+    masks[i] = propagators_[slot].propagate(faults[i], good_);
+  };
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) job(i, 0);
+  } else {
+    util::ThreadPool::shared().run(count, workers, job);
+  }
+}
+
+int FaultSimulator::run_block(const std::vector<Bits>& pi_values,
+                              const std::vector<Fault>& faults,
+                              std::vector<bool>& detected) {
+  detected.resize(faults.size(), false);
+  simulate_good(pi_values);
+  propagate_shard(faults, &detected, masks_);
   int newly_detected = 0;
-
-  Bits fanin_vals[16];
-  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    if (detected[fi]) continue;
-    const Fault& f = faults[fi];
-    ++current_stamp_;
-
-    auto value_of = [&](int id) -> Bits {
-      return stamp_[id] == current_stamp_ ? faulty_[id] : good_[id];
-    };
-    auto set_faulty = [&](int id, Bits v) {
-      faulty_[id] = v;
-      stamp_[id] = current_stamp_;
-    };
-
-    // Inject.
-    std::priority_queue<std::pair<int, int>,
-                        std::vector<std::pair<int, int>>,
-                        std::greater<>> pending;  // (topo pos, node)
-    std::uint64_t diff_mask = 0;
-    auto touch = [&](int id, Bits v) {
-      const Bits old = value_of(id);
-      if (old.v == v.v && old.x == v.x) return;
-      set_faulty(id, v);
-      if (is_po_[id])
-        diff_mask |= (good_[id].v ^ v.v) & ~good_[id].x & ~v.x;
-      for (int s : fanouts[id]) pending.push({topo_pos_[s], s});
-    };
-
-    const Bits stuck =
-        f.stuck_at_one ? Bits::all1() : Bits::all0();
-    if (f.fanin_index < 0) {
-      touch(f.node, stuck);
-    } else {
-      // Recompute the gate with the faulted pin forced.
-      const Node& g = n_.node(f.node);
-      for (std::size_t i = 0; i < g.fanins.size(); ++i)
-        fanin_vals[i] = static_cast<int>(i) == f.fanin_index
-                            ? stuck
-                            : value_of(g.fanins[i]);
-      touch(f.node, eval_gate(g.type, fanin_vals,
-                              static_cast<int>(g.fanins.size())));
-    }
-
-    // Event-driven propagation in topological order.
-    while (!pending.empty()) {
-      const auto [pos, id] = pending.top();
-      pending.pop();
-      (void)pos;  // queue key; duplicates re-evaluate to the same value
-      const Node& g = n_.node(id);
-      if (g.type == GateType::kInput) continue;
-      for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-        Bits v = value_of(g.fanins[i]);
-        if (f.fanin_index >= 0 && id == f.node &&
-            static_cast<int>(i) == f.fanin_index)
-          v = stuck;
-        fanin_vals[i] = v;
-      }
-      touch(id, eval_gate(g.type, fanin_vals,
-                          static_cast<int>(g.fanins.size())));
-    }
-
-    if (diff_mask != 0) {
-      detected[fi] = true;
-      ++newly_detected;
-    }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (detected[i] || masks_[i] == 0) continue;
+    detected[i] = true;
+    ++newly_detected;
   }
   return newly_detected;
 }
@@ -111,77 +224,16 @@ int FaultSimulator::run_block(const std::vector<Bits>& pi_values,
 void FaultSimulator::run_block_detail(const std::vector<Bits>& pi_values,
                                       const std::vector<Fault>& faults,
                                       std::vector<std::uint64_t>& lane_masks) {
-  assert(pi_values.size() == n_.primary_inputs().size());
-  lane_masks.assign(faults.size(), 0);
-
-  std::fill(good_.begin(), good_.end(), Bits::unknown());
-  for (std::size_t i = 0; i < pi_values.size(); ++i)
-    good_[n_.primary_inputs()[i]] = pi_values[i];
-  simulate_frame(n_, good_);
-  good_po_.clear();
-  for (int po : n_.primary_outputs()) good_po_.push_back(good_[po]);
-
-  const auto& fanouts = n_.fanouts();
-  Bits fanin_vals[16];
-  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    const Fault& f = faults[fi];
-    ++current_stamp_;
-    auto value_of = [&](int id) -> Bits {
-      return stamp_[id] == current_stamp_ ? faulty_[id] : good_[id];
-    };
-    auto set_faulty = [&](int id, Bits v) {
-      faulty_[id] = v;
-      stamp_[id] = current_stamp_;
-    };
-    std::priority_queue<std::pair<int, int>,
-                        std::vector<std::pair<int, int>>,
-                        std::greater<>> pending;
-    std::uint64_t diff_mask = 0;
-    auto touch = [&](int id, Bits v) {
-      const Bits old = value_of(id);
-      if (old.v == v.v && old.x == v.x) return;
-      set_faulty(id, v);
-      if (is_po_[id])
-        diff_mask |= (good_[id].v ^ v.v) & ~good_[id].x & ~v.x;
-      for (int s : fanouts[id]) pending.push({topo_pos_[s], s});
-    };
-    const Bits stuck = f.stuck_at_one ? Bits::all1() : Bits::all0();
-    if (f.fanin_index < 0) {
-      touch(f.node, stuck);
-    } else {
-      const Node& g = n_.node(f.node);
-      for (std::size_t i = 0; i < g.fanins.size(); ++i)
-        fanin_vals[i] = static_cast<int>(i) == f.fanin_index
-                            ? stuck
-                            : value_of(g.fanins[i]);
-      touch(f.node, eval_gate(g.type, fanin_vals,
-                              static_cast<int>(g.fanins.size())));
-    }
-    while (!pending.empty()) {
-      const auto [pos, id] = pending.top();
-      pending.pop();
-      (void)pos;
-      const Node& g = n_.node(id);
-      if (g.type == GateType::kInput) continue;
-      for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-        Bits v = value_of(g.fanins[i]);
-        if (f.fanin_index >= 0 && id == f.node &&
-            static_cast<int>(i) == f.fanin_index)
-          v = stuck;
-        fanin_vals[i] = v;
-      }
-      touch(id, eval_gate(g.type, fanin_vals,
-                          static_cast<int>(g.fanins.size())));
-    }
-    lane_masks[fi] = diff_mask;
-  }
+  simulate_good(pi_values);
+  propagate_shard(faults, nullptr, lane_masks);
 }
 
 double fault_coverage(const Netlist& n,
                       const std::vector<std::vector<Bits>>& blocks,
                       const std::vector<Fault>& faults,
-                      std::vector<bool>* detected_out) {
-  FaultSimulator sim(n);
+                      std::vector<bool>* detected_out,
+                      const FaultSimOptions& options) {
+  FaultSimulator sim(n, options);
   std::vector<bool> detected(faults.size(), false);
   for (const auto& block : blocks) sim.run_block(block, faults, detected);
   const long hit = std::count(detected.begin(), detected.end(), true);
@@ -189,6 +241,108 @@ double fault_coverage(const Netlist& n,
   return faults.empty() ? 1.0
                         : static_cast<double>(hit) /
                               static_cast<double>(faults.size());
+}
+
+// ---------------------------------------------------------------------------
+// Sequential fault simulation.
+// ---------------------------------------------------------------------------
+
+std::vector<bool> sequential_fault_sim(
+    const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
+    const std::vector<Fault>& faults, const FaultSimOptions& options) {
+  // Good trace, simulated once and shared (read-only) by every worker.
+  const auto good = simulate_sequence(n, input_frames);
+  const int count = static_cast<int>(faults.size());
+  std::vector<bool> detected(faults.size(), false);
+  if (count == 0 || input_frames.empty()) return detected;
+  n.topo_order();  // build the lazy caches before any worker reads them
+
+  const auto& flops = n.flops();
+  const int workers = std::min(options.resolved_threads(), count);
+
+  // D-pin watch set: the faulty next-state of a flip-flop can differ from
+  // the good trace only if its D node was touched this frame, so state
+  // capture walks the touched watches — O(divergence), not O(flops).
+  // Flip-flops may share a D node (CSR map below); unconnected (d < 0)
+  // flops stay unknown in both machines and never diverge.
+  std::vector<int> d_count(n.num_nodes(), 0);
+  std::vector<int> watch_nodes;
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    const int d = n.node(flops[i]).fanins[0];
+    if (d < 0) continue;
+    if (d_count[d]++ == 0) watch_nodes.push_back(d);
+  }
+  std::vector<int> fd_off(n.num_nodes() + 1, 0);
+  for (int id = 0; id < n.num_nodes(); ++id)
+    fd_off[id + 1] = fd_off[id] + d_count[id];
+  std::vector<int> fd_flat(fd_off.back());
+  std::vector<int> fd_fill = fd_off;
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    const int d = n.node(flops[i]).fanins[0];
+    if (d >= 0) fd_flat[fd_fill[d]++] = static_cast<int>(i);
+  }
+
+  // Per-worker scratch: propagator plus the faulty flip-flop state (sparse:
+  // state[i] is meaningful only while i is in div_list). All of it is
+  // reused across the worker's whole fault shard — no per-frame or
+  // per-fault allocation.
+  struct Scratch {
+    FaultPropagator prop;
+    std::vector<Bits> state;
+    std::vector<int> div_list, new_div;
+    Scratch(const Netlist& net, const std::vector<int>& watches)
+        : prop(net), state(net.flops().size()) {
+      prop.set_watches(watches);
+    }
+  };
+  std::vector<Scratch> scratch;
+  scratch.reserve(static_cast<std::size_t>(std::max(workers, 1)));
+  for (int w = 0; w < std::max(workers, 1); ++w)
+    scratch.emplace_back(n, watch_nodes);
+
+  std::vector<char> det(faults.size(), 0);
+  auto simulate_fault = [&](int fi, int slot) {
+    const Fault& f = faults[fi];
+    Scratch& s = scratch[slot];
+    // FFs start unknown in both machines: no initial divergence.
+    s.div_list.clear();
+    for (std::size_t frame = 0; frame < input_frames.size(); ++frame) {
+      s.prop.begin(good[frame]);
+      // Seed: flip-flops whose faulty state differs from the good trace,
+      // then the fault site itself (a stuck DFF output overrides its
+      // state; DFF D-pin faults are sampled at capture below, matching
+      // the full-resim reference).
+      for (int i : s.div_list) s.prop.force(flops[i], s.state[i]);
+      s.prop.inject(f);
+      s.prop.drain(f);
+      if (s.prop.po_diff_mask() != 0) {
+        det[fi] = 1;  // detected: drop the fault mid-sequence
+        return;
+      }
+      // Capture the next frame's state, keeping only the divergence.
+      s.new_div.clear();
+      for (int d : s.prop.touched_watches()) {
+        const Bits fv = s.prop.value(d);
+        const Bits& gv = good[frame][d];
+        if (fv.v == gv.v && fv.x == gv.x) continue;
+        const int end = fd_off[d + 1];
+        for (int k = fd_off[d]; k < end; ++k) {
+          const int i = fd_flat[k];
+          s.new_div.push_back(i);
+          s.state[i] = fv;
+        }
+      }
+      s.div_list.swap(s.new_div);
+    }
+  };
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) simulate_fault(i, 0);
+  } else {
+    util::ThreadPool::shared().run(count, workers, simulate_fault);
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    detected[i] = det[i] != 0;
+  return detected;
 }
 
 namespace {
@@ -217,7 +371,7 @@ void simulate_frame_with_fault(const Netlist& n, const Fault& f,
 
 }  // namespace
 
-std::vector<bool> sequential_fault_sim(
+std::vector<bool> sequential_fault_sim_full_resim(
     const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
     const std::vector<Fault>& faults) {
   // Good trace.

@@ -3,10 +3,15 @@
 // Parallel-pattern (64 lanes) single-fault propagation with fault dropping
 // for combinational circuits — the workhorse behind every fault-coverage
 // number in the benches (full-scan coverage, BIST coverage, test-point
-// evaluation). A straightforward per-fault sequential simulator covers the
-// small circuits used by the sequential-ATPG experiments.
+// evaluation). The fault list is sharded over a worker pool: the good
+// machine is simulated once per block, then each worker propagates its
+// share of the faults with private copy-on-write scratch (FaultPropagator).
+// Sequential circuits get an event-driven faulty-machine simulator that
+// carries only the divergent flip-flop state between frames and drops
+// detected faults mid-sequence.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "gatelevel/faults.h"
@@ -14,11 +19,106 @@
 
 namespace tsyn::gl {
 
+/// Knobs shared by every fault-simulation entry point.
+struct FaultSimOptions {
+  /// Worker threads the fault shard is spread over. 0 = one per hardware
+  /// thread; 1 = serial, bit-identical to the single-threaded engine (the
+  /// parallel path is deterministic too — faults are independent — but 1
+  /// also avoids touching the pool entirely).
+  int num_threads = 0;
+
+  /// num_threads with 0 resolved to the hardware parallelism (>= 1).
+  int resolved_threads() const;
+};
+
+/// Per-thread fault-propagation scratch plus the one propagation routine
+/// both the serial and the sharded PPSFP paths (and the sequential engine)
+/// share. Values are copy-on-write against a caller-owned good-value
+/// vector: a node reads as good until touched in the current epoch.
+class FaultPropagator {
+ public:
+  explicit FaultPropagator(const Netlist& n);
+
+  /// Starts a new epoch against `good` (node-indexed). The reference must
+  /// stay valid until the epoch's last call.
+  void begin(const std::vector<Bits>& good);
+
+  /// Sets node `id` to `v`; schedules its fanouts if the value diverges
+  /// from the current (faulty-machine) value. Used to seed divergent
+  /// flip-flop state in the sequential engine.
+  void force(int id, Bits v);
+
+  /// Injects fault `f`: output faults force the node, input-pin faults
+  /// re-evaluate the gate with the pin forced. Pin faults on DFFs are
+  /// ignored (matching the reference simulator: the D pin is sampled by
+  /// the state capture, which the caller owns).
+  void inject(const Fault& f);
+
+  /// Drains the event queue in topological order, re-evaluating `f`'s gate
+  /// with the faulted pin forced whenever it is reached.
+  void drain(const Fault& f);
+
+  /// 64-bit lane mask of primary outputs where the faulty machine provably
+  /// differs from the good machine (both known, values differ). Valid
+  /// after drain().
+  std::uint64_t po_diff_mask() const;
+
+  /// Faulty-machine value of `id` in the current epoch.
+  Bits value(int id) const {
+    return stamp_[id] == current_stamp_ ? faulty_[id] : (*good_)[id];
+  }
+
+  /// Marks nodes to watch (negative ids ignored). force() records which
+  /// watched nodes get touched each epoch; the sequential engine watches
+  /// the DFF D-pins so state capture is O(touched), not O(flops).
+  void set_watches(const std::vector<int>& nodes);
+
+  /// Watched node ids touched in the current epoch (deduplicated).
+  const std::vector<int>& touched_watches() const { return touched_watches_; }
+
+  /// begin() + inject() + drain() + po_diff_mask(): one combinational
+  /// fault, start to finish.
+  std::uint64_t propagate(const Fault& f, const std::vector<Bits>& good);
+
+ private:
+  void schedule_fanouts(int id);
+
+  const Netlist& n_;
+  const std::vector<Bits>* good_ = nullptr;
+  // Timestamped copy-on-write faulty values: faulty_[id] is valid only
+  // when stamp_[id] == current_stamp_.
+  std::vector<Bits> faulty_;
+  std::vector<int> stamp_;
+  std::vector<int> sched_stamp_;  ///< node already scheduled this epoch
+  int current_stamp_ = 0;
+  std::vector<int> topo_pos_;
+  /// Per-node flags: bit0 = primary output, bit1 = watched, bit2 = DFF.
+  /// One load on the force() fast path instead of three parallel arrays.
+  std::vector<char> flags_;
+  /// CSR-flattened copy of Netlist::fanouts() — contiguous successor
+  /// iteration without the outer-vector indirection on the hottest loop.
+  std::vector<int> fan_off_, fan_flat_;
+  /// Reusable event scheduler (replaces a fresh std::priority_queue per
+  /// fault): scheduling stamps the node and widens [sweep_lo_, sweep_hi_];
+  /// drain() sweeps the topo order over that range evaluating stamped
+  /// nodes. O(1) schedule, in-order processing, no heap traffic.
+  const std::vector<int>* topo_ = nullptr;
+  int sweep_lo_ = 0, sweep_hi_ = -1;
+  /// Primary outputs touched this epoch (deduplicated via sched stamps on
+  /// a parallel array), so po_diff_mask() is O(touched POs).
+  std::vector<int> touched_pos_;
+  std::vector<int> po_stamp_;
+  /// Watched nodes (see set_watches) touched this epoch.
+  std::vector<int> watch_stamp_;
+  std::vector<int> touched_watches_;
+};
+
 /// Parallel-pattern combinational fault simulator. The netlist must be
 /// combinational (no DFFs) — expand scan/BIST registers as PI/PO first.
 class FaultSimulator {
  public:
-  explicit FaultSimulator(const Netlist& n);
+  explicit FaultSimulator(const Netlist& n,
+                          const FaultSimOptions& options = {});
 
   /// Simulates one 64-lane block. `pi_values[i]` is the Bits value of
   /// primary input i (by position in primary_inputs()). Marks faults
@@ -43,19 +143,19 @@ class FaultSimulator {
   const Bits& good_value(int node) const { return good_[node]; }
 
  private:
-  Bits eval_node_faulty(int id, const Fault& f, std::uint64_t forced_v,
-                        std::uint64_t forced_known);
+  void simulate_good(const std::vector<Bits>& pi_values);
+  /// Shards `faults` over the worker pool; masks[i] receives the detecting
+  /// lane mask (0 for faults where skip[i] is true).
+  void propagate_shard(const std::vector<Fault>& faults,
+                       const std::vector<bool>* skip,
+                       std::vector<std::uint64_t>& masks);
 
   const Netlist& n_;
+  FaultSimOptions options_;
   std::vector<Bits> good_;
   std::vector<Bits> good_po_;
-  // Timestamped copy-on-write of faulty values: faulty_[id] is valid only
-  // when stamp_[id] == current_stamp_.
-  std::vector<Bits> faulty_;
-  std::vector<int> stamp_;
-  int current_stamp_ = 0;
-  std::vector<int> topo_pos_;
-  std::vector<char> is_po_;
+  std::vector<FaultPropagator> propagators_;  ///< one per worker slot
+  std::vector<std::uint64_t> masks_;          ///< run_block scratch
 };
 
 /// Convenience: coverage of `faults` under `blocks` of PI patterns.
@@ -63,13 +163,24 @@ class FaultSimulator {
 double fault_coverage(const Netlist& n,
                       const std::vector<std::vector<Bits>>& blocks,
                       const std::vector<Fault>& faults,
-                      std::vector<bool>* detected = nullptr);
+                      std::vector<bool>* detected = nullptr,
+                      const FaultSimOptions& options = {});
 
 /// Per-fault sequential simulation over a vector sequence (64 lanes of
 /// sequences in parallel; lane l of frame f is vector f of sequence l).
-/// FFs start unknown. Suitable for small circuits only (full resim per
-/// fault). Returns the detected mask.
+/// FFs start unknown. Event-driven: the good trace is simulated once, each
+/// fault then propagates only its divergence per frame, carrying only the
+/// flip-flops that differ from the good machine across frame boundaries,
+/// and stops at its first detecting frame. The fault list is sharded over
+/// the worker pool. Returns the detected mask.
 std::vector<bool> sequential_fault_sim(
+    const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
+    const std::vector<Fault>& faults, const FaultSimOptions& options = {});
+
+/// Reference implementation of sequential_fault_sim: full-circuit
+/// re-simulation of every frame for every fault, single-threaded. Kept as
+/// the equivalence oracle for tests and the baseline for the perf bench.
+std::vector<bool> sequential_fault_sim_full_resim(
     const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
     const std::vector<Fault>& faults);
 

@@ -1,0 +1,127 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace tsyn::util {
+
+/// One run() call in flight. Work is claimed index-by-index from `next` so
+/// uneven items (fault propagation cost varies wildly) balance themselves.
+struct ThreadPool::Batch {
+  int count = 0;
+  /// Helper slots still unclaimed; the caller retires the leftovers when it
+  /// finishes its own share. Guarded by the pool mutex.
+  int open_slots = 0;
+  int started = 0;   ///< helpers that joined (guarded by the pool mutex)
+  int finished = 0;  ///< helpers that completed (guarded by the pool mutex)
+  std::atomic<int> next{0};
+  const std::function<void(int, int)>* job = nullptr;
+  std::mutex err_mu;
+  std::exception_ptr error;
+};
+
+struct ThreadPool::State {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::shared_ptr<Batch> batch;  ///< current batch with open slots, if any
+  bool stop = false;
+  std::vector<std::thread> workers;
+};
+
+ThreadPool::ThreadPool(int num_threads) : state_(new State) {
+  if (num_threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  num_workers_ = num_threads - 1;
+  state_->workers.reserve(static_cast<std::size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i)
+    state_->workers.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->stop = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& t : state_->workers) t.join();
+}
+
+void ThreadPool::work(Batch& b, int slot) {
+  try {
+    for (int i = b.next.fetch_add(1, std::memory_order_relaxed); i < b.count;
+         i = b.next.fetch_add(1, std::memory_order_relaxed))
+      (*b.job)(i, slot);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(b.err_mu);
+      if (!b.error) b.error = std::current_exception();
+    }
+    b.next.store(b.count, std::memory_order_relaxed);  // abandon the rest
+  }
+}
+
+void ThreadPool::worker_loop() {
+  State& s = *state_;
+  for (;;) {
+    std::shared_ptr<Batch> b;
+    int slot;
+    {
+      std::unique_lock<std::mutex> lk(s.mu);
+      s.work_cv.wait(lk, [&] { return s.stop || s.batch != nullptr; });
+      if (s.stop) return;
+      b = s.batch;
+      slot = ++b->started;  // caller is slot 0; helpers are 1..
+      if (--b->open_slots == 0) s.batch = nullptr;
+    }
+    work(*b, slot);
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      ++b->finished;
+    }
+    s.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::run(int count, int max_threads,
+                     const std::function<void(int, int)>& job) {
+  if (count <= 0) return;
+  const int helpers =
+      std::min({max_threads - 1, num_workers_, count - 1});
+  if (helpers <= 0) {
+    for (int i = 0; i < count; ++i) job(i, 0);
+    return;
+  }
+
+  State& s = *state_;
+  auto b = std::make_shared<Batch>();
+  b->count = count;
+  b->open_slots = helpers;
+  b->job = &job;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.batch = b;
+  }
+  s.work_cv.notify_all();
+
+  work(*b, 0);  // the caller is a participant, not just a dispatcher
+
+  std::unique_lock<std::mutex> lk(s.mu);
+  if (s.batch == b) s.batch = nullptr;  // retire slots no worker claimed
+  s.done_cv.wait(lk, [&] { return b->finished == b->started; });
+  lk.unlock();
+
+  if (b->error) std::rethrow_exception(b->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace tsyn::util

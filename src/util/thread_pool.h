@@ -1,0 +1,51 @@
+// Reusable worker pool for data-parallel loops.
+//
+// The fault-simulation engine (and any future sharded kernel) needs to fan
+// an index range out over threads without paying thread creation per call.
+// The pool keeps its workers parked on a condition variable; run() hands
+// them a batch, participates from the calling thread, and returns once
+// every index has been processed. Each participating thread gets a stable
+// `slot` id so callers can give it private scratch memory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace tsyn::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread is the remaining
+  /// participant). 0 = one per hardware thread.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maximum number of threads a run() can use (workers + caller).
+  int max_parallelism() const { return num_workers_ + 1; }
+
+  /// Runs job(item, slot) for every item in [0, count), dynamically load-
+  /// balanced over at most `max_threads` threads including the caller.
+  /// `slot` is in [0, max_threads) and unique per participating thread, so
+  /// job may use slot-indexed scratch without locking. The caller always
+  /// holds slot 0; max_threads <= 1 (or count <= 1) degenerates to a plain
+  /// inline loop — bit-identical to never having had a pool. Exceptions
+  /// thrown by job are rethrown on the calling thread (first one wins).
+  void run(int count, int max_threads, const std::function<void(int, int)>& job);
+
+  /// Process-wide pool sized to the hardware. Lazily constructed.
+  static ThreadPool& shared();
+
+ private:
+  struct Batch;
+  struct State;
+  void worker_loop();
+  static void work(Batch& b, int slot);
+
+  std::unique_ptr<State> state_;
+  int num_workers_ = 0;
+};
+
+}  // namespace tsyn::util

@@ -1,0 +1,291 @@
+// The multi-threaded fault-simulation engine: the sharded PPSFP path must
+// be indistinguishable from the serial one, the event-driven sequential
+// simulator must match the full-resimulation oracle, and repeated
+// multi-threaded runs must be deterministic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "gatelevel/bistgen.h"
+#include "gatelevel/faults.h"
+#include "gatelevel/faultsim.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tsyn {
+namespace {
+
+// Random combinational netlist (the same shape the property sweeps use).
+gl::Netlist random_netlist(std::uint64_t seed, int gates = 80,
+                           int inputs = 8) {
+  util::Rng rng(seed);
+  gl::Netlist n;
+  std::vector<int> nodes;
+  for (int i = 0; i < inputs; ++i)
+    nodes.push_back(n.add_input("i" + std::to_string(i)));
+  for (int i = 0; i < gates; ++i) {
+    static constexpr gl::GateType kTypes[] = {
+        gl::GateType::kAnd,  gl::GateType::kOr,  gl::GateType::kNand,
+        gl::GateType::kNor,  gl::GateType::kXor, gl::GateType::kXnor,
+        gl::GateType::kNot,  gl::GateType::kMux};
+    const gl::GateType t = kTypes[rng.pick_index(8)];
+    const int arity = t == gl::GateType::kNot   ? 1
+                      : t == gl::GateType::kMux ? 3
+                                                : 2;
+    std::vector<int> fanins;
+    for (int a = 0; a < arity; ++a)
+      fanins.push_back(nodes[rng.pick_index(nodes.size())]);
+    nodes.push_back(n.add_gate(t, fanins));
+  }
+  for (int i = 0; i < 6; ++i)
+    n.mark_output(nodes[nodes.size() - 1 - i]);
+  n.validate();
+  return n;
+}
+
+// Random sequential netlist: a combinational soup plus DFFs, some of them
+// in feedback loops, with a mix of DFF and gate primary outputs.
+gl::Netlist random_sequential_netlist(std::uint64_t seed, int gates = 60,
+                                      int flops = 6) {
+  util::Rng rng(seed);
+  gl::Netlist n;
+  std::vector<int> nodes;
+  for (int i = 0; i < 4; ++i)
+    nodes.push_back(n.add_input("i" + std::to_string(i)));
+  std::vector<int> dffs;
+  for (int i = 0; i < flops; ++i) {
+    const int q = n.add_dff(-1, "q" + std::to_string(i));
+    dffs.push_back(q);
+    nodes.push_back(q);  // Q feeds downstream logic (feedback possible)
+  }
+  for (int i = 0; i < gates; ++i) {
+    static constexpr gl::GateType kTypes[] = {
+        gl::GateType::kAnd, gl::GateType::kOr,  gl::GateType::kNand,
+        gl::GateType::kNor, gl::GateType::kXor, gl::GateType::kNot,
+        gl::GateType::kMux};
+    const gl::GateType t = kTypes[rng.pick_index(7)];
+    const int arity = t == gl::GateType::kNot   ? 1
+                      : t == gl::GateType::kMux ? 3
+                                                : 2;
+    std::vector<int> fanins;
+    for (int a = 0; a < arity; ++a)
+      fanins.push_back(nodes[rng.pick_index(nodes.size())]);
+    nodes.push_back(n.add_gate(t, fanins));
+  }
+  for (int i = 0; i < flops; ++i)
+    n.set_dff_input(dffs[i], nodes[rng.pick_index(nodes.size())]);
+  for (int i = 0; i < 3; ++i)
+    n.mark_output(nodes[nodes.size() - 1 - i]);
+  n.mark_output(dffs[0]);  // a DFF PO, like the seq-ATPG ring circuits
+  n.validate();
+  return n;
+}
+
+/// Ring register circuit from bench_seqatpg_effort.
+gl::Netlist ring_circuit(int length) {
+  gl::Netlist n;
+  const int load = n.add_input("load");
+  const int din = n.add_input("din");
+  std::vector<int> regs;
+  for (int i = 0; i < length; ++i)
+    regs.push_back(n.add_dff(-1, "r" + std::to_string(i)));
+  const int inv = n.add_gate(gl::GateType::kNot, {regs[length - 1]});
+  const int d0 = n.add_gate(gl::GateType::kMux, {load, inv, din});
+  n.set_dff_input(regs[0], d0);
+  for (int i = 1; i < length; ++i) n.set_dff_input(regs[i], regs[i - 1]);
+  n.mark_output(regs[0]);
+  return n;
+}
+
+/// Register pipeline from bench_seqatpg_effort.
+gl::Netlist pipeline_circuit(int depth) {
+  gl::Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int x = n.add_gate(gl::GateType::kXor, {a, b});
+  int prev = x;
+  for (int i = 0; i < depth; ++i) {
+    const int q = n.add_dff(-1, "d" + std::to_string(i));
+    n.set_dff_input(q, prev);
+    prev = q;
+  }
+  n.mark_output(prev);
+  return n;
+}
+
+class ParallelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSweep, RunBlockMatchesSerial) {
+  const gl::Netlist n = random_netlist(GetParam());
+  const auto faults = gl::enumerate_faults(n);
+  const auto blocks = gl::lfsr_pattern_blocks(
+      static_cast<int>(n.primary_inputs().size()), 3, GetParam() * 17 + 1);
+
+  gl::FaultSimulator serial(n, gl::FaultSimOptions{1});
+  gl::FaultSimulator parallel(n, gl::FaultSimOptions{4});
+  std::vector<bool> ds(faults.size(), false), dp(faults.size(), false);
+  for (const auto& block : blocks) {
+    const int news = serial.run_block(block, faults, ds);
+    const int newp = parallel.run_block(block, faults, dp);
+    EXPECT_EQ(news, newp);
+    EXPECT_EQ(serial.good_outputs().size(), parallel.good_outputs().size());
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_EQ(ds[i], dp[i]) << gl::describe(n, faults[i]);
+}
+
+TEST_P(ParallelSweep, RunBlockDetailMatchesSerial) {
+  const gl::Netlist n = random_netlist(GetParam(), 60);
+  const auto faults = gl::enumerate_faults(n, /*collapse=*/false);
+  const auto blocks = gl::lfsr_pattern_blocks(
+      static_cast<int>(n.primary_inputs().size()), 2, GetParam() * 3 + 7);
+
+  gl::FaultSimulator serial(n, gl::FaultSimOptions{1});
+  gl::FaultSimulator parallel(n, gl::FaultSimOptions{4});
+  std::vector<std::uint64_t> ms, mp;
+  for (const auto& block : blocks) {
+    serial.run_block_detail(block, faults, ms);
+    parallel.run_block_detail(block, faults, mp);
+    ASSERT_EQ(ms.size(), mp.size());
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      EXPECT_EQ(ms[i], mp[i]) << gl::describe(n, faults[i]);
+    // The good machine is unaffected by the sharding.
+    for (int id = 0; id < n.num_nodes(); ++id) {
+      EXPECT_EQ(serial.good_value(id).v, parallel.good_value(id).v);
+      EXPECT_EQ(serial.good_value(id).x, parallel.good_value(id).x);
+    }
+  }
+}
+
+TEST_P(ParallelSweep, EventDrivenSequentialMatchesFullResim) {
+  const gl::Netlist n = random_sequential_netlist(GetParam());
+  const auto faults = gl::enumerate_faults(n);
+  const auto frames = gl::lfsr_pattern_blocks(
+      static_cast<int>(n.primary_inputs().size()), 6, GetParam() * 5 + 11);
+
+  const auto oracle = gl::sequential_fault_sim_full_resim(n, frames, faults);
+  const auto serial =
+      gl::sequential_fault_sim(n, frames, faults, gl::FaultSimOptions{1});
+  const auto parallel =
+      gl::sequential_fault_sim(n, frames, faults, gl::FaultSimOptions{4});
+  ASSERT_EQ(oracle.size(), serial.size());
+  ASSERT_EQ(oracle.size(), parallel.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(oracle[i], serial[i]) << gl::describe(n, faults[i]);
+    EXPECT_EQ(oracle[i], parallel[i]) << gl::describe(n, faults[i]);
+  }
+}
+
+TEST_P(ParallelSweep, FaultCoverageDeterministicAcrossRuns) {
+  const gl::Netlist n = random_netlist(GetParam(), 100);
+  const auto faults = gl::enumerate_faults(n);
+  const auto blocks = gl::lfsr_pattern_blocks(
+      static_cast<int>(n.primary_inputs().size()), 4, 5);
+
+  gl::FaultSimOptions opts;
+  opts.num_threads = 4;
+  std::vector<bool> first;
+  const double cov0 = gl::fault_coverage(n, blocks, faults, &first, opts);
+  for (int run = 0; run < 3; ++run) {
+    std::vector<bool> detected;
+    const double cov = gl::fault_coverage(n, blocks, faults, &detected, opts);
+    EXPECT_EQ(cov, cov0);
+    EXPECT_EQ(detected, first);
+  }
+  // And the serial engine agrees with the default (hardware) engine.
+  EXPECT_EQ(gl::fault_coverage(n, blocks, faults, nullptr,
+                               gl::FaultSimOptions{1}),
+            cov0);
+  EXPECT_EQ(gl::fault_coverage(n, blocks, faults), cov0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSweep, ::testing::Range(1, 11));
+
+TEST(SequentialEventDriven, MatchesOracleOnSeqAtpgEffortCircuits) {
+  // The bench_seqatpg_effort workloads: rings (long S-graph cycles, DFF
+  // primary output) and pipelines (pure depth).
+  for (int length = 1; length <= 6; ++length) {
+    const gl::Netlist n = ring_circuit(length);
+    const auto faults = gl::enumerate_faults(n);
+    const auto frames = gl::lfsr_pattern_blocks(
+        static_cast<int>(n.primary_inputs().size()), length + 4, 0xC0FFEE);
+    EXPECT_EQ(gl::sequential_fault_sim(n, frames, faults),
+              gl::sequential_fault_sim_full_resim(n, frames, faults))
+        << "ring length " << length;
+  }
+  for (int depth = 1; depth <= 8; ++depth) {
+    const gl::Netlist n = pipeline_circuit(depth);
+    const auto faults = gl::enumerate_faults(n);
+    const auto frames = gl::lfsr_pattern_blocks(
+        static_cast<int>(n.primary_inputs().size()), depth + 3, 0xBEEF);
+    EXPECT_EQ(gl::sequential_fault_sim(n, frames, faults),
+              gl::sequential_fault_sim_full_resim(n, frames, faults))
+        << "pipeline depth " << depth;
+  }
+}
+
+TEST(SequentialEventDriven, DropsDetectedFaultEarly) {
+  // A buffer pipeline: an output SA fault is caught as soon as the effect
+  // marches to the PO; later frames must not resurrect it.
+  const gl::Netlist n = pipeline_circuit(3);
+  const gl::Fault f{n.flops()[0], -1, true};  // first stage stuck-at-1
+  std::vector<std::vector<gl::Bits>> frames(
+      8, std::vector<gl::Bits>{gl::Bits::all0(), gl::Bits::all0()});
+  const auto det = gl::sequential_fault_sim(n, frames, {f});
+  EXPECT_TRUE(det[0]);
+  EXPECT_EQ(det, gl::sequential_fault_sim_full_resim(n, frames, {f}));
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.run(1000, 4, [&](int i, int slot) {
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, 4);
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SlotsAreExclusive) {
+  // Two items sharing a slot must never run concurrently: model slot
+  // scratch as a counter that would be corrupted by simultaneous use.
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> in_use(4);
+  for (auto& s : in_use) s.store(0);
+  std::atomic<bool> clash{false};
+  pool.run(500, 4, [&](int, int slot) {
+    if (in_use[static_cast<std::size_t>(slot)].fetch_add(1) != 0)
+      clash.store(true);
+    in_use[static_cast<std::size_t>(slot)].fetch_sub(1);
+  });
+  EXPECT_FALSE(clash.load());
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  util::ThreadPool pool(3);
+  EXPECT_THROW(pool.run(100, 3,
+                        [](int i, int) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> count{0};
+  pool.run(10, 3, [&](int, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, InlineWhenSingleThreaded) {
+  util::ThreadPool pool(1);
+  std::set<int> seen;  // no mutex: must run on the calling thread
+  pool.run(50, 1, [&](int i, int slot) {
+    EXPECT_EQ(slot, 0);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+}  // namespace
+}  // namespace tsyn
