@@ -308,7 +308,9 @@ void write_json(const std::vector<PpsfpRow>& ppsfp,
         r.event_serial_ms, r.event_parallel_ms, r.speedup_algorithmic(),
         r.speedup_total(), i + 1 < seq.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  ");
+  bench::write_metrics_field(f);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 

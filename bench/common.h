@@ -8,6 +8,7 @@
 
 #include "cdfg/benchmarks.h"
 #include "hls/synthesis.h"
+#include "util/metrics.h"
 #include "util/table.h"
 
 namespace tsyn::bench {
@@ -33,6 +34,17 @@ inline void print_header(const std::string& exp_id,
 inline void print_table(const util::Table& t) {
   std::fputs(t.to_string().c_str(), stdout);
   std::fputs("\n", stdout);
+}
+
+/// Embeds the process-wide metrics registry into an open BENCH_*.json
+/// stream as a `"metrics": {...}` field (no leading indent, no trailing
+/// comma/newline — the caller owns the surrounding object syntax). Gives
+/// every bench's JSON the same run-report section the CLI's --metrics
+/// emits, so per-PR perf tracking sees engine work counters (events
+/// processed, faults dropped, shard imbalance) next to the wall times.
+inline void write_metrics_field(std::FILE* f) {
+  const std::string j = util::metrics().to_json();
+  std::fprintf(f, "\"metrics\": %s", j.c_str());
 }
 
 }  // namespace tsyn::bench

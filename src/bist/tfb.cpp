@@ -5,10 +5,13 @@
 
 #include "graph/clique_partition.h"
 #include "graph/interval.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tsyn::bist {
 
 TfbResult tfb_synthesis(const cdfg::Cdfg& g, const hls::Schedule& s) {
+  TSYN_SPAN("bist.tfb");
   TfbResult result;
   hls::Binding& b = result.binding;
   b.lifetimes = cdfg::analyze_lifetimes(g, s.step_of_op, s.num_steps,
@@ -97,10 +100,14 @@ TfbResult tfb_synthesis(const cdfg::Cdfg& g, const hls::Schedule& s) {
   b.num_regs = result.num_tfbs + extra;
 
   hls::validate_binding(g, s, b);
+  util::metrics().counter("bist.tfb.runs").add();
+  util::metrics().gauge("bist.tfb.units").set(result.num_tfbs);
+  util::metrics().gauge("bist.tfb.input_regs").set(result.num_input_regs);
   return result;
 }
 
 XtfbResult xtfb_synthesis(const cdfg::Cdfg& g, const hls::Schedule& s) {
+  TSYN_SPAN("bist.xtfb");
   TfbResult tfb = tfb_synthesis(g, s);
   XtfbResult result;
   result.binding = std::move(tfb.binding);
@@ -201,6 +208,9 @@ XtfbResult xtfb_synthesis(const cdfg::Cdfg& g, const hls::Schedule& s) {
     else
       result.self_adjacent_tpgr_only += self_adjacent;
   }
+  util::metrics().counter("bist.xtfb.runs").add();
+  util::metrics().gauge("bist.xtfb.alus").set(result.num_alus);
+  util::metrics().gauge("bist.xtfb.cbilbos").set(result.cbilbos);
   return result;
 }
 

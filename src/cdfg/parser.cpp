@@ -3,7 +3,9 @@
 #include <map>
 #include <sstream>
 
+#include "util/metrics.h"
 #include "util/text.h"
+#include "util/trace.h"
 
 namespace tsyn::cdfg {
 
@@ -28,6 +30,9 @@ const std::map<std::string, OpKind>& op_kind_names() {
 }  // namespace
 
 Cdfg parse_cdfg(const std::string& text) {
+  TSYN_SPAN("cdfg.parse");
+  static util::Counter& runs = util::metrics().counter("cdfg.parse.runs");
+  runs.add();
   Cdfg g;
   std::istringstream in(text);
   std::string raw;

@@ -8,7 +8,10 @@
 
 #include "gatelevel/faultsim.h"
 #include "gatelevel/scoap.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace tsyn::gl {
 
@@ -428,40 +431,65 @@ done:
   return result;
 }
 
+namespace {
+
+/// Publishes a campaign's effort into the metrics registry, keeping the
+/// public AtpgStats struct as the caller-facing view of the same numbers.
+void publish_comb_campaign(const AtpgCampaign& campaign) {
+  static util::Counter& decisions =
+      util::metrics().counter("atpg.comb.decisions");
+  static util::Counter& backtracks =
+      util::metrics().counter("atpg.comb.backtracks");
+  static util::Counter& implications =
+      util::metrics().counter("atpg.comb.implications");
+  static util::Counter& detected =
+      util::metrics().counter("atpg.comb.detected");
+  static util::Counter& untestable =
+      util::metrics().counter("atpg.comb.untestable");
+  static util::Counter& aborted =
+      util::metrics().counter("atpg.comb.aborted");
+  static util::Counter& limit_hits =
+      util::metrics().counter("atpg.comb.backtrack_limit_hits");
+  decisions.add(campaign.total.decisions);
+  backtracks.add(campaign.total.backtracks);
+  implications.add(campaign.total.implications);
+  long n_det = 0, n_unt = 0, n_abt = 0;
+  for (AtpgStatus s : campaign.status) {
+    if (s == AtpgStatus::kDetected) ++n_det;
+    else if (s == AtpgStatus::kUntestable) ++n_unt;
+    else ++n_abt;
+  }
+  detected.add(n_det);
+  untestable.add(n_unt);
+  aborted.add(n_abt);
+  // PODEM aborts exactly when the backtrack limit trips, so the abort
+  // count IS the limit-hit count for the combinational engine.
+  limit_hits.add(n_abt);
+}
+
+}  // namespace
+
 AtpgCampaign run_combinational_atpg(const Netlist& n,
                                     const std::vector<Fault>& faults,
                                     long backtrack_limit,
                                     const FaultSimOptions& sim_options) {
+  TSYN_SPAN("gl.atpg.comb");
   AtpgCampaign campaign;
   campaign.status.assign(faults.size(), AtpgStatus::kAborted);
   std::vector<bool> handled(faults.size(), false);
 
-  Podem podem(n);
   FaultSimulator sim(n, sim_options);
   util::Rng rng(0x7357);
+  static util::Histogram& bt_hist =
+      util::metrics().histogram("atpg.comb.backtracks_per_fault");
 
-  long detected = 0;
-  long untestable = 0;
-  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    if (handled[fi]) continue;
-    const AtpgResult r = podem.generate(faults[fi], backtrack_limit);
-    campaign.total.decisions += r.stats.decisions;
-    campaign.total.backtracks += r.stats.backtracks;
-    campaign.total.implications += r.stats.implications;
-    campaign.status[fi] = r.status;
-    handled[fi] = true;
-    if (r.status == AtpgStatus::kUntestable) {
-      ++untestable;
-      continue;
-    }
-    if (r.status != AtpgStatus::kDetected) continue;
-    ++detected;
-    campaign.tests.push_back(r.pi_values);
-    // Fault-simulate the new test (X inputs filled randomly) against all
-    // remaining faults.
+  // Grades one generated test (X inputs filled randomly) against all
+  // still-unhandled faults, dropping the ones it detects.
+  auto grade_test = [&](const std::vector<V>& pi_values) {
+    campaign.tests.push_back(pi_values);
     std::vector<Bits> block(n.primary_inputs().size());
     for (std::size_t i = 0; i < block.size(); ++i) {
-      switch (r.pi_values[i]) {
+      switch (pi_values[i]) {
         case V::k0: block[i] = Bits::all0(); break;
         case V::k1: block[i] = Bits::all1(); break;
         case V::kX: block[i] = Bits::known(rng.next_u64()); break;
@@ -474,14 +502,90 @@ AtpgCampaign run_combinational_atpg(const Netlist& n,
       if (!handled[j] && drop[j]) {
         handled[j] = true;
         campaign.status[j] = AtpgStatus::kDetected;
-        ++detected;
       }
     }
+  };
+
+  auto add_stats = [&](const AtpgStats& s) {
+    campaign.total.decisions += s.decisions;
+    campaign.total.backtracks += s.backtracks;
+    campaign.total.implications += s.implications;
+    bt_hist.observe(s.backtracks);
+  };
+
+  const int wave = sim_options.resolved_atpg_wave();
+  if (wave <= 1) {
+    // Serial generation: fault by fault, grading after each detection —
+    // bit-identical to the original single-threaded engine.
+    Podem podem(n);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (handled[fi]) continue;
+      const AtpgResult r = podem.generate(faults[fi], backtrack_limit);
+      add_stats(r.stats);
+      campaign.status[fi] = r.status;
+      handled[fi] = true;
+      if (r.status == AtpgStatus::kDetected) grade_test(r.pi_values);
+    }
+  } else {
+    // Wave-parallel generation: take up to `wave` unhandled faults, PODEM
+    // them concurrently (one engine per worker slot, each result carrying
+    // its own AtpgStats so the campaign totals are the SUM over workers),
+    // then grade the wave's tests serially in wave order. Deterministic
+    // for a fixed wave width regardless of worker count; differs from the
+    // serial path only in that a wave member may be generated although an
+    // earlier wave-mate's test would have dropped it (that extra effort is
+    // counted — it was spent).
+    const int workers =
+        std::max(1, std::min(sim_options.resolved_threads(), wave));
+    std::vector<Podem> podems;
+    podems.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) podems.emplace_back(n);
+
+    std::size_t cursor = 0;
+    std::vector<std::size_t> wave_idx;
+    std::vector<AtpgResult> results;
+    for (;;) {
+      wave_idx.clear();
+      while (cursor < faults.size() &&
+             wave_idx.size() < static_cast<std::size_t>(wave)) {
+        if (!handled[cursor]) wave_idx.push_back(cursor);
+        ++cursor;
+      }
+      if (wave_idx.empty()) break;
+      results.assign(wave_idx.size(), AtpgResult{});
+      auto job = [&](int i, int slot) {
+        results[i] =
+            podems[slot].generate(faults[wave_idx[i]], backtrack_limit);
+      };
+      const int count = static_cast<int>(wave_idx.size());
+      if (workers <= 1 || count <= 1) {
+        for (int i = 0; i < count; ++i) job(i, 0);
+      } else {
+        util::ThreadPool::shared().run(count, workers, job);
+      }
+      for (std::size_t i = 0; i < wave_idx.size(); ++i) {
+        const std::size_t fi = wave_idx[i];
+        const AtpgResult& r = results[i];
+        add_stats(r.stats);
+        if (handled[fi]) continue;  // dropped by an earlier wave-mate
+        campaign.status[fi] = r.status;
+        handled[fi] = true;
+        if (r.status == AtpgStatus::kDetected) grade_test(r.pi_values);
+      }
+    }
+  }
+
+  long detected = 0;
+  long untestable = 0;
+  for (AtpgStatus s : campaign.status) {
+    if (s == AtpgStatus::kDetected) ++detected;
+    else if (s == AtpgStatus::kUntestable) ++untestable;
   }
   const double total = static_cast<double>(faults.size());
   campaign.fault_coverage = total == 0 ? 1.0 : detected / total;
   campaign.fault_efficiency =
       total == 0 ? 1.0 : (detected + untestable) / total;
+  publish_comb_campaign(campaign);
   return campaign;
 }
 

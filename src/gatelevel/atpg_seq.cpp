@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "gatelevel/faultsim.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tsyn::gl {
 
@@ -161,6 +163,9 @@ SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
                                     const std::vector<Fault>& faults,
                                     int max_frames, long backtrack_limit,
                                     const FaultSimOptions& sim_options) {
+  TSYN_SPAN("gl.atpg.seq");
+  static util::Histogram& frames_hist =
+      util::metrics().histogram("atpg.seq.frames_used");
   SeqAtpgCampaign c;
   std::vector<bool> handled(faults.size(), false);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
@@ -174,6 +179,7 @@ SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
     switch (r.status) {
       case AtpgStatus::kDetected: {
         ++c.detected;
+        frames_hist.observe(r.frames_used);
         // Drop other faults caught by this sequence.
         std::vector<std::vector<Bits>> frames_bits;
         for (const auto& frame : r.frame_inputs) {
@@ -215,6 +221,23 @@ SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
   c.fault_coverage = total == 0 ? 1.0 : c.detected / total;
   c.fault_efficiency =
       total == 0 ? 1.0 : (c.detected + c.untestable) / total;
+  static util::Counter& decisions =
+      util::metrics().counter("atpg.seq.decisions");
+  static util::Counter& backtracks =
+      util::metrics().counter("atpg.seq.backtracks");
+  static util::Counter& implications =
+      util::metrics().counter("atpg.seq.implications");
+  static util::Counter& detected =
+      util::metrics().counter("atpg.seq.detected");
+  static util::Counter& untestable =
+      util::metrics().counter("atpg.seq.untestable");
+  static util::Counter& aborted = util::metrics().counter("atpg.seq.aborted");
+  decisions.add(c.total.decisions);
+  backtracks.add(c.total.backtracks);
+  implications.add(c.total.implications);
+  detected.add(c.detected);
+  untestable.add(c.untestable);
+  aborted.add(c.aborted);
   return c;
 }
 

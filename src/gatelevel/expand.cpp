@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace tsyn::gl {
 
 Word make_input_word(Netlist& n, const std::string& name, int width) {
@@ -341,6 +344,7 @@ Netlist expand_standalone_fu(const std::vector<cdfg::OpKind>& kinds,
 
 ExpandedDesign expand_datapath(const rtl::Datapath& dp,
                                const ExpandOptions& opts) {
+  TSYN_SPAN("gl.netlist_expand");
   ExpandedDesign out;
   Netlist& n = out.netlist;
   ControlPlane ctl(n, opts);
@@ -469,6 +473,13 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
 
   out.control_inputs = ctl.free_inputs();
   n.validate();
+  static util::Counter& gates =
+      util::metrics().counter("gl.expand.gates_built");
+  gates.add(n.gate_count());
+  util::metrics().gauge("gl.expand.last_gates").set(n.gate_count());
+  util::metrics()
+      .gauge("gl.expand.last_flops")
+      .set(static_cast<double>(n.flops().size()));
   return out;
 }
 

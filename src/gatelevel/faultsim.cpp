@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace tsyn::gl {
 
@@ -125,6 +127,7 @@ void FaultPropagator::drain(const Fault& f) {
   for (int pos = sweep_lo_; pos <= sweep_hi_; ++pos) {
     const int id = topo[pos];
     if (sched_stamp_[id] != current_stamp_) continue;
+    ++events_;
     const Node& g = n_.node(id);
     if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
     // An output-faulted node stays pinned at its stuck value even when its
@@ -155,6 +158,7 @@ std::uint64_t FaultPropagator::po_diff_mask() const {
 
 std::uint64_t FaultPropagator::propagate(const Fault& f,
                                          const std::vector<Bits>& good) {
+  ++faults_;
   begin(good);
   inject(f);
   drain(f);
@@ -204,6 +208,29 @@ void FaultSimulator::propagate_shard(const std::vector<Fault>& faults,
   } else {
     util::ThreadPool::shared().run(count, workers, job);
   }
+
+  // Publish the shard's work into the registry off the hot path — worker
+  // counters are stable once run() has returned. Imbalance is the largest
+  // slot's share over the ideal equal share (1.0 = perfectly balanced,
+  // `workers` = one slot did everything).
+  static util::Counter& m_events =
+      util::metrics().counter("faultsim.ppsfp.events");
+  static util::Counter& m_sims =
+      util::metrics().counter("faultsim.ppsfp.faults_simulated");
+  long events = 0, done = 0, biggest = 0;
+  for (FaultPropagator& p : propagators_) {
+    events += p.events_processed();
+    done += p.faults_propagated();
+    biggest = std::max(biggest, p.faults_propagated());
+    p.reset_work_counters();
+  }
+  m_events.add(events);
+  m_sims.add(done);
+  if (workers > 1 && done > 0)
+    util::metrics()
+        .gauge("faultsim.ppsfp.shard_imbalance")
+        .set(static_cast<double>(biggest) * workers /
+             static_cast<double>(done));
 }
 
 int FaultSimulator::run_block(const std::vector<Bits>& pi_values,
@@ -218,6 +245,12 @@ int FaultSimulator::run_block(const std::vector<Bits>& pi_values,
     detected[i] = true;
     ++newly_detected;
   }
+  static util::Counter& m_blocks =
+      util::metrics().counter("faultsim.ppsfp.blocks");
+  static util::Counter& m_detected =
+      util::metrics().counter("faultsim.ppsfp.faults_detected");
+  m_blocks.add();
+  m_detected.add(newly_detected);
   return newly_detected;
 }
 
@@ -233,6 +266,7 @@ double fault_coverage(const Netlist& n,
                       const std::vector<Fault>& faults,
                       std::vector<bool>* detected_out,
                       const FaultSimOptions& options) {
+  TSYN_SPAN("gl.faultsim.ppsfp");
   FaultSimulator sim(n, options);
   std::vector<bool> detected(faults.size(), false);
   for (const auto& block : blocks) sim.run_block(block, faults, detected);
@@ -250,6 +284,7 @@ double fault_coverage(const Netlist& n,
 std::vector<bool> sequential_fault_sim(
     const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
     const std::vector<Fault>& faults, const FaultSimOptions& options) {
+  TSYN_SPAN("gl.faultsim.seq");
   // Good trace, simulated once and shared (read-only) by every worker.
   const auto good = simulate_sequence(n, input_frames);
   const int count = static_cast<int>(faults.size());
@@ -290,6 +325,8 @@ std::vector<bool> sequential_fault_sim(
     FaultPropagator prop;
     std::vector<Bits> state;
     std::vector<int> div_list, new_div;
+    /// Slot-private effort counters, merged into the registry at the end.
+    long faults_done = 0, frames_done = 0, detected = 0, dropped_mid = 0;
     Scratch(const Netlist& net, const std::vector<int>& watches)
         : prop(net), state(net.flops().size()) {
       prop.set_watches(watches);
@@ -300,13 +337,17 @@ std::vector<bool> sequential_fault_sim(
   for (int w = 0; w < std::max(workers, 1); ++w)
     scratch.emplace_back(n, watch_nodes);
 
+  util::Histogram& frames_to_detect =
+      util::metrics().histogram("faultsim.seq.frames_to_detect");
   std::vector<char> det(faults.size(), 0);
   auto simulate_fault = [&](int fi, int slot) {
     const Fault& f = faults[fi];
     Scratch& s = scratch[slot];
+    ++s.faults_done;
     // FFs start unknown in both machines: no initial divergence.
     s.div_list.clear();
     for (std::size_t frame = 0; frame < input_frames.size(); ++frame) {
+      ++s.frames_done;
       s.prop.begin(good[frame]);
       // Seed: flip-flops whose faulty state differs from the good trace,
       // then the fault site itself (a stuck DFF output overrides its
@@ -317,6 +358,9 @@ std::vector<bool> sequential_fault_sim(
       s.prop.drain(f);
       if (s.prop.po_diff_mask() != 0) {
         det[fi] = 1;  // detected: drop the fault mid-sequence
+        ++s.detected;
+        if (frame + 1 < input_frames.size()) ++s.dropped_mid;
+        frames_to_detect.observe(static_cast<std::int64_t>(frame) + 1);
         return;
       }
       // Capture the next frame's state, keeping only the divergence.
@@ -340,6 +384,34 @@ std::vector<bool> sequential_fault_sim(
   } else {
     util::ThreadPool::shared().run(count, workers, simulate_fault);
   }
+
+  // Merge the slot-private effort counters (stable after run() returns).
+  static util::Counter& m_faults =
+      util::metrics().counter("faultsim.seq.faults_simulated");
+  static util::Counter& m_frames =
+      util::metrics().counter("faultsim.seq.frames_simulated");
+  static util::Counter& m_events =
+      util::metrics().counter("faultsim.seq.events");
+  static util::Counter& m_detected =
+      util::metrics().counter("faultsim.seq.faults_detected");
+  static util::Counter& m_dropped =
+      util::metrics().counter("faultsim.seq.faults_dropped_midseq");
+  long done = 0, biggest = 0;
+  for (Scratch& s : scratch) {
+    m_frames.add(s.frames_done);
+    m_events.add(s.prop.events_processed());
+    m_detected.add(s.detected);
+    m_dropped.add(s.dropped_mid);
+    done += s.faults_done;
+    biggest = std::max(biggest, s.faults_done);
+  }
+  m_faults.add(done);
+  if (workers > 1 && done > 0)
+    util::metrics()
+        .gauge("faultsim.seq.shard_imbalance")
+        .set(static_cast<double>(biggest) * workers /
+             static_cast<double>(done));
+
   for (std::size_t i = 0; i < faults.size(); ++i)
     detected[i] = det[i] != 0;
   return detected;

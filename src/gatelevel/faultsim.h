@@ -27,8 +27,23 @@ struct FaultSimOptions {
   /// also avoids touching the pool entirely).
   int num_threads = 0;
 
+  /// PODEM wave width for ATPG campaigns: the campaign takes this many
+  /// still-undetected faults at a time, generates their tests concurrently
+  /// over `num_threads` workers (each worker's AtpgStats are summed into
+  /// the campaign totals — never last-writer-wins), then grades the wave's
+  /// tests serially so fault dropping stays deterministic for a fixed wave
+  /// width. 1 = fault-by-fault serial generation, bit-identical to the
+  /// pre-parallel engine (the default, so results never silently vary with
+  /// the host's core count); 0 = one wave per resolved_threads().
+  int atpg_wave = 1;
+
   /// num_threads with 0 resolved to the hardware parallelism (>= 1).
   int resolved_threads() const;
+
+  /// atpg_wave with 0 resolved to the worker count.
+  int resolved_atpg_wave() const {
+    return atpg_wave > 0 ? atpg_wave : resolved_threads();
+  }
 };
 
 /// Per-thread fault-propagation scratch plus the one propagation routine
@@ -80,6 +95,17 @@ class FaultPropagator {
   /// fault, start to finish.
   std::uint64_t propagate(const Fault& f, const std::vector<Bits>& good);
 
+  /// Work counters for the metrics registry: gate evaluations drain() has
+  /// performed and faults propagate() has run since construction or the
+  /// last reset_work_counters(). Owned by the propagator's worker — read
+  /// them only between parallel sections (after ThreadPool::run returns).
+  long events_processed() const { return events_; }
+  long faults_propagated() const { return faults_; }
+  void reset_work_counters() {
+    events_ = 0;
+    faults_ = 0;
+  }
+
  private:
   void schedule_fanouts(int id);
 
@@ -111,6 +137,9 @@ class FaultPropagator {
   /// Watched nodes (see set_watches) touched this epoch.
   std::vector<int> watch_stamp_;
   std::vector<int> touched_watches_;
+  /// Work counters (see events_processed); plain longs, worker-private.
+  long events_ = 0;
+  long faults_ = 0;
 };
 
 /// Parallel-pattern combinational fault simulator. The netlist must be

@@ -6,6 +6,8 @@
 
 #include "graph/clique_partition.h"
 #include "graph/interval.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tsyn::hls {
 
@@ -63,11 +65,14 @@ void bind_registers_left_edge(Binding& b) {
 }  // namespace
 
 Binding make_binding(const cdfg::Cdfg& g, const Schedule& s) {
+  TSYN_SPAN("hls.binding");
   Binding b;
   b.lifetimes = cdfg::analyze_lifetimes(g, s.step_of_op, s.num_steps);
   bind_fus_conventional(g, s, b);
   bind_registers_left_edge(b);
   validate_binding(g, s, b);
+  util::metrics().gauge("hls.binding.fus").set(b.num_fus());
+  util::metrics().gauge("hls.binding.regs").set(b.num_regs);
   return b;
 }
 

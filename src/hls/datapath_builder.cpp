@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace tsyn::hls {
 
 namespace {
@@ -37,6 +40,9 @@ std::vector<cdfg::OpKind> fu_op_kinds(const cdfg::Cdfg& g,
 
 RtlDesign build_rtl(const cdfg::Cdfg& g, const Schedule& s,
                     const Binding& b) {
+  TSYN_SPAN("rtl.datapath");
+  static util::Counter& runs = util::metrics().counter("rtl.datapath.runs");
+  runs.add();
   RtlDesign design;
   rtl::Datapath& dp = design.datapath;
   dp.name = g.name();

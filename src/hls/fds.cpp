@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "graph/paths.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tsyn::hls {
 
@@ -146,6 +148,9 @@ class FdsState {
 }  // namespace
 
 Schedule force_directed_schedule(const cdfg::Cdfg& g, int num_steps) {
+  TSYN_SPAN("hls.schedule.fds");
+  static util::Counter& runs = util::metrics().counter("hls.schedule.runs");
+  runs.add();
   if (num_steps < critical_path_length(g))
     throw std::runtime_error("deadline below critical path length");
   if (g.num_ops() == 0) {

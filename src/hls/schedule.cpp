@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "graph/paths.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tsyn::hls {
 
@@ -70,6 +72,9 @@ std::vector<int> mobility(const cdfg::Cdfg& g, int num_steps) {
 }
 
 Schedule list_schedule(const cdfg::Cdfg& g, const Resources& res) {
+  TSYN_SPAN("hls.schedule.list");
+  static util::Counter& runs = util::metrics().counter("hls.schedule.runs");
+  runs.add();
   const graph::Digraph dep = g.op_dependence_graph(false);
   const int cp = critical_path_length(g);
   const Schedule alap = alap_schedule(g, cp);

@@ -1,16 +1,20 @@
 #include "hls/synthesis.h"
 
 #include "hls/fds.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tsyn::hls {
 
 Synthesis synthesize(const cdfg::Cdfg& g, const SynthesisOptions& opts) {
+  TSYN_SPAN("hls.synthesize");
   Synthesis out;
   if (opts.num_steps > 0)
     out.schedule = force_directed_schedule(g, opts.num_steps);
   else
     out.schedule = list_schedule(g, opts.resources);
   validate_schedule(g, out.schedule, opts.resources);
+  util::metrics().gauge("hls.schedule.steps").set(out.schedule.num_steps);
   out.binding = make_binding(g, out.schedule);
   out.rtl = build_rtl(g, out.schedule, out.binding);
   return out;

@@ -7,12 +7,28 @@
 #include "cdfg/loops.h"
 #include "graph/mfvs.h"
 #include "hls/schedule.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tsyn::testability {
 
+namespace {
+
+/// Records how many variables a selection strategy picked.
+void publish_selection(std::size_t count) {
+  util::metrics().gauge("scan.selected_vars").set(static_cast<long>(count));
+  util::metrics().counter("scan.select.runs").add();
+}
+
+}  // namespace
+
 std::vector<cdfg::VarId> select_scan_vars_mfvs(const cdfg::Cdfg& g) {
+  TSYN_SPAN("scan.select.mfvs");
   const graph::Digraph d = cdfg::var_dependence_graph(g);
-  return graph::exact_mfvs(d, {.ignore_self_loops = false});
+  std::vector<cdfg::VarId> selected =
+      graph::exact_mfvs(d, {.ignore_self_loops = false});
+  publish_selection(selected.size());
+  return selected;
 }
 
 namespace {
@@ -89,6 +105,7 @@ int estimated_lifetime_length(const cdfg::LifetimeAnalysis& lts,
 }  // namespace
 
 std::vector<cdfg::VarId> select_scan_vars_loopcut(const cdfg::Cdfg& g) {
+  TSYN_SPAN("scan.select.loopcut");
   const std::vector<graph::Cycle> loops = cdfg::cdfg_loops(g);
   if (loops.empty()) return {};
   const cdfg::LifetimeAnalysis lts = estimate_lifetimes(g);
@@ -144,12 +161,16 @@ std::vector<cdfg::VarId> select_scan_vars_loopcut(const cdfg::Cdfg& g) {
   const std::vector<cdfg::VarId> mfvs = select_scan_vars_mfvs(g);
   const int own = estimate_scan_registers(lts, selected);
   const int alt = estimate_scan_registers(lts, mfvs);
-  if (alt < own || (alt == own && mfvs.size() < selected.size()))
+  if (alt < own || (alt == own && mfvs.size() < selected.size())) {
+    publish_selection(mfvs.size());
     return mfvs;
+  }
+  publish_selection(selected.size());
   return selected;
 }
 
 std::vector<cdfg::VarId> select_scan_vars_boundary(const cdfg::Cdfg& g) {
+  TSYN_SPAN("scan.select.boundary");
   const std::vector<graph::Cycle> loops = cdfg::cdfg_loops(g);
   if (loops.empty()) return {};
   const cdfg::LifetimeAnalysis lts = estimate_lifetimes(g);
@@ -188,10 +209,12 @@ std::vector<cdfg::VarId> select_scan_vars_boundary(const cdfg::Cdfg& g) {
     }
   }
   std::sort(selected.begin(), selected.end());
+  publish_selection(selected.size());
   return selected;
 }
 
 std::vector<cdfg::VarId> select_scan_vars_interior(const cdfg::Cdfg& g) {
+  TSYN_SPAN("scan.select.interior");
   const std::vector<graph::Cycle> loops = cdfg::cdfg_loops(g);
   if (loops.empty()) return {};
   const cdfg::LifetimeAnalysis lts = estimate_lifetimes(g);
@@ -229,6 +252,7 @@ std::vector<cdfg::VarId> select_scan_vars_interior(const cdfg::Cdfg& g) {
     mark_covered(loops, covered, loops[i].front());
   }
   std::sort(selected.begin(), selected.end());
+  publish_selection(selected.size());
   return selected;
 }
 

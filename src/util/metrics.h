@@ -1,0 +1,168 @@
+// Process-wide metrics registry (counters, gauges, histograms).
+//
+// Every pipeline stage publishes its effort numbers — ATPG backtracks,
+// fault-sim events, scheduler steps — through this registry instead of
+// ad-hoc structs, so one `--metrics` dump compares passes and runs. The
+// hot-path contract: an update is one relaxed atomic RMW on a
+// thread-striped cell (no lock, no false sharing with readers), so the
+// sharded fault-sim kernels can count without perturbing PR 1's scaling.
+// Reads merge the stripes; merging is exact (atomic adds never lose
+// increments), so snapshots are deterministic for a deterministic workload
+// regardless of thread count.
+//
+// Call sites cache the handle so name lookup (one mutex acquisition) never
+// sits on a hot path:
+//
+//   static util::Counter& backtracks = util::metrics().counter("atpg.bt");
+//   backtracks.add(1);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tsyn::util {
+
+/// Stripes per metric. Each updating thread hashes to one stripe; 16 covers
+/// the pool widths the fault-sim engine uses without measurable collision
+/// cost (a collision is still just an uncontended-in-practice atomic add).
+inline constexpr int kMetricStripes = 16;
+
+namespace detail {
+/// Stable per-thread stripe index in [0, kMetricStripes).
+int thread_stripe();
+
+struct alignas(64) StripedCell {
+  std::atomic<std::int64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotonic counter. add() is wait-free; read() merges the stripes.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) {
+    cells_[detail::thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t read() const {
+    std::int64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+  detail::StripedCell cells_[kMetricStripes];
+};
+
+/// Last-written value (schedule length, shard imbalance, ...). Stored as
+/// millionths so one atomic word carries fractional gauges exactly enough
+/// for reporting.
+class Gauge {
+ public:
+  void set(double v) {
+    micro_.store(static_cast<std::int64_t>(v * 1e6),
+                 std::memory_order_relaxed);
+  }
+  void set_max(double v) {
+    const std::int64_t n = static_cast<std::int64_t>(v * 1e6);
+    std::int64_t cur = micro_.load(std::memory_order_relaxed);
+    while (n > cur &&
+           !micro_.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+    }
+  }
+  double read() const {
+    return static_cast<double>(micro_.load(std::memory_order_relaxed)) / 1e6;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() { micro_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::int64_t> micro_{0};
+};
+
+/// Merged histogram state, as returned by Histogram::read().
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  ///< meaningful only when count > 0
+  std::int64_t max = 0;
+  /// buckets[k] counts observations v with 2^(k-1) <= v < 2^k (bucket 0:
+  /// v <= 0). Power-of-two bounds keep recording branch-free.
+  std::int64_t buckets[64] = {};
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Log2-bucketed distribution of a non-negative quantity (backtracks per
+/// fault, frames to detection, ...). Thread-striped like Counter.
+class Histogram {
+ public:
+  void observe(std::int64_t v);
+  HistogramSnapshot read() const;
+
+ private:
+  friend class MetricsRegistry;
+  void reset();
+  struct alignas(64) Stripe {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<std::int64_t> min{0};  ///< valid when count > 0
+    std::atomic<std::int64_t> max{0};
+    std::atomic<std::int64_t> buckets[64] = {};
+  };
+  Stripe stripes_[kMetricStripes];
+};
+
+/// One merged view of every registered metric, for reporting and tests.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Name -> metric handle table. Handles are created on first use and live
+/// for the process (stable references), so lookups happen once per call
+/// site, not per update.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Snapshot rendered as a JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
+  ///                            "mean":..,
+  ///                            "buckets":[{"le":N,"count":C}, ...]}}}
+  /// Histogram buckets are emitted sparsely (nonzero only), "le" being the
+  /// exclusive power-of-two upper bound.
+  std::string to_json() const;
+
+  /// Zeroes every registered metric (handles stay valid). For benches and
+  /// tests that measure one phase in a process that ran others before.
+  void reset();
+
+ private:
+  friend MetricsRegistry& metrics();
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry.
+MetricsRegistry& metrics();
+
+}  // namespace tsyn::util

@@ -122,6 +122,70 @@ TEST(Podem, GeneratedTestsActuallyDetect) {
   EXPECT_GE(checked, 20);
 }
 
+TEST(AtpgCampaign, WaveParallelStatsSumOverAllWorkers) {
+  // One wave wide enough for the whole fault list: every fault is PODEM'd
+  // independently before any grading, so the campaign totals must equal
+  // the sum of standalone per-fault stats exactly. A last-writer-wins
+  // aggregation across the pool's workers fails this equality.
+  Netlist n;
+  const Word a = make_input_word(n, "a", 4);
+  const Word b = make_input_word(n, "b", 4);
+  const Word s = ripple_add(n, a, b, n.add_const(false));
+  for (int bit : s) n.mark_output(bit);
+  const auto faults = enumerate_faults(n);
+
+  FaultSimOptions o;
+  o.num_threads = 4;
+  o.atpg_wave = static_cast<int>(faults.size());
+  const AtpgCampaign c = run_combinational_atpg(n, faults, 10000, o);
+
+  AtpgStats expect;
+  Podem podem(n);
+  for (const Fault& f : faults) {
+    const AtpgResult r = podem.generate(f, 10000);
+    expect.decisions += r.stats.decisions;
+    expect.backtracks += r.stats.backtracks;
+    expect.implications += r.stats.implications;
+  }
+  EXPECT_EQ(c.total.decisions, expect.decisions);
+  EXPECT_EQ(c.total.backtracks, expect.backtracks);
+  EXPECT_EQ(c.total.implications, expect.implications);
+  EXPECT_GT(c.total.decisions, 0);
+}
+
+TEST(AtpgCampaign, WaveParallelDeterministicAndMatchesSerial) {
+  Netlist n;
+  const Word a = make_input_word(n, "a", 5);
+  const Word b = make_input_word(n, "b", 5);
+  const Word s = ripple_sub(n, a, b);
+  for (int bit : s) n.mark_output(bit);
+  const auto faults = enumerate_faults(n);
+
+  const AtpgCampaign serial = run_combinational_atpg(n, faults, 5000);
+
+  FaultSimOptions o;
+  o.num_threads = 4;
+  o.atpg_wave = 8;
+  const AtpgCampaign w1 = run_combinational_atpg(n, faults, 5000, o);
+  const AtpgCampaign w2 = run_combinational_atpg(n, faults, 5000, o);
+
+  // Deterministic for a fixed wave width, regardless of worker count.
+  EXPECT_EQ(w1.status, w2.status);
+  EXPECT_EQ(w1.tests, w2.tests);
+  EXPECT_EQ(w1.total.decisions, w2.total.decisions);
+  EXPECT_EQ(w1.total.backtracks, w2.total.backtracks);
+  EXPECT_EQ(w1.total.implications, w2.total.implications);
+
+  // Wave generation grades in wave order with the same PODEM per fault,
+  // so statuses and tests match the serial campaign; the wave only spends
+  // extra (counted) effort on faults a wave-mate's test would have
+  // dropped.
+  EXPECT_EQ(w1.status, serial.status);
+  EXPECT_EQ(w1.tests, serial.tests);
+  EXPECT_EQ(w1.fault_coverage, serial.fault_coverage);
+  EXPECT_GE(w1.total.decisions, serial.total.decisions);
+}
+
 TEST(Podem, FrozenInputsStayX) {
   Netlist n;
   const int a = n.add_input("a");

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/text.h"
+#include "util/thread_pool.h"
 
 namespace tsyn::util {
 namespace {
@@ -124,6 +128,54 @@ TEST(Text, StartsWith) {
 TEST(Text, Join) {
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ThreadPool, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.run(0, 4, [&](int, int) { ++calls; });
+  pool.run(-3, 4, [&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, MoreThreadsThanTasks) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  std::vector<std::atomic<int>> seen(3);
+  pool.run(3, 8, [&](int item, int slot) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, 8);
+    seen[item].fetch_add(1);
+    sum.fetch_add(item);
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);  // each item exactly once
+}
+
+TEST(ThreadPool, TaskThrowPropagatesWithoutDeadlock) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(64, 4,
+               [&](int item, int) {
+                 if (item == 17) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool must survive a throwing batch: workers are parked again and
+  // the next run completes normally.
+  std::atomic<int> done{0};
+  pool.run(32, 4, [&](int, int) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, ThrowOnCallerThreadAlsoRecovers) {
+  ThreadPool pool(4);
+  // Item 0 is claimed by some slot (often the caller); whichever thread
+  // throws, run() must rethrow exactly once on the caller.
+  EXPECT_THROW(pool.run(1, 4, [&](int, int) { throw std::logic_error("x"); }),
+               std::logic_error);
+  int calls = 0;
+  pool.run(2, 1, [&](int, int) { ++calls; });  // inline degenerate path
+  EXPECT_EQ(calls, 2);
 }
 
 }  // namespace

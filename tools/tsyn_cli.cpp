@@ -9,12 +9,19 @@
 //   --alu N --mul N        FU allocation (default 2/2)
 //   --steps N              time-constrained schedule length
 //   --width N              datapath bit width override in reports
+//   --trace FILE           write a Chrome trace_event JSON of the run
+//                          (- for stdout; load in chrome://tracing)
+//   --metrics FILE         write the metrics-registry JSON run report
+//                          (- for stdout; the human report moves to stderr
+//                          so stdout stays machine-parseable)
+//   --log-level LEVEL      error|warn|info|debug (default warn)
 // synth options:
 //   --scan MODE            none|mfvs|loopcut|boundary|interior (default none)
 //   --loop-avoid           use the simultaneous scheduler/assigner of [33]
 //   --verilog FILE         write the design as Verilog (- for stdout)
 // bist options:
 //   --arch A               conventional|avra|tfb|xtfb|share (default tfb)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +37,11 @@
 #include "cdfg/benchmarks.h"
 #include "cdfg/loops.h"
 #include "cdfg/parser.h"
+#include "gatelevel/atpg_comb.h"
+#include "gatelevel/atpg_seq.h"
+#include "gatelevel/expand.h"
+#include "gatelevel/faults.h"
+#include "gatelevel/faultsim.h"
 #include "hls/synthesis.h"
 #include "rtl/area.h"
 #include "rtl/sgraph.h"
@@ -37,10 +49,18 @@
 #include "testability/behavior_analysis.h"
 #include "testability/loop_avoid.h"
 #include "testability/scan_select.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/trace.h"
 
 namespace {
 
 using namespace tsyn;
+
+/// Human-readable report stream. Normally stdout; redirected to stderr when
+/// --metrics - or --trace - claims stdout for machine-readable JSON.
+FILE* g_report = stdout;
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
@@ -76,13 +96,22 @@ struct Args {
   bool loop_avoid = false;
   std::string verilog;
   std::string arch = "tfb";
+  std::string trace;
+  std::string metrics;
 };
 
 Args parse_args(int argc, char** argv) {
   Args a;
   if (argc < 2) usage();
   a.command = argv[1];
-  if (a.command == "list") return a;
+  if (a.command == "list") {
+    // `list` takes nothing; trailing arguments used to be silently
+    // ignored, masking typos like `tsyn_cli list --arch tfb`.
+    if (argc > 2)
+      usage(("list takes no arguments (got: " + std::string(argv[2]) + ")")
+                .c_str());
+    return a;
+  }
   if (argc < 3) usage("missing behavior argument");
   a.behavior = argv[2];
   for (int i = 3; i < argc; ++i) {
@@ -98,6 +127,14 @@ Args parse_args(int argc, char** argv) {
     else if (opt == "--loop-avoid") a.loop_avoid = true;
     else if (opt == "--verilog") a.verilog = value();
     else if (opt == "--arch") a.arch = value();
+    else if (opt == "--trace") a.trace = value();
+    else if (opt == "--metrics") a.metrics = value();
+    else if (opt == "--log-level") {
+      util::LogLevel level;
+      if (!util::parse_log_level(value(), &level))
+        usage("--log-level expects error|warn|info|debug");
+      util::set_log_level(level);
+    }
     else usage(("unknown option: " + opt).c_str());
   }
   return a;
@@ -116,21 +153,90 @@ std::vector<cdfg::VarId> select_scan(const cdfg::Cdfg& g,
 void report_design(const cdfg::Cdfg& g, const hls::Schedule& s,
                    const hls::Binding& b, const rtl::Datapath& dp) {
   const rtl::LoopStats loops = rtl::loop_stats(dp);
-  std::printf("behavior  : %s (%d ops, %zu states)\n", g.name().c_str(),
+  std::fprintf(g_report, "behavior  : %s (%d ops, %zu states)\n", g.name().c_str(),
               g.num_ops(), g.states().size());
-  std::printf("schedule  : %d control steps\n", s.num_steps);
-  std::printf("resources : %d FUs, %d registers, %d mux2\n", b.num_fus(),
+  std::fprintf(g_report, "schedule  : %d control steps\n", s.num_steps);
+  std::fprintf(g_report, "resources : %d FUs, %d registers, %d mux2\n", b.num_fus(),
               b.num_regs, dp.mux2_count());
-  std::printf("area      : %.0f GE (test overhead %.1f%%)\n",
+  std::fprintf(g_report, "area      : %.0f GE (test overhead %.1f%%)\n",
               rtl::datapath_area(dp), 100 * rtl::test_area_overhead(dp));
-  std::printf("S-graph   : %d self-loops, %d assignment loops, %d CDFG "
+  std::fprintf(g_report, "S-graph   : %d self-loops, %d assignment loops, %d CDFG "
               "loops\n",
               loops.self_loops, loops.assignment_loops, loops.cdfg_loops);
-  std::printf("scan      : %zu scan registers\n",
+  std::fprintf(g_report, "scan      : %zu scan registers\n",
               dp.scan_registers().size());
 }
 
+/// Bounded gate-level quick-look for the synth run report: expands the
+/// synthesized datapath at a narrow width, fault-simulates a short random
+/// budget, and runs a capped ATPG campaign. The point is a fault-coverage
+/// sanity line plus populated fault-sim/ATPG sections in --metrics/--trace
+/// output, not a definitive coverage number — the caps keep it around a
+/// second even on the larger benchmarks.
+void gatelevel_quicklook(const rtl::Datapath& dp) {
+  TSYN_SPAN("gl.quicklook");
+  gl::ExpandOptions eo;
+  eo.width_override = 4;
+  const gl::ExpandedDesign ed = gl::expand_datapath(dp, eo);
+  const gl::Netlist& n = ed.netlist;
+  std::vector<gl::Fault> faults = gl::enumerate_faults(n);
+
+  util::Rng rng(0xC0FFEE);
+  auto random_frame = [&]() {
+    std::vector<gl::Bits> frame(n.primary_inputs().size());
+    for (gl::Bits& b : frame) b = gl::Bits::known(rng.next_u64());
+    return frame;
+  };
+
+  if (ed.sequential()) {
+    // 64 lanes x 8 frames of random vectors through the event-driven
+    // sequential engine, then bounded sequential ATPG on a fault slice.
+    std::vector<std::vector<gl::Bits>> frames;
+    for (int f = 0; f < 8; ++f) frames.push_back(random_frame());
+    std::vector<gl::Fault> sim_faults = faults;
+    if (sim_faults.size() > 512) sim_faults.resize(512);
+    const std::vector<bool> det = gl::sequential_fault_sim(n, frames, sim_faults);
+    const long hits =
+        std::count(det.begin(), det.end(), true);
+    std::vector<gl::Fault> atpg_faults = faults;
+    if (atpg_faults.size() > 48) atpg_faults.resize(48);
+    const gl::SeqAtpgCampaign c = gl::run_sequential_atpg(
+        n, atpg_faults, /*max_frames=*/3, /*backtrack_limit=*/1000);
+    std::fprintf(g_report,
+                 "gatelevel : %d gates, %zu flops (width 4); random 8-frame "
+                 "sim detects %ld/%zu faults\n",
+                 n.gate_count(), n.flops().size(), hits, sim_faults.size());
+    std::fprintf(g_report,
+                 "atpg      : seq, %zu-fault slice: %ld detected, %ld "
+                 "untestable, %ld aborted (%.1f%% coverage)\n",
+                 atpg_faults.size(), c.detected, c.untestable, c.aborted,
+                 100 * c.fault_coverage);
+  } else {
+    // Fully scanned (or purely combinational): 8 random 64-lane blocks,
+    // then a capped PODEM campaign.
+    std::vector<std::vector<gl::Bits>> blocks;
+    for (int bl = 0; bl < 8; ++bl) blocks.push_back(random_frame());
+    std::vector<bool> det;
+    gl::fault_coverage(n, blocks, faults, &det);
+    const long hits = std::count(det.begin(), det.end(), true);
+    std::vector<gl::Fault> atpg_faults = faults;
+    if (atpg_faults.size() > 256) atpg_faults.resize(256);
+    const gl::AtpgCampaign c =
+        gl::run_combinational_atpg(n, atpg_faults, /*backtrack_limit=*/2000);
+    std::fprintf(g_report,
+                 "gatelevel : %d gates, comb (width 4); random 512-vector "
+                 "sim detects %ld/%zu faults\n",
+                 n.gate_count(), hits, faults.size());
+    std::fprintf(g_report,
+                 "atpg      : comb, %zu-fault slice: %zu tests, %.1f%% "
+                 "coverage, %.1f%% efficiency\n",
+                 atpg_faults.size(), c.tests.size(), 100 * c.fault_coverage,
+                 100 * c.fault_efficiency);
+  }
+}
+
 int cmd_synth(const Args& a) {
+  TSYN_SPAN("cli.synth");
   const cdfg::Cdfg g = load_behavior(a.behavior);
   const hls::Resources res{{cdfg::FuType::kAlu, a.alu},
                            {cdfg::FuType::kMultiplier, a.mul}};
@@ -159,6 +265,7 @@ int cmd_synth(const Args& a) {
   if (!scan_vars.empty())
     testability::apply_scan(g, binding, scan_vars, design.datapath);
   report_design(g, schedule, binding, design.datapath);
+  gatelevel_quicklook(design.datapath);
 
   if (!a.verilog.empty()) {
     const std::string v =
@@ -168,7 +275,7 @@ int cmd_synth(const Args& a) {
     } else {
       std::ofstream out(a.verilog);
       out << v;
-      std::printf("verilog   : written to %s (%zu bytes)\n",
+      std::fprintf(g_report, "verilog   : written to %s (%zu bytes)\n",
                   a.verilog.c_str(), v.size());
     }
   }
@@ -176,13 +283,14 @@ int cmd_synth(const Args& a) {
 }
 
 int cmd_analyze(const Args& a) {
+  TSYN_SPAN("cli.analyze");
   const cdfg::Cdfg g = load_behavior(a.behavior);
-  std::printf("%s\n", g.to_string().c_str());
+  std::fprintf(g_report, "%s\n", g.to_string().c_str());
   const auto loops = cdfg::cdfg_loops(g);
-  std::printf("CDFG loops: %zu\n", loops.size());
+  std::fprintf(g_report, "CDFG loops: %zu\n", loops.size());
   const testability::BehaviorTestability t =
       testability::analyze_behavior(g);
-  std::printf(
+  std::fprintf(g_report, 
       "controllable: %d fully, %d partially, %d not\n"
       "observable  : %d fully, %d partially, %d not\n",
       t.count_ctrl(testability::CtrlClass::kControllable),
@@ -193,13 +301,14 @@ int cmd_analyze(const Args& a) {
       t.count_obs(testability::ObsClass::kUnobservable));
   for (const std::string mode : {"mfvs", "loopcut", "boundary", "interior"}) {
     const auto vars = select_scan(g, mode);
-    std::printf("scan selection %-9s: %zu variables\n", mode.c_str(),
+    std::fprintf(g_report, "scan selection %-9s: %zu variables\n", mode.c_str(),
                 vars.size());
   }
   return 0;
 }
 
 int cmd_bist(const Args& a) {
+  TSYN_SPAN("cli.bist");
   const cdfg::Cdfg g = load_behavior(a.behavior);
   const hls::Resources res{{cdfg::FuType::kAlu, a.alu},
                            {cdfg::FuType::kMultiplier, a.mul}};
@@ -209,25 +318,25 @@ int cmd_bist(const Args& a) {
   if (a.arch == "tfb") {
     bist::TfbResult r = bist::tfb_synthesis(g, s);
     binding = std::move(r.binding);
-    std::printf("architecture: TFB [31] (%d TFBs + %d input regs)\n",
+    std::fprintf(g_report, "architecture: TFB [31] (%d TFBs + %d input regs)\n",
                 r.num_tfbs, r.num_input_regs);
   } else if (a.arch == "xtfb") {
     bist::XtfbResult r = bist::xtfb_synthesis(g, s);
     binding = std::move(r.binding);
-    std::printf("architecture: XTFB [19] (%d ALUs)\n", r.num_alus);
+    std::fprintf(g_report, "architecture: XTFB [19] (%d ALUs)\n", r.num_alus);
   } else if (a.arch == "avra") {
     binding = hls::make_binding(g, s);
     hls::rebind_registers(g, binding,
                           bist::bist_aware_register_assignment(g, binding));
-    std::printf("architecture: adjacency-aware registers [3]\n");
+    std::fprintf(g_report, "architecture: adjacency-aware registers [3]\n");
   } else if (a.arch == "share") {
     binding = hls::make_binding(g, s);
     const bist::ShareResult r = bist::sharing_register_assignment(g, binding);
     hls::rebind_registers(g, binding, r.reg_of_lifetime);
-    std::printf("architecture: TPGR/SR sharing [32]\n");
+    std::fprintf(g_report, "architecture: TPGR/SR sharing [32]\n");
   } else if (a.arch == "conventional") {
     binding = hls::make_binding(g, s);
-    std::printf("architecture: conventional binding\n");
+    std::fprintf(g_report, "architecture: conventional binding\n");
   } else {
     usage(("unknown BIST architecture: " + a.arch).c_str());
   }
@@ -239,9 +348,9 @@ int cmd_bist(const Args& a) {
   const bist::SessionAnalysis sessions =
       bist::schedule_test_sessions(g, binding);
   report_design(g, s, binding, design.datapath);
-  std::printf("BIST      : %d TPGR, %d SR, %d BILBO, %d CBILBO\n",
+  std::fprintf(g_report, "BIST      : %d TPGR, %d SR, %d BILBO, %d CBILBO\n",
               counts.tpgr, counts.sr, counts.bilbo, cbilbos);
-  std::printf("sessions  : %d (%d conflicts over %d modules)\n",
+  std::fprintf(g_report, "sessions  : %d (%d conflicts over %d modules)\n",
               sessions.num_sessions, sessions.num_conflicts,
               sessions.num_modules);
   return 0;
@@ -249,17 +358,62 @@ int cmd_bist(const Args& a) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const Args a = parse_args(argc, argv);
-  if (a.command == "list") {
-    for (const cdfg::Cdfg& g : cdfg::standard_benchmarks())
-      std::printf("bench:%-8s %3d ops, %2zu states, %zu CDFG loops\n",
-                  g.name().c_str(), g.num_ops(), g.states().size(),
-                  cdfg::cdfg_loops(g).size());
-    return 0;
+/// Writes `text` to `path`, with "-" meaning stdout. Returns success.
+bool write_output(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
   }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+int run_command(const Args& a) {
   if (a.command == "synth") return cmd_synth(a);
   if (a.command == "analyze") return cmd_analyze(a);
   if (a.command == "bist") return cmd_bist(a);
   usage(("unknown command: " + a.command).c_str());
+}
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  if (a.command == "list") {
+    for (const cdfg::Cdfg& g : cdfg::standard_benchmarks())
+      std::fprintf(g_report, "bench:%-8s %3d ops, %2zu states, %zu CDFG loops\n",
+                  g.name().c_str(), g.num_ops(), g.states().size(),
+                  cdfg::cdfg_loops(g).size());
+    return 0;
+  }
+  // '-' outputs claim stdout; the human report yields to stderr so the
+  // stream a consumer pipes stays pure JSON.
+  if (a.trace == "-" || a.metrics == "-") g_report = stderr;
+  if (!a.trace.empty()) util::trace_enable();
+
+  const int rc = run_command(a);
+
+  if (!a.trace.empty()) {
+    if (write_output(a.trace, util::trace_to_json())) {
+      if (a.trace != "-")
+        std::fprintf(g_report, "trace     : %zu spans -> %s\n",
+                     util::trace_span_count(), a.trace.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   a.trace.c_str());
+      return 1;
+    }
+  }
+  if (!a.metrics.empty()) {
+    if (write_output(a.metrics, util::metrics().to_json() + "\n")) {
+      if (a.metrics != "-")
+        std::fprintf(g_report, "metrics   : written to %s\n",
+                     a.metrics.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   a.metrics.c_str());
+      return 1;
+    }
+  }
+  return rc;
 }
