@@ -281,7 +281,10 @@ void write_json(const std::vector<PpsfpRow>& ppsfp,
     std::fprintf(stderr, "cannot write BENCH_faultsim.json\n");
     return;
   }
-  std::fprintf(f, "{\n  \"hardware_concurrency\": %d,\n", hw);
+  // 0x5EED seeds the LFSR pattern blocks every PPSFP case consumes (the
+  // sequential cases additionally use 0xFACE for their frame streams).
+  bench::write_json_preamble(f, 0x5EED);
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n", hw);
   std::fprintf(f, "  \"threads_used\": %d,\n", used);
   std::fprintf(f, "  \"ppsfp\": [\n");
   for (std::size_t i = 0; i < ppsfp.size(); ++i) {

@@ -2,6 +2,7 @@
 // resource allocations used throughout, and small helpers for reporting.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -34,6 +35,22 @@ inline void print_header(const std::string& exp_id,
 inline void print_table(const util::Table& t) {
   std::fputs(t.to_string().c_str(), stdout);
   std::fputs("\n", stdout);
+}
+
+/// Version of the BENCH_*.json layout contract. Bump when any bench
+/// writer's field set changes incompatibly, so per-PR trajectory tooling
+/// can tell a schema change from a regression.
+inline constexpr int kBenchJsonSchema = 2;
+
+/// Opens a BENCH_*.json object with the provenance fields every bench
+/// writer must carry: "schema" (kBenchJsonSchema) and "seed" (the RNG seed
+/// the run's workload/stimulus was generated from). Without them a
+/// trajectory across PRs is ambiguous — a changed number could be a real
+/// regression, a layout change, or just a reseeded workload. The caller
+/// continues the object (no closing brace is written).
+inline void write_json_preamble(std::FILE* f, std::uint64_t seed) {
+  std::fprintf(f, "{\n  \"schema\": %d,\n  \"seed\": %llu,\n",
+               kBenchJsonSchema, static_cast<unsigned long long>(seed));
 }
 
 /// Embeds the process-wide metrics registry into an open BENCH_*.json

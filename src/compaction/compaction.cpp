@@ -1,0 +1,486 @@
+#include "compaction/compaction.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace tsyn::compaction {
+
+namespace {
+
+using gl::AtpgCampaign;
+using gl::AtpgStatus;
+using gl::Bits;
+using gl::Fault;
+using gl::FaultSimOptions;
+using gl::FaultSimulator;
+using gl::Netlist;
+using gl::Podem;
+
+bool has_x(const TestCube& c) {
+  return std::find(c.begin(), c.end(), V::kX) != c.end();
+}
+
+/// Lane-extraction: one fully-specified pattern out of a 64-lane grading
+/// block (all lanes of graded_fill blocks are known bits by construction).
+TestCube extract_lane(const std::vector<Bits>& block, int lane) {
+  TestCube p(block.size());
+  for (std::size_t i = 0; i < block.size(); ++i)
+    p[i] = ((block[i].v >> lane) & 1) ? V::k1 : V::k0;
+  return p;
+}
+
+/// Reverse-order credit assignment on a precomputed detection matrix:
+/// every fault is credited to the LAST pattern detecting it; patterns with
+/// no credit are pruned. Returns kept indices, ascending.
+std::vector<int> prune_from_matrix(
+    const std::vector<std::vector<std::uint64_t>>& matrix,
+    std::size_t num_patterns) {
+  std::vector<char> keep(num_patterns, 0);
+  for (const std::vector<std::uint64_t>& row : matrix) {
+    for (int b = static_cast<int>(row.size()) - 1; b >= 0; --b) {
+      if (row[b] == 0) continue;
+      const int lane = 63 - std::countl_zero(row[b]);
+      keep[static_cast<std::size_t>(b) * 64 + lane] = 1;
+      break;
+    }
+  }
+  std::vector<int> kept;
+  for (std::size_t p = 0; p < num_patterns; ++p)
+    if (keep[p]) kept.push_back(static_cast<int>(p));
+  return kept;
+}
+
+/// Dynamic-compaction generation: the serial PODEM campaign loop of
+/// run_combinational_atpg, except that every detected primary cube is
+/// re-entered (generate_multi_from_base) to fold secondary faults into its
+/// unspecified inputs before it is graded. Grading uses the identical
+/// random-fill scheme (and records graded_fill) so the campaign's
+/// detection decisions stay reproducible.
+AtpgCampaign run_dynamic_campaign(const Netlist& n,
+                                  const std::vector<Fault>& faults,
+                                  const CompactionOptions& copts,
+                                  long backtrack_limit,
+                                  const FaultSimOptions& sim_options,
+                                  CompactionStats* stats) {
+  TSYN_SPAN("compaction.dynamic_generate");
+  static util::Counter& m_probes =
+      util::metrics().counter("compaction.dynamic.secondary_probes");
+  static util::Counter& m_merged =
+      util::metrics().counter("compaction.dynamic.secondary_merged");
+
+  AtpgCampaign campaign;
+  campaign.status.assign(faults.size(), AtpgStatus::kAborted);
+  std::vector<bool> handled(faults.size(), false);
+
+  FaultSimulator sim(n, sim_options);
+  util::Rng rng(gl::kAtpgGradeFillSeed);
+
+  auto grade_test = [&](const TestCube& pi_values) {
+    campaign.tests.push_back(pi_values);
+    std::vector<Bits> block(n.primary_inputs().size());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      switch (pi_values[i]) {
+        case V::k0: block[i] = Bits::all0(); break;
+        case V::k1: block[i] = Bits::all1(); break;
+        case V::kX: block[i] = Bits::known(rng.next_u64()); break;
+      }
+    }
+    campaign.graded_fill.push_back(block);
+    std::vector<bool> drop(faults.size(), false);
+    for (std::size_t j = 0; j < faults.size(); ++j) drop[j] = handled[j];
+    sim.run_block(block, faults, drop);
+    for (std::size_t j = 0; j < faults.size(); ++j) {
+      if (!handled[j] && drop[j]) {
+        handled[j] = true;
+        campaign.status[j] = AtpgStatus::kDetected;
+      }
+    }
+  };
+
+  auto add_stats = [&](const gl::AtpgStats& s) {
+    campaign.total.decisions += s.decisions;
+    campaign.total.backtracks += s.backtracks;
+    campaign.total.implications += s.implications;
+  };
+
+  Podem podem(n);
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (handled[fi]) continue;
+    const gl::AtpgResult r = podem.generate(faults[fi], backtrack_limit);
+    add_stats(r.stats);
+    campaign.status[fi] = r.status;
+    handled[fi] = true;
+    if (r.status != AtpgStatus::kDetected) continue;
+
+    TestCube cube = r.pi_values;
+    int probes = 0;
+    int merged = 0;
+    for (std::size_t fj = fi + 1;
+         fj < faults.size() && probes < copts.dynamic_candidate_window &&
+         merged < copts.dynamic_max_secondary && has_x(cube);
+         ++fj) {
+      if (handled[fj]) continue;
+      ++probes;
+      // A kDetected probe refines `cube` (base bits immutable) and its
+      // ternary PO difference holds for every completion, so the merged
+      // fault stays detected through fill and static merging. Anything
+      // else just means "not compatible here" — the fault keeps its own
+      // turn as a primary later.
+      const gl::AtpgResult r2 = podem.generate_multi_from_base(
+          {faults[fj]}, cube, copts.dynamic_backtrack_limit);
+      add_stats(r2.stats);
+      if (r2.status == AtpgStatus::kDetected) {
+        cube = r2.pi_values;
+        handled[fj] = true;
+        campaign.status[fj] = AtpgStatus::kDetected;
+        ++merged;
+      }
+    }
+    m_probes.add(probes);
+    m_merged.add(merged);
+    stats->secondary_merged += merged;
+    grade_test(cube);
+  }
+
+  long detected = 0;
+  long untestable = 0;
+  for (AtpgStatus s : campaign.status) {
+    if (s == AtpgStatus::kDetected) ++detected;
+    else if (s == AtpgStatus::kUntestable) ++untestable;
+  }
+  const double total = static_cast<double>(faults.size());
+  campaign.fault_coverage = total == 0 ? 1.0 : detected / total;
+  campaign.fault_efficiency =
+      total == 0 ? 1.0 : (detected + untestable) / total;
+  return campaign;
+}
+
+double grade_patterns(const Netlist& n, const std::vector<TestCube>& patterns,
+                      const std::vector<Fault>& faults,
+                      const FaultSimOptions& sim_options) {
+  if (faults.empty()) return 1.0;
+  if (patterns.empty()) return 0.0;
+  return gl::fault_coverage(n, patterns_to_blocks(patterns), faults, nullptr,
+                            sim_options);
+}
+
+}  // namespace
+
+const char* to_string(CompactMode mode) {
+  switch (mode) {
+    case CompactMode::kOff: return "off";
+    case CompactMode::kStatic: return "static";
+    case CompactMode::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+bool parse_compact_mode(const std::string& text, CompactMode* out) {
+  if (text == "off") *out = CompactMode::kOff;
+  else if (text == "static") *out = CompactMode::kStatic;
+  else if (text == "dynamic") *out = CompactMode::kDynamic;
+  else return false;
+  return true;
+}
+
+std::vector<std::vector<Bits>> patterns_to_blocks(
+    const std::vector<TestCube>& patterns) {
+  std::vector<std::vector<Bits>> blocks;
+  if (patterns.empty()) return blocks;
+  const std::size_t num_pis = patterns[0].size();
+  const std::size_t num_blocks = (patterns.size() + 63) / 64;
+  blocks.assign(num_blocks, std::vector<Bits>(num_pis, Bits::all0()));
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const TestCube& pat = patterns[p];
+    if (pat.size() != num_pis)
+      throw std::runtime_error("pattern width mismatch");
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      if (pat[i] == V::kX)
+        throw std::runtime_error("pattern still has X bits; fill first");
+      if (pat[i] == V::k1) blocks[p / 64][i].v |= 1ULL << (p % 64);
+    }
+  }
+  // Trailing lanes of the last block repeat the block's first pattern so
+  // every lane is a real stimulus (coverage-neutral).
+  const std::size_t tail = patterns.size() % 64;
+  if (tail != 0) {
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      Bits& b = blocks.back()[i];
+      const std::uint64_t first = b.v & 1;
+      if (first) b.v |= ~((1ULL << tail) - 1);
+    }
+  }
+  return blocks;
+}
+
+std::vector<std::vector<std::uint64_t>> detection_matrix(
+    const Netlist& n, const std::vector<TestCube>& patterns,
+    const std::vector<Fault>& faults, const FaultSimOptions& sim_options) {
+  TSYN_SPAN("compaction.detection_matrix");
+  std::vector<std::vector<std::uint64_t>> matrix(
+      faults.size(), std::vector<std::uint64_t>());
+  const std::vector<std::vector<Bits>> blocks = patterns_to_blocks(patterns);
+  for (auto& row : matrix) row.assign(blocks.size(), 0);
+  if (blocks.empty() || faults.empty()) return matrix;
+
+  // Blocks are independent without fault dropping, so they shard over the
+  // pool: one SERIAL FaultSimulator per worker slot (the per-block inner
+  // engine must not re-enter the shared pool from a worker thread).
+  const int num_blocks = static_cast<int>(blocks.size());
+  const int workers = std::max(
+      1, std::min(sim_options.resolved_threads(), num_blocks));
+  std::vector<FaultSimulator> sims;
+  sims.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    sims.emplace_back(n, FaultSimOptions{1});
+
+  auto job = [&](int b, int slot) {
+    std::vector<std::uint64_t> lane_masks;
+    sims[slot].run_block_detail(blocks[b], faults, lane_masks);
+    for (std::size_t f = 0; f < faults.size(); ++f)
+      matrix[f][b] = lane_masks[f];
+  };
+  if (workers <= 1) {
+    for (int b = 0; b < num_blocks; ++b) job(b, 0);
+  } else {
+    util::ThreadPool::shared().run(num_blocks, workers, job);
+  }
+
+  // Mask the padding lanes of the last block out of the matrix so no
+  // consumer credits a pattern that does not exist.
+  const std::size_t tail = patterns.size() % 64;
+  if (tail != 0) {
+    const std::uint64_t valid = (1ULL << tail) - 1;
+    for (auto& row : matrix) row.back() &= valid;
+  }
+  return matrix;
+}
+
+std::vector<int> reverse_order_prune(const Netlist& n,
+                                     const std::vector<TestCube>& patterns,
+                                     const std::vector<Fault>& faults,
+                                     const FaultSimOptions& sim_options) {
+  TSYN_SPAN("compaction.prune");
+  return prune_from_matrix(detection_matrix(n, patterns, faults, sim_options),
+                           patterns.size());
+}
+
+double NdetectProfile::fraction_at_least(int k) const {
+  if (counts.empty()) return 0.0;
+  long hit = 0;
+  for (int c : counts) hit += c >= k;
+  return static_cast<double>(hit) / static_cast<double>(counts.size());
+}
+
+NdetectProfile grade_ndetect(const Netlist& n,
+                             const std::vector<TestCube>& patterns,
+                             const std::vector<Fault>& faults,
+                             const FaultSimOptions& sim_options) {
+  TSYN_SPAN("compaction.ndetect");
+  const auto matrix = detection_matrix(n, patterns, faults, sim_options);
+  NdetectProfile profile;
+  profile.counts.assign(faults.size(), 0);
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    int c = 0;
+    for (std::uint64_t w : matrix[f]) c += std::popcount(w);
+    profile.counts[f] = c;
+  }
+  return profile;
+}
+
+CompactedCampaign run_compacted_atpg(const Netlist& n,
+                                     const std::vector<Fault>& faults,
+                                     const CompactionOptions& copts,
+                                     long backtrack_limit,
+                                     const FaultSimOptions& sim_options) {
+  TSYN_SPAN("compaction.pipeline");
+  static util::Counter& m_cubes_in =
+      util::metrics().counter("compaction.cubes_in");
+  static util::Counter& m_merged_away =
+      util::metrics().counter("compaction.cubes_merged_away");
+  static util::Counter& m_pruned =
+      util::metrics().counter("compaction.patterns_pruned");
+  static util::Counter& m_topup =
+      util::metrics().counter("compaction.topup_patterns");
+
+  CompactedCampaign out;
+  if (copts.mode == CompactMode::kOff) {
+    // No compaction: the campaign is the exact run_combinational_atpg
+    // output (bit-identical, the --compact=off contract); the only new
+    // work is making the shipped fill explicit.
+    out.campaign =
+        gl::run_combinational_atpg(n, faults, backtrack_limit, sim_options);
+    out.cubes = out.campaign.tests;
+    out.stats.cubes_generated = static_cast<long>(out.cubes.size());
+    out.stats.cubes_after_merge = out.stats.cubes_generated;
+    out.patterns = out.cubes;
+    apply_xfill(out.patterns, copts.xfill, copts.fill_seed);
+    out.pattern_coverage = grade_patterns(n, out.patterns, faults, sim_options);
+    out.baseline_patterns = static_cast<long>(out.patterns.size());
+    return out;
+  }
+
+  // 1. Generation (with dynamic compaction in kDynamic mode).
+  if (copts.mode == CompactMode::kStatic) {
+    out.campaign =
+        gl::run_combinational_atpg(n, faults, backtrack_limit, sim_options);
+  } else {
+    out.campaign = run_dynamic_campaign(n, faults, copts, backtrack_limit,
+                                        sim_options, &out.stats);
+  }
+  out.stats.cubes_generated = static_cast<long>(out.campaign.tests.size());
+  m_cubes_in.add(out.stats.cubes_generated);
+
+  // The measured baseline: the plain campaign's shipped pattern count (64
+  // random completions per cube — the graded_fill blocks its claimed
+  // coverage is certified against), and the union of detected sets as the
+  // coverage floor the top-up restores.
+  const AtpgCampaign* baseline = nullptr;
+  AtpgCampaign baseline_storage;
+  if (copts.measure_baseline) {
+    if (copts.mode == CompactMode::kStatic) {
+      baseline = &out.campaign;  // the plain campaign IS the generator
+    } else {
+      TSYN_SPAN("compaction.baseline");
+      baseline_storage =
+          gl::run_combinational_atpg(n, faults, backtrack_limit, sim_options);
+      baseline = &baseline_storage;
+    }
+    out.baseline_patterns = 64 * static_cast<long>(baseline->tests.size());
+  }
+
+  // 2. Static compaction.
+  {
+    TSYN_SPAN("compaction.merge");
+    out.cubes = merge_compatible_cubes(out.campaign.tests, copts.merge_order);
+  }
+  out.stats.cubes_after_merge = static_cast<long>(out.cubes.size());
+  m_merged_away.add(out.stats.cubes_generated - out.stats.cubes_after_merge);
+
+  // 3. X-fill.
+  std::vector<TestCube> patterns = out.cubes;
+  apply_xfill(patterns, copts.xfill, copts.fill_seed);
+
+  // 4. Reverse-order pruning (on the full detection matrix, which the
+  //    coverage accounting below reuses).
+  const auto matrix = detection_matrix(n, patterns, faults, sim_options);
+  std::vector<int> kept;
+  if (copts.reverse_order_prune) {
+    TSYN_SPAN("compaction.prune");
+    kept = prune_from_matrix(matrix, patterns.size());
+  } else {
+    kept.resize(patterns.size());
+    for (std::size_t p = 0; p < patterns.size(); ++p)
+      kept[p] = static_cast<int>(p);
+  }
+  out.stats.patterns_pruned =
+      static_cast<long>(patterns.size()) - static_cast<long>(kept.size());
+  m_pruned.add(out.stats.patterns_pruned);
+
+  // 5. Top-up: any fault the campaign (or the measured baseline) detected
+  //    that the filled pattern set misses was a lucky random-fill
+  //    detection; re-extract one detecting lane from the recorded grading
+  //    blocks so final coverage provably never drops. Pruning credits
+  //    every matrix-covered fault to a kept pattern, so "matrix row
+  //    nonzero" == "covered by the kept set".
+  std::vector<std::size_t> missing;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    const bool want =
+        out.campaign.status[f] == AtpgStatus::kDetected ||
+        (baseline && baseline->status[f] == AtpgStatus::kDetected);
+    if (!want) continue;
+    bool covered = false;
+    for (std::uint64_t w : matrix[f]) covered = covered || w != 0;
+    if (!covered) missing.push_back(f);
+  }
+  std::vector<TestCube> topups;
+  if (!missing.empty()) {
+    TSYN_SPAN("compaction.topup");
+    FaultSimulator sim(n, sim_options);
+    std::vector<const AtpgCampaign*> sources{&out.campaign};
+    if (baseline && baseline != &out.campaign) sources.push_back(baseline);
+    // Candidate pool: every recorded-block lane that detects at least one
+    // missing fault, with its coverage as a bitset over `missing`. Greedy
+    // set cover then extracts the fewest lanes that restore the union
+    // coverage (ties break to the earliest candidate — deterministic).
+    struct Candidate {
+      const std::vector<Bits>* block;
+      int lane;
+      std::vector<std::uint64_t> covers;
+      int count = 0;
+    };
+    const std::size_t words = (missing.size() + 63) / 64;
+    std::vector<Fault> subset;
+    subset.reserve(missing.size());
+    for (std::size_t f : missing) subset.push_back(faults[f]);
+    std::vector<Candidate> cands;
+    for (const AtpgCampaign* src : sources) {
+      for (const std::vector<Bits>& block : src->graded_fill) {
+        std::vector<std::uint64_t> masks;
+        sim.run_block_detail(block, subset, masks);
+        std::uint64_t lanes = 0;
+        for (std::uint64_t m : masks) lanes |= m;
+        for (; lanes != 0; lanes &= lanes - 1) {
+          Candidate c;
+          c.block = &block;
+          c.lane = std::countr_zero(lanes);
+          c.covers.assign(words, 0);
+          for (std::size_t s = 0; s < missing.size(); ++s) {
+            if ((masks[s] >> c.lane) & 1) {
+              c.covers[s / 64] |= 1ULL << (s % 64);
+              ++c.count;
+            }
+          }
+          cands.push_back(std::move(c));
+        }
+      }
+    }
+    std::size_t uncovered = missing.size();
+    while (uncovered > 0) {
+      Candidate* best = nullptr;
+      for (Candidate& c : cands)
+        if (c.count > 0 && (!best || c.count > best->count)) best = &c;
+      // Every fault in the union set was detected by some recorded lane,
+      // so the cover always drains.
+      assert(best != nullptr);
+      if (!best) break;
+      topups.push_back(extract_lane(*best->block, best->lane));
+      uncovered -= static_cast<std::size_t>(best->count);
+      const std::vector<std::uint64_t> picked = best->covers;
+      for (Candidate& c : cands) {
+        if (c.count == 0) continue;
+        c.count = 0;
+        for (std::size_t w = 0; w < words; ++w) {
+          c.covers[w] &= ~picked[w];
+          c.count += std::popcount(c.covers[w]);
+        }
+      }
+    }
+  }
+  out.stats.topup_patterns = static_cast<long>(topups.size());
+  m_topup.add(out.stats.topup_patterns);
+
+  out.patterns.clear();
+  out.patterns.reserve(kept.size() + topups.size());
+  for (int p : kept) out.patterns.push_back(patterns[p]);
+  for (TestCube& t : topups) out.patterns.push_back(std::move(t));
+
+  // 6. Final from-scratch grading of the shipped set — the number the
+  //    acceptance contract (coverage never drops) is checked against.
+  {
+    TSYN_SPAN("compaction.final_grade");
+    out.pattern_coverage =
+        grade_patterns(n, out.patterns, faults, sim_options);
+  }
+  util::metrics().gauge("compaction.reduction").set(out.reduction());
+  return out;
+}
+
+}  // namespace tsyn::compaction

@@ -352,8 +352,24 @@ AtpgResult Podem::generate(const Fault& fault, long backtrack_limit) {
 
 AtpgResult Podem::generate_multi(const std::vector<Fault>& sites,
                                  long backtrack_limit) {
+  return generate_multi_from_base(sites, {}, backtrack_limit);
+}
+
+AtpgResult Podem::generate_multi_from_base(const std::vector<Fault>& sites,
+                                           const std::vector<V>& base,
+                                           long backtrack_limit) {
   stats_ = {};
   std::fill(pi_assignment_.begin(), pi_assignment_.end(), V::kX);
+  if (!base.empty()) {
+    if (base.size() != n_.primary_inputs().size())
+      throw std::runtime_error("base cube size != primary input count");
+    // Base bits become pre-assigned givens. They are never pushed on the
+    // decision stack, so backtracking can neither flip nor unassign them;
+    // backtrace() already refuses assigned PIs, so the search only spends
+    // decisions on the cube's X bits.
+    for (std::size_t i = 0; i < base.size(); ++i)
+      pi_assignment_[n_.primary_inputs()[i]] = base[i];
+  }
 
   struct Decision {
     int pi_node;
@@ -479,12 +495,15 @@ AtpgCampaign run_combinational_atpg(const Netlist& n,
   std::vector<bool> handled(faults.size(), false);
 
   FaultSimulator sim(n, sim_options);
-  util::Rng rng(0x7357);
+  util::Rng rng(kAtpgGradeFillSeed);
   static util::Histogram& bt_hist =
       util::metrics().histogram("atpg.comb.backtracks_per_fault");
 
-  // Grades one generated test (X inputs filled randomly) against all
-  // still-unhandled faults, dropping the ones it detects.
+  // Grades one generated test against all still-unhandled faults, dropping
+  // the ones it detects. The cube's X inputs are filled with random words
+  // (64 independent completions per cube, one rng stream in test order);
+  // the exact block is recorded in graded_fill so the campaign's detection
+  // decisions are reproducible downstream — see kAtpgGradeFillSeed.
   auto grade_test = [&](const std::vector<V>& pi_values) {
     campaign.tests.push_back(pi_values);
     std::vector<Bits> block(n.primary_inputs().size());
@@ -495,6 +514,7 @@ AtpgCampaign run_combinational_atpg(const Netlist& n,
         case V::kX: block[i] = Bits::known(rng.next_u64()); break;
       }
     }
+    campaign.graded_fill.push_back(block);
     std::vector<bool> drop(faults.size(), false);
     for (std::size_t j = 0; j < faults.size(); ++j) drop[j] = handled[j];
     sim.run_block(block, faults, drop);

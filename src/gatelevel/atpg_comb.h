@@ -51,6 +51,19 @@ class Podem {
   AtpgResult generate_multi(const std::vector<Fault>& sites,
                             long backtrack_limit = 10000);
 
+  /// Like generate_multi, but the search starts from a partial test cube
+  /// `base` (by PI position; kX = free). Specified base bits are immutable
+  /// givens: only the remaining X inputs are assigned and backtracked, so a
+  /// kDetected result's pi_values is a refinement of `base` (every
+  /// specified base bit is preserved). kUntestable here means untestable
+  /// UNDER the base cube — the fault may well be testable with other base
+  /// bits. This is the compatibility test dynamic compaction
+  /// (compaction/compaction.h) is built on: merge a secondary fault's test
+  /// into the unspecified bits of an already-generated cube.
+  AtpgResult generate_multi_from_base(const std::vector<Fault>& sites,
+                                      const std::vector<V>& base,
+                                      long backtrack_limit = 10000);
+
   /// PIs the generator must leave at X (e.g. unknowable initial state of a
   /// time-frame-0 pseudo input). Indices into primary_inputs().
   void freeze_inputs(const std::vector<int>& pi_positions);
@@ -93,12 +106,31 @@ class Podem {
   AtpgStats stats_;
 };
 
+/// Seed of the Rng that fills a test cube's X inputs for fault-dropping
+/// simulation in run_combinational_atpg. The fill is RANDOM, not 0-fill:
+/// every kX input of a generated cube becomes an independent 64-bit word,
+/// so each cube is graded as 64 distinct random completions. Exposed (and
+/// the graded blocks recorded in AtpgCampaign::graded_fill) so downstream
+/// consumers — the compaction subsystem's coverage accounting in
+/// particular — can reproduce the campaign's detection decisions
+/// bit-for-bit instead of guessing at an implicit fill.
+inline constexpr std::uint64_t kAtpgGradeFillSeed = 0x7357;
+
 /// Full-scan campaign: runs PODEM on every fault, fault-simulating each
 /// generated test against the remaining faults (test compaction by fault
 /// dropping). Returns per-fault status and the test set.
 struct AtpgCampaign {
   std::vector<AtpgStatus> status;
+  /// Raw ternary cubes as PODEM produced them (kX = unspecified).
   std::vector<std::vector<V>> tests;
+  /// The exact 64-lane block each cube was graded with: specified bits are
+  /// all0/all1 across lanes, X bits are random words drawn from an Rng
+  /// seeded with kAtpgGradeFillSeed (one stream across the whole campaign,
+  /// consumed in test order). graded_fill[i] corresponds to tests[i];
+  /// `status` marks a fault kDetected exactly when one of these blocks'
+  /// lanes detects it. Lane l of block i is therefore a fully-specified
+  /// pattern the campaign actually takes credit for.
+  std::vector<std::vector<Bits>> graded_fill;
   AtpgStats total;
   double fault_efficiency = 0;  ///< (detected + proven untestable) / total
   double fault_coverage = 0;    ///< detected / total

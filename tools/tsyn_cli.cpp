@@ -3,7 +3,11 @@
 //   tsyn_cli synth <file.cdfg|bench:NAME> [options]   synthesize + report
 //   tsyn_cli analyze <file.cdfg|bench:NAME>           behavioral analysis
 //   tsyn_cli bist <file.cdfg|bench:NAME> [options]    self-testable synthesis
+//   tsyn_cli atpg <file.cdfg|bench:NAME> [options]    full-scan ATPG +
+//                                                     test-set compaction
 //   tsyn_cli list                                     list built-in benchmarks
+//
+// Options accept both `--opt value` and `--opt=value`.
 //
 // Common options:
 //   --alu N --mul N        FU allocation (default 2/2)
@@ -21,6 +25,10 @@
 //   --verilog FILE         write the design as Verilog (- for stdout)
 // bist options:
 //   --arch A               conventional|avra|tfb|xtfb|share (default tfb)
+// atpg options:
+//   --compact MODE         off|static|dynamic (default off)
+//   --xfill MODE           random|0|1|adjacent (default random)
+//   --width N              gate-level expansion bit width (default 4)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +45,7 @@
 #include "cdfg/benchmarks.h"
 #include "cdfg/loops.h"
 #include "cdfg/parser.h"
+#include "compaction/compaction.h"
 #include "gatelevel/atpg_comb.h"
 #include "gatelevel/atpg_seq.h"
 #include "gatelevel/expand.h"
@@ -65,7 +74,7 @@ FILE* g_report = stdout;
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: tsyn_cli <synth|analyze|bist|list> "
+               "usage: tsyn_cli <synth|analyze|bist|atpg|list> "
                "<file.cdfg|bench:NAME> [options]\n"
                "run with no arguments for the option list in the source "
                "header.\n");
@@ -98,6 +107,9 @@ struct Args {
   std::string arch = "tfb";
   std::string trace;
   std::string metrics;
+  std::string compact = "off";
+  std::string xfill = "random";
+  int width = 4;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -115,8 +127,17 @@ Args parse_args(int argc, char** argv) {
   if (argc < 3) usage("missing behavior argument");
   a.behavior = argv[2];
   for (int i = 3; i < argc; ++i) {
-    const std::string opt = argv[i];
+    std::string opt = argv[i];
+    // `--opt=value` is equivalent to `--opt value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = opt.find('='); eq != std::string::npos) {
+      inline_value = opt.substr(eq + 1);
+      opt = opt.substr(0, eq);
+      has_inline = true;
+    }
     auto value = [&]() -> std::string {
+      if (has_inline) return inline_value;
       if (i + 1 >= argc) usage((opt + " needs a value").c_str());
       return argv[++i];
     };
@@ -124,11 +145,17 @@ Args parse_args(int argc, char** argv) {
     else if (opt == "--mul") a.mul = std::stoi(value());
     else if (opt == "--steps") a.steps = std::stoi(value());
     else if (opt == "--scan") a.scan = value();
-    else if (opt == "--loop-avoid") a.loop_avoid = true;
+    else if (opt == "--loop-avoid") {
+      if (has_inline) usage("--loop-avoid takes no value");
+      a.loop_avoid = true;
+    }
     else if (opt == "--verilog") a.verilog = value();
     else if (opt == "--arch") a.arch = value();
     else if (opt == "--trace") a.trace = value();
     else if (opt == "--metrics") a.metrics = value();
+    else if (opt == "--compact") a.compact = value();
+    else if (opt == "--xfill") a.xfill = value();
+    else if (opt == "--width") a.width = std::stoi(value());
     else if (opt == "--log-level") {
       util::LogLevel level;
       if (!util::parse_log_level(value(), &level))
@@ -356,6 +383,59 @@ int cmd_bist(const Args& a) {
   return 0;
 }
 
+int cmd_atpg(const Args& a) {
+  TSYN_SPAN("cli.atpg");
+  compaction::CompactionOptions copts;
+  if (!compaction::parse_compact_mode(a.compact, &copts.mode))
+    usage("--compact expects off|static|dynamic");
+  if (!compaction::parse_xfill(a.xfill, &copts.xfill))
+    usage("--xfill expects random|0|1|adjacent");
+  if (a.width < 1) usage("--width must be >= 1");
+
+  // Full-scan flow: synthesize, scan every register, expand to a
+  // combinational netlist, then generate + compact the test set.
+  const cdfg::Cdfg g = load_behavior(a.behavior);
+  hls::SynthesisOptions opts;
+  opts.resources = hls::Resources{{cdfg::FuType::kAlu, a.alu},
+                                  {cdfg::FuType::kMultiplier, a.mul}};
+  opts.num_steps = a.steps;
+  hls::Synthesis syn = hls::synthesize(g, opts);
+  rtl::Datapath dp = syn.rtl.datapath;
+  for (auto& reg : dp.regs) reg.test_kind = rtl::TestRegKind::kScan;
+  gl::ExpandOptions eo;
+  eo.width_override = a.width;
+  const gl::Netlist n = gl::expand_datapath(dp, eo).netlist;
+  const std::vector<gl::Fault> faults = gl::enumerate_faults(n);
+
+  const compaction::CompactedCampaign c =
+      compaction::run_compacted_atpg(n, faults, copts);
+
+  const std::size_t pis = n.primary_inputs().size();
+  std::fprintf(g_report,
+               "gatelevel : %d gates, %zu PIs (full scan, width %d), "
+               "%zu faults\n",
+               n.gate_count(), pis, a.width, faults.size());
+  std::fprintf(g_report,
+               "atpg      : %ld cubes, %.2f%% coverage, %.2f%% efficiency\n",
+               c.stats.cubes_generated, 100 * c.campaign.fault_coverage,
+               100 * c.campaign.fault_efficiency);
+  std::fprintf(g_report,
+               "compaction: mode %s, fill %s; %ld secondary merged, "
+               "%ld -> %ld cubes, %ld pruned, %ld top-up\n",
+               compaction::to_string(copts.mode),
+               compaction::to_string(copts.xfill), c.stats.secondary_merged,
+               c.stats.cubes_generated, c.stats.cubes_after_merge,
+               c.stats.patterns_pruned, c.stats.topup_patterns);
+  std::fprintf(g_report,
+               "patterns  : %zu shipped vs %ld baseline (%.1f%% reduction), "
+               "%.2f%% coverage\n",
+               c.patterns.size(), c.baseline_patterns, 100 * c.reduction(),
+               100 * c.pattern_coverage);
+  std::fprintf(g_report, "data vol  : %ld bits (%zu patterns x %zu PI bits)\n",
+               c.test_data_bits(), c.patterns.size(), pis);
+  return 0;
+}
+
 }  // namespace
 
 /// Writes `text` to `path`, with "-" meaning stdout. Returns success.
@@ -374,6 +454,7 @@ int run_command(const Args& a) {
   if (a.command == "synth") return cmd_synth(a);
   if (a.command == "analyze") return cmd_analyze(a);
   if (a.command == "bist") return cmd_bist(a);
+  if (a.command == "atpg") return cmd_atpg(a);
   usage(("unknown command: " + a.command).c_str());
 }
 
