@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "observe/scoap_attr.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -260,6 +261,28 @@ std::vector<std::vector<std::uint64_t>> detection_matrix(
     const std::uint64_t valid = (1ULL << tail) - 1;
     for (auto& row : matrix) row.back() &= valid;
   }
+
+  // The matrix is the ledger's n-detect source: it grades every fault
+  // against every pattern with no dropping, so the per-fault popcount is
+  // the true detection multiplicity of the graded set, and the first set
+  // bit its first-detect pattern.
+  if (observe::ledger_enabled()) {
+    observe::record_universe(static_cast<long>(faults.size()));
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      long count = 0;
+      long first = -1;
+      for (std::size_t b = 0; b < matrix[f].size(); ++b) {
+        const std::uint64_t w = matrix[f][b];
+        if (w == 0) continue;
+        if (first < 0)
+          first = static_cast<long>(64 * b) + std::countr_zero(w);
+        count += std::popcount(w);
+      }
+      const observe::FaultKey key = observe::make_fault_key(faults[f]);
+      observe::record_ndetect(key, count);
+      if (first >= 0) observe::record_detected(key, first);
+    }
+  }
   return matrix;
 }
 
@@ -315,25 +338,35 @@ CompactedCampaign run_compacted_atpg(const Netlist& n,
     // No compaction: the campaign is the exact run_combinational_atpg
     // output (bit-identical, the --compact=off contract); the only new
     // work is making the shipped fill explicit.
-    out.campaign =
-        gl::run_combinational_atpg(n, faults, backtrack_limit, sim_options);
+    {
+      observe::LedgerPhase ledger_phase("compact.generate");
+      out.campaign =
+          gl::run_combinational_atpg(n, faults, backtrack_limit, sim_options);
+    }
     out.cubes = out.campaign.tests;
     out.stats.cubes_generated = static_cast<long>(out.cubes.size());
     out.stats.cubes_after_merge = out.stats.cubes_generated;
     out.patterns = out.cubes;
     apply_xfill(out.patterns, copts.xfill, copts.fill_seed);
-    out.pattern_coverage = grade_patterns(n, out.patterns, faults, sim_options);
+    {
+      observe::LedgerPhase ledger_phase("compact.ship");
+      out.pattern_coverage =
+          grade_patterns(n, out.patterns, faults, sim_options);
+    }
     out.baseline_patterns = static_cast<long>(out.patterns.size());
     return out;
   }
 
   // 1. Generation (with dynamic compaction in kDynamic mode).
-  if (copts.mode == CompactMode::kStatic) {
-    out.campaign =
-        gl::run_combinational_atpg(n, faults, backtrack_limit, sim_options);
-  } else {
-    out.campaign = run_dynamic_campaign(n, faults, copts, backtrack_limit,
-                                        sim_options, &out.stats);
+  {
+    observe::LedgerPhase ledger_phase("compact.generate");
+    if (copts.mode == CompactMode::kStatic) {
+      out.campaign =
+          gl::run_combinational_atpg(n, faults, backtrack_limit, sim_options);
+    } else {
+      out.campaign = run_dynamic_campaign(n, faults, copts, backtrack_limit,
+                                          sim_options, &out.stats);
+    }
   }
   out.stats.cubes_generated = static_cast<long>(out.campaign.tests.size());
   m_cubes_in.add(out.stats.cubes_generated);
@@ -349,6 +382,7 @@ CompactedCampaign run_compacted_atpg(const Netlist& n,
       baseline = &out.campaign;  // the plain campaign IS the generator
     } else {
       TSYN_SPAN("compaction.baseline");
+      observe::LedgerPhase ledger_phase("compact.baseline");
       baseline_storage =
           gl::run_combinational_atpg(n, faults, backtrack_limit, sim_options);
       baseline = &baseline_storage;
@@ -370,7 +404,11 @@ CompactedCampaign run_compacted_atpg(const Netlist& n,
 
   // 4. Reverse-order pruning (on the full detection matrix, which the
   //    coverage accounting below reuses).
-  const auto matrix = detection_matrix(n, patterns, faults, sim_options);
+  std::vector<std::vector<std::uint64_t>> matrix;
+  {
+    observe::LedgerPhase ledger_phase("compact.grade");
+    matrix = detection_matrix(n, patterns, faults, sim_options);
+  }
   std::vector<int> kept;
   if (copts.reverse_order_prune) {
     TSYN_SPAN("compaction.prune");
@@ -403,6 +441,7 @@ CompactedCampaign run_compacted_atpg(const Netlist& n,
   std::vector<TestCube> topups;
   if (!missing.empty()) {
     TSYN_SPAN("compaction.topup");
+    observe::LedgerPhase ledger_phase("compact.topup");
     FaultSimulator sim(n, sim_options);
     std::vector<const AtpgCampaign*> sources{&out.campaign};
     if (baseline && baseline != &out.campaign) sources.push_back(baseline);
@@ -476,6 +515,7 @@ CompactedCampaign run_compacted_atpg(const Netlist& n,
   //    acceptance contract (coverage never drops) is checked against.
   {
     TSYN_SPAN("compaction.final_grade");
+    observe::LedgerPhase ledger_phase("compact.ship");
     out.pattern_coverage =
         grade_patterns(n, out.patterns, faults, sim_options);
   }

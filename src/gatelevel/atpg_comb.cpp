@@ -8,6 +8,7 @@
 
 #include "gatelevel/faultsim.h"
 #include "gatelevel/scoap.h"
+#include "observe/scoap_attr.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -440,6 +441,20 @@ AtpgResult Podem::generate_multi_from_base(const std::vector<Fault>& sites,
   }
 done:
   result.stats = stats_;
+  if (observe::ledger_enabled() && !sites.empty()) {
+    // One targeted event per PODEM attempt, attributed to the primary
+    // site (secondary multi-fault sites ride along unrecorded). Safe from
+    // wave workers: each engine is slot-private, recording is
+    // thread-striped.
+    const observe::TargetOutcome outcome =
+        result.status == AtpgStatus::kDetected
+            ? observe::TargetOutcome::kDetected
+            : result.status == AtpgStatus::kUntestable
+                  ? observe::TargetOutcome::kUntestable
+                  : observe::TargetOutcome::kAborted;
+    observe::record_targeted(observe::make_fault_key(sites[0]), outcome,
+                             stats_.decisions, stats_.backtracks);
+  }
   result.pi_values.assign(n_.primary_inputs().size(), V::kX);
   if (result.status == AtpgStatus::kDetected)
     for (std::size_t i = 0; i < n_.primary_inputs().size(); ++i)
@@ -490,6 +505,8 @@ AtpgCampaign run_combinational_atpg(const Netlist& n,
                                     long backtrack_limit,
                                     const FaultSimOptions& sim_options) {
   TSYN_SPAN("gl.atpg.comb");
+  if (observe::ledger_enabled())
+    observe::record_universe(static_cast<long>(faults.size()));
   AtpgCampaign campaign;
   campaign.status.assign(faults.size(), AtpgStatus::kAborted);
   std::vector<bool> handled(faults.size(), false);

@@ -1,11 +1,13 @@
 #include "gatelevel/faultsim.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
 #include <thread>
 
+#include "observe/scoap_attr.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -159,9 +161,11 @@ std::uint64_t FaultPropagator::po_diff_mask() const {
 std::uint64_t FaultPropagator::propagate(const Fault& f,
                                          const std::vector<Bits>& good) {
   ++faults_;
+  const long before = events_;
   begin(good);
   inject(f);
   drain(f);
+  last_propagate_events_ = events_ - before;
   return po_diff_mask();
 }
 
@@ -199,9 +203,14 @@ void FaultSimulator::propagate_shard(const std::vector<Fault>& faults,
   while (static_cast<int>(propagators_.size()) < std::max(workers, 1))
     propagators_.emplace_back(n_);
 
+  const bool ledger_on = observe::ledger_enabled();
   auto job = [&](int i, int slot) {
     if (skip && (*skip)[i]) return;
-    masks[i] = propagators_[slot].propagate(faults[i], good_);
+    FaultPropagator& p = propagators_[slot];
+    masks[i] = p.propagate(faults[i], good_);
+    if (ledger_on)
+      observe::record_sim_effort(observe::make_fault_key(faults[i]),
+                                 p.last_propagate_events());
   };
   if (workers <= 1) {
     for (int i = 0; i < count; ++i) job(i, 0);
@@ -239,11 +248,16 @@ int FaultSimulator::run_block(const std::vector<Bits>& pi_values,
   detected.resize(faults.size(), false);
   simulate_good(pi_values);
   propagate_shard(faults, &detected, masks_);
+  const long pattern_base = 64 * blocks_run_++;
+  const bool ledger_on = observe::ledger_enabled();
   int newly_detected = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (detected[i] || masks_[i] == 0) continue;
     detected[i] = true;
     ++newly_detected;
+    if (ledger_on)
+      observe::record_detected(observe::make_fault_key(faults[i]),
+                               pattern_base + std::countr_zero(masks_[i]));
   }
   static util::Counter& m_blocks =
       util::metrics().counter("faultsim.ppsfp.blocks");
@@ -267,6 +281,8 @@ double fault_coverage(const Netlist& n,
                       std::vector<bool>* detected_out,
                       const FaultSimOptions& options) {
   TSYN_SPAN("gl.faultsim.ppsfp");
+  if (observe::ledger_enabled())
+    observe::record_universe(static_cast<long>(faults.size()));
   FaultSimulator sim(n, options);
   std::vector<bool> detected(faults.size(), false);
   for (const auto& block : blocks) sim.run_block(block, faults, detected);
@@ -285,6 +301,8 @@ std::vector<bool> sequential_fault_sim(
     const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
     const std::vector<Fault>& faults, const FaultSimOptions& options) {
   TSYN_SPAN("gl.faultsim.seq");
+  const bool ledger_on = observe::ledger_enabled();
+  if (ledger_on) observe::record_universe(static_cast<long>(faults.size()));
   // Good trace, simulated once and shared (read-only) by every worker.
   const auto good = simulate_sequence(n, input_frames);
   const int count = static_cast<int>(faults.size());
@@ -344,6 +362,7 @@ std::vector<bool> sequential_fault_sim(
     const Fault& f = faults[fi];
     Scratch& s = scratch[slot];
     ++s.faults_done;
+    const long events_before = s.prop.events_processed();
     // FFs start unknown in both machines: no initial divergence.
     s.div_list.clear();
     for (std::size_t frame = 0; frame < input_frames.size(); ++frame) {
@@ -361,6 +380,12 @@ std::vector<bool> sequential_fault_sim(
         ++s.detected;
         if (frame + 1 < input_frames.size()) ++s.dropped_mid;
         frames_to_detect.observe(static_cast<std::int64_t>(frame) + 1);
+        if (ledger_on) {
+          const observe::FaultKey key = observe::make_fault_key(f);
+          observe::record_seq_detected(key, static_cast<long>(frame) + 1);
+          observe::record_sim_effort(
+              key, s.prop.events_processed() - events_before);
+        }
         return;
       }
       // Capture the next frame's state, keeping only the divergence.
@@ -378,6 +403,9 @@ std::vector<bool> sequential_fault_sim(
       }
       s.div_list.swap(s.new_div);
     }
+    if (ledger_on)
+      observe::record_sim_effort(observe::make_fault_key(f),
+                                 s.prop.events_processed() - events_before);
   };
   if (workers <= 1) {
     for (int i = 0; i < count; ++i) simulate_fault(i, 0);

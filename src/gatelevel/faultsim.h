@@ -101,6 +101,9 @@ class FaultPropagator {
   /// them only between parallel sections (after ThreadPool::run returns).
   long events_processed() const { return events_; }
   long faults_propagated() const { return faults_; }
+  /// Gate evaluations the most recent propagate() cost (for per-fault
+  /// ledger attribution; worker-private like the totals above).
+  long last_propagate_events() const { return last_propagate_events_; }
   void reset_work_counters() {
     events_ = 0;
     faults_ = 0;
@@ -140,6 +143,7 @@ class FaultPropagator {
   /// Work counters (see events_processed); plain longs, worker-private.
   long events_ = 0;
   long faults_ = 0;
+  long last_propagate_events_ = 0;
 };
 
 /// Parallel-pattern combinational fault simulator. The netlist must be
@@ -185,6 +189,9 @@ class FaultSimulator {
   std::vector<Bits> good_po_;
   std::vector<FaultPropagator> propagators_;  ///< one per worker slot
   std::vector<std::uint64_t> masks_;          ///< run_block scratch
+  /// Blocks run_block has graded, so ledger detect events carry global
+  /// pattern indices (64 * block + lane) across a whole campaign.
+  long blocks_run_ = 0;
 };
 
 /// Convenience: coverage of `faults` under `blocks` of PI patterns.

@@ -1,0 +1,118 @@
+#include "observe/scoap_attr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gatelevel/scoap.h"
+
+namespace tsyn::observe {
+
+std::vector<double> average_ranks(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    // Positions i..j (0-based) share the value: average 1-based rank.
+    const double avg = (static_cast<double>(i + j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman_rank_correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const std::vector<double> ra = average_ranks(a);
+  const std::vector<double> rb = average_ranks(b);
+  const double n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = ra[i] - ma;
+    const double db = rb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+ScoapAttribution attribute_scoap(const gl::Netlist& n,
+                                 const LedgerSnapshot& ledger, int top_k) {
+  ScoapAttribution out;
+  const gl::Scoap scoap = gl::compute_scoap(n);
+
+  for (const FaultJourney& j : ledger.journeys) {
+    if (j.targets == 0) continue;  // no ATPG effort to attribute
+    if (j.key.node < 0 || j.key.node >= n.num_nodes()) continue;
+    // The faulted line: the node itself for output faults, the driver of
+    // the faulted pin otherwise.
+    int line = j.key.node;
+    if (j.key.pin >= 0) {
+      const auto& fanins = n.node(j.key.node).fanins;
+      if (j.key.pin >= static_cast<std::int32_t>(fanins.size())) continue;
+      line = fanins[static_cast<std::size_t>(j.key.pin)];
+    }
+    if (line < 0) continue;
+    ScoapFaultRow row;
+    row.key = j.key;
+    row.status = j.status;
+    gl::Fault f;
+    f.node = j.key.node;
+    f.fanin_index = j.key.pin;
+    f.stuck_at_one = j.key.sa1 != 0;
+    row.label = gl::describe(n, f);
+    // Testing stuck-at-1 requires driving the line to 0 (CC0) and
+    // observing it (CO); stuck-at-0 dually.
+    row.cc = j.key.sa1 ? scoap.cc0[line] : scoap.cc1[line];
+    row.co = scoap.co[line];
+    row.predicted = static_cast<std::int64_t>(row.cc) + row.co;
+    row.effort = j.decisions + j.backtracks;
+    out.rows.push_back(std::move(row));
+  }
+
+  std::vector<double> predicted, effort;
+  predicted.reserve(out.rows.size());
+  effort.reserve(out.rows.size());
+  for (const ScoapFaultRow& r : out.rows) {
+    predicted.push_back(static_cast<double>(r.predicted));
+    effort.push_back(static_cast<double>(r.effort));
+  }
+  const std::vector<double> pr = average_ranks(predicted);
+  const std::vector<double> er = average_ranks(effort);
+  for (std::size_t i = 0; i < out.rows.size(); ++i) {
+    out.rows[i].predicted_rank = pr[i];
+    out.rows[i].effort_rank = er[i];
+  }
+  out.spearman = spearman_rank_correlation(predicted, effort);
+
+  std::vector<int> order(out.rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ga = std::abs(out.rows[static_cast<std::size_t>(a)].rank_gap());
+    const double gb = std::abs(out.rows[static_cast<std::size_t>(b)].rank_gap());
+    if (ga != gb) return ga > gb;
+    return out.rows[static_cast<std::size_t>(a)].key <
+           out.rows[static_cast<std::size_t>(b)].key;
+  });
+  const int k = std::min<int>(top_k, static_cast<int>(order.size()));
+  out.top_mispredicted.assign(order.begin(), order.begin() + k);
+  return out;
+}
+
+}  // namespace tsyn::observe

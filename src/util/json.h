@@ -1,0 +1,64 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// The repo emits JSON in several places (metrics registry, trace export,
+// BENCH_*.json, run reports) but until bench_diff nothing needed to READ
+// it back. This is the reader: a small DOM good enough for the tooling
+// that consumes our own artifacts — objects keep insertion order, numbers
+// are doubles (every value we emit fits a double exactly below 2^53), and
+// parse errors throw with the byte offset. It is not a general-purpose
+// JSON library and does not aim to be one.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsyn::util {
+
+/// Thrown by Json::parse on malformed input; what() includes the offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& msg, std::size_t offset)
+      : std::runtime_error(msg + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One JSON value. A plain tagged struct rather than a class hierarchy:
+/// consumers pattern-match on `type` and read the matching member.
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  /// Members in document order (duplicate keys kept as-is; find() returns
+  /// the first).
+  std::vector<std::pair<std::string, Json>> obj;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// First member named `key`, or nullptr (also for non-objects).
+  const Json* find(const std::string& key) const;
+
+  /// find(key)->number with a fallback for missing/non-number members.
+  double number_or(const std::string& key, double fallback) const;
+
+  /// Parses one JSON document (trailing non-whitespace is an error).
+  /// Throws JsonParseError on malformed input.
+  static Json parse(const std::string& text);
+};
+
+}  // namespace tsyn::util

@@ -1,5 +1,6 @@
 #include "util/metrics.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <mutex>
@@ -51,6 +52,38 @@ void Histogram::observe(std::int64_t v) {
   }
   s.sum.fetch_add(v, std::memory_order_relaxed);
   s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min);
+  if (p >= 100.0) return static_cast<double>(max);
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::int64_t cum = 0;
+  for (int k = 0; k < 64; ++k) {
+    if (buckets[k] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += buckets[k];
+    if (static_cast<double>(cum) < target) continue;
+    // The target rank lands in bucket k: interpolate inside its bounds.
+    // Bucket 0 holds v <= 0 (range [min, 0]); bucket k >= 1 holds
+    // [2^(k-1), 2^k).
+    double lo, hi;
+    if (k == 0) {
+      lo = std::min(static_cast<double>(min), 0.0);
+      hi = 0.0;
+    } else {
+      lo = static_cast<double>(std::int64_t{1} << (k - 1));
+      hi = static_cast<double>(std::int64_t{1} << k);
+    }
+    const double frac =
+        (target - before) / static_cast<double>(buckets[k]);
+    double v = lo + frac * (hi - lo);
+    v = std::max(v, static_cast<double>(min));
+    v = std::min(v, static_cast<double>(max));
+    return v;
+  }
+  return static_cast<double>(max);
 }
 
 HistogramSnapshot Histogram::read() const {
@@ -168,7 +201,11 @@ std::string MetricsRegistry::to_json() const {
     append_json_string(os, name);
     os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
        << ", \"min\": " << h.min << ", \"max\": " << h.max
-       << ", \"mean\": " << fmt_double(h.mean()) << ", \"buckets\": [";
+       << ", \"mean\": " << fmt_double(h.mean())
+       << ", \"p50\": " << fmt_double(h.percentile(50))
+       << ", \"p90\": " << fmt_double(h.percentile(90))
+       << ", \"p99\": " << fmt_double(h.percentile(99))
+       << ", \"buckets\": [";
     bool bfirst = true;
     for (int k = 0; k < 64; ++k) {
       if (h.buckets[k] == 0) continue;

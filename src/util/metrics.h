@@ -99,6 +99,13 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+  /// Estimated value at percentile `p` in [0, 100]: walks the cumulative
+  /// bucket counts to the bucket containing rank p% * count, interpolates
+  /// linearly inside that bucket's [2^(k-1), 2^k) value range, and clamps
+  /// to the observed [min, max]. Exact when a bucket holds one distinct
+  /// value; otherwise off by at most the bucket width (a factor of 2).
+  /// Returns 0 for an empty histogram.
+  double percentile(double p) const;
 };
 
 /// Log2-bucketed distribution of a non-negative quantity (backtracks per
@@ -142,7 +149,7 @@ class MetricsRegistry {
   /// Snapshot rendered as a JSON object:
   ///   {"counters": {...}, "gauges": {...},
   ///    "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
-  ///                            "mean":..,
+  ///                            "mean":..,"p50":..,"p90":..,"p99":..,
   ///                            "buckets":[{"le":N,"count":C}, ...]}}}
   /// Histogram buckets are emitted sparsely (nonzero only), "le" being the
   /// exclusive power-of-two upper bound.

@@ -125,6 +125,58 @@ TEST(Metrics, JsonIsWellFormedAndContainsInstruments) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(Metrics, PercentilesInterpolateWithinBuckets) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.observe(v);
+  const HistogramSnapshot s = h.read();
+  // The estimate can only be off by the width of the log2 bucket the rank
+  // lands in: rank 500 is in [256, 512), rank 900 in [512, 1024).
+  EXPECT_GE(s.percentile(50), 256.0);
+  EXPECT_LE(s.percentile(50), 512.0);
+  EXPECT_GE(s.percentile(90), 512.0);
+  EXPECT_LE(s.percentile(90), 1000.0);  // clamped to the true max
+  // Monotone in p, and pinned to the exact extrema at the ends.
+  EXPECT_LE(s.percentile(50), s.percentile(90));
+  EXPECT_LE(s.percentile(90), s.percentile(99));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 1000.0);
+}
+
+TEST(Metrics, PercentilesClampToObservedRange) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.observe(100);
+  const HistogramSnapshot s = h.read();
+  // One distinct value: every percentile is that value, not a bucket edge.
+  EXPECT_DOUBLE_EQ(s.percentile(50), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 100.0);
+}
+
+TEST(Metrics, PercentileOfEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.read().percentile(50), 0.0);
+}
+
+TEST(Metrics, PercentilesHandleNonPositiveBucket) {
+  Histogram h;
+  h.observe(-4);
+  h.observe(-4);
+  h.observe(-4);
+  h.observe(8);
+  const HistogramSnapshot s = h.read();
+  // Rank p50 lands in bucket 0 (v <= 0), whose range is [min, 0].
+  EXPECT_GE(s.percentile(50), -4.0);
+  EXPECT_LE(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 8.0);
+}
+
+TEST(Metrics, JsonExportsPercentiles) {
+  metrics().histogram("test.json.pctl").observe(10);
+  const std::string j = metrics().to_json();
+  EXPECT_NE(j.find("\"p50\""), std::string::npos);
+  EXPECT_NE(j.find("\"p90\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
+}
+
 TEST(Metrics, ResetZeroesEverything) {
   Counter& c = metrics().counter("test.reset.counter");
   Histogram& h = metrics().histogram("test.reset.hist");

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/text.h"
@@ -176,6 +177,79 @@ TEST(ThreadPool, ThrowOnCallerThreadAlsoRecovers) {
   int calls = 0;
   pool.run(2, 1, [&](int, int) { ++calls; });  // inline degenerate path
   EXPECT_EQ(calls, 2);
+}
+
+// ---- JSON reader ----
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").boolean);
+  EXPECT_FALSE(Json::parse("false").boolean);
+  EXPECT_DOUBLE_EQ(Json::parse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5e2").number, -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"").str, "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const Json doc = Json::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": "x"}, "e": null})");
+  ASSERT_TRUE(doc.is_object());
+  const Json* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->arr[1].number, 2.0);
+  EXPECT_TRUE(a->arr[2].find("b")->boolean);
+  EXPECT_EQ(doc.find("c")->find("d")->str, "x");
+  EXPECT_TRUE(doc.find("e")->is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, NumberOrFallsBack) {
+  const Json doc = Json::parse(R"({"n": 7, "s": "x"})");
+  EXPECT_DOUBLE_EQ(doc.number_or("n", -1), 7.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("s", -1), -1.0);   // wrong type
+  EXPECT_DOUBLE_EQ(doc.number_or("gone", -1), -1.0);  // missing
+}
+
+TEST(Json, DecodesStringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd")").str, "a\"b\\c\nd");
+  EXPECT_EQ(Json::parse("\"A\\u00e9\"").str, "A\xc3\xa9");  // \u -> UTF-8
+}
+
+TEST(Json, KeepsObjectOrder) {
+  const Json doc = Json::parse(R"({"z": 1, "a": 2})");
+  ASSERT_EQ(doc.obj.size(), 2u);
+  EXPECT_EQ(doc.obj[0].first, "z");
+  EXPECT_EQ(doc.obj[1].first, "a");
+}
+
+TEST(Json, MalformedInputThrowsWithOffset) {
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1, ]"), JsonParseError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW(Json::parse("tru"), JsonParseError);
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);  // trailing content
+  try {
+    Json::parse("[1, ");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, RoundTripsBenchStyleDocument) {
+  const Json doc = Json::parse(R"({
+    "schema": 2, "seed": 24301,
+    "ppsfp": [{"circuit": "diffeq", "gates": 1714, "serial_ms": 12.25}]
+  })");
+  EXPECT_DOUBLE_EQ(doc.number_or("schema", 0), 2.0);
+  const Json* rows = doc.find("ppsfp");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->arr.size(), 1u);
+  EXPECT_EQ(rows->arr[0].find("circuit")->str, "diffeq");
+  EXPECT_DOUBLE_EQ(rows->arr[0].number_or("serial_ms", 0), 12.25);
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 //   tsyn_cli bist <file.cdfg|bench:NAME> [options]    self-testable synthesis
 //   tsyn_cli atpg <file.cdfg|bench:NAME> [options]    full-scan ATPG +
 //                                                     test-set compaction
+//   tsyn_cli report <file.cdfg|bench:NAME> [options]  atpg run with the
+//                                                     fault ledger on ->
+//                                                     JSON/HTML run report
 //   tsyn_cli list                                     list built-in benchmarks
 //
 // Options accept both `--opt value` and `--opt=value`.
@@ -25,13 +28,17 @@
 //   --verilog FILE         write the design as Verilog (- for stdout)
 // bist options:
 //   --arch A               conventional|avra|tfb|xtfb|share (default tfb)
-// atpg options:
-//   --compact MODE         off|static|dynamic (default off)
+// atpg/report options:
+//   --compact MODE         off|static|dynamic (default off; report: static)
 //   --xfill MODE           random|0|1|adjacent (default random)
 //   --width N              gate-level expansion bit width (default 4)
+// report options:
+//   --out FILE             report JSON path (default report.json, - stdout)
+//   --html FILE            also render the self-contained HTML page
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,6 +59,9 @@
 #include "gatelevel/faults.h"
 #include "gatelevel/faultsim.h"
 #include "hls/synthesis.h"
+#include "observe/ledger.h"
+#include "observe/report.h"
+#include "observe/scoap_attr.h"
 #include "rtl/area.h"
 #include "rtl/sgraph.h"
 #include "rtl/verilog.h"
@@ -62,6 +72,10 @@
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/trace.h"
+
+/// Writes `text` to `path`, with "-" meaning stdout (defined below main's
+/// helpers; declared here so commands can emit artifacts).
+bool write_output(const std::string& path, const std::string& text);
 
 namespace {
 
@@ -74,7 +88,7 @@ FILE* g_report = stdout;
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: tsyn_cli <synth|analyze|bist|atpg|list> "
+               "usage: tsyn_cli <synth|analyze|bist|atpg|report|list> "
                "<file.cdfg|bench:NAME> [options]\n"
                "run with no arguments for the option list in the source "
                "header.\n");
@@ -107,9 +121,13 @@ struct Args {
   std::string arch = "tfb";
   std::string trace;
   std::string metrics;
-  std::string compact = "off";
+  /// Empty = per-command default: "off" for atpg, "static" for report
+  /// (a report without compaction phases has nothing to waterfall).
+  std::string compact;
   std::string xfill = "random";
   int width = 4;
+  std::string out = "report.json";
+  std::string html;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -156,6 +174,8 @@ Args parse_args(int argc, char** argv) {
     else if (opt == "--compact") a.compact = value();
     else if (opt == "--xfill") a.xfill = value();
     else if (opt == "--width") a.width = std::stoi(value());
+    else if (opt == "--out") a.out = value();
+    else if (opt == "--html") a.html = value();
     else if (opt == "--log-level") {
       util::LogLevel level;
       if (!util::parse_log_level(value(), &level))
@@ -386,7 +406,8 @@ int cmd_bist(const Args& a) {
 int cmd_atpg(const Args& a) {
   TSYN_SPAN("cli.atpg");
   compaction::CompactionOptions copts;
-  if (!compaction::parse_compact_mode(a.compact, &copts.mode))
+  const std::string compact = a.compact.empty() ? "off" : a.compact;
+  if (!compaction::parse_compact_mode(compact, &copts.mode))
     usage("--compact expects off|static|dynamic");
   if (!compaction::parse_xfill(a.xfill, &copts.xfill))
     usage("--xfill expects random|0|1|adjacent");
@@ -436,13 +457,108 @@ int cmd_atpg(const Args& a) {
   return 0;
 }
 
+/// The atpg flow with the fault-lifecycle ledger enabled, consolidated
+/// into a single JSON artifact (and optionally a self-contained HTML
+/// page): design numbers, campaign results, per-fault journeys, coverage
+/// waterfalls, SCOAP effort attribution, and the metrics registry.
+int cmd_report(const Args& a) {
+  TSYN_SPAN("cli.report");
+  compaction::CompactionOptions copts;
+  const std::string compact = a.compact.empty() ? "static" : a.compact;
+  if (!compaction::parse_compact_mode(compact, &copts.mode))
+    usage("--compact expects off|static|dynamic");
+  if (!compaction::parse_xfill(a.xfill, &copts.xfill))
+    usage("--xfill expects random|0|1|adjacent");
+  if (a.width < 1) usage("--width must be >= 1");
+
+  const cdfg::Cdfg g = load_behavior(a.behavior);
+  hls::SynthesisOptions opts;
+  opts.resources = hls::Resources{{cdfg::FuType::kAlu, a.alu},
+                                  {cdfg::FuType::kMultiplier, a.mul}};
+  opts.num_steps = a.steps;
+  hls::Synthesis syn = hls::synthesize(g, opts);
+  rtl::Datapath dp = syn.rtl.datapath;
+  for (auto& reg : dp.regs) reg.test_kind = rtl::TestRegKind::kScan;
+  gl::ExpandOptions eo;
+  eo.width_override = a.width;
+  const gl::Netlist n = gl::expand_datapath(dp, eo).netlist;
+  const std::vector<gl::Fault> faults = gl::enumerate_faults(n);
+
+  observe::ledger_reset();
+  observe::ledger_enable();
+  const compaction::CompactedCampaign c =
+      compaction::run_compacted_atpg(n, faults, copts);
+  {
+    // Grade the shipped set once more with the matrix grader so the ledger
+    // carries the final n-detect profile under its own phase.
+    observe::LedgerPhase phase("ship.ndetect");
+    (void)compaction::detection_matrix(n, c.patterns, faults);
+  }
+  observe::ledger_disable();
+
+  observe::RunReport r;
+  r.title = g.name() + " w" + std::to_string(a.width) + " " +
+            compaction::to_string(copts.mode);
+  r.behavior = a.behavior;
+  r.compact_mode = compaction::to_string(copts.mode);
+  r.xfill = compaction::to_string(copts.xfill);
+  r.width = a.width;
+  r.gates = n.gate_count();
+  r.pis = static_cast<std::int64_t>(n.primary_inputs().size());
+  r.faults = static_cast<std::int64_t>(faults.size());
+  r.fault_coverage = c.campaign.fault_coverage;
+  r.fault_efficiency = c.campaign.fault_efficiency;
+  r.cubes = c.stats.cubes_generated;
+  r.patterns = static_cast<std::int64_t>(c.patterns.size());
+  r.baseline_patterns = c.baseline_patterns;
+  r.ledger = observe::ledger_snapshot();
+  r.scoap = observe::attribute_scoap(n, r.ledger, /*top_k=*/10);
+  r.metrics_json = util::metrics().to_json();
+
+  if (!write_output(a.out, observe::report_to_json(r) + "\n")) {
+    std::fprintf(stderr, "error: cannot write report to %s\n", a.out.c_str());
+    return 1;
+  }
+  if (a.out != "-")
+    std::fprintf(g_report, "report    : written to %s (%zu journeys, %zu "
+                 "waterfalls)\n",
+                 a.out.c_str(), r.ledger.journeys.size(),
+                 r.ledger.waterfalls.size());
+  if (!a.html.empty()) {
+    if (!write_output(a.html, observe::report_to_html(r))) {
+      std::fprintf(stderr, "error: cannot write HTML report to %s\n",
+                   a.html.c_str());
+      return 1;
+    }
+    if (a.html != "-")
+      std::fprintf(g_report, "html      : written to %s\n", a.html.c_str());
+  }
+  std::fprintf(g_report,
+               "atpg      : %.2f%% coverage, %zu patterns vs %ld baseline\n",
+               100 * c.campaign.fault_coverage, c.patterns.size(),
+               c.baseline_patterns);
+  std::fprintf(g_report,
+               "scoap     : spearman(predicted, effort) = %.3f over %zu "
+               "targeted faults\n",
+               r.scoap.spearman, r.scoap.rows.size());
+  return 0;
+}
+
 }  // namespace
 
-/// Writes `text` to `path`, with "-" meaning stdout. Returns success.
+/// Writes `text` to `path`, with "-" meaning stdout. Missing parent
+/// directories are created, so `--trace out/run/trace.json` works on a
+/// fresh checkout. Returns success.
 bool write_output(const std::string& path, const std::string& text) {
   if (path == "-") {
     std::fwrite(text.data(), 1, text.size(), stdout);
     return true;
+  }
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort; the
+    // open below reports the real failure if this did not help
   }
   std::ofstream out(path);
   if (!out) return false;
@@ -455,6 +571,7 @@ int run_command(const Args& a) {
   if (a.command == "analyze") return cmd_analyze(a);
   if (a.command == "bist") return cmd_bist(a);
   if (a.command == "atpg") return cmd_atpg(a);
+  if (a.command == "report") return cmd_report(a);
   usage(("unknown command: " + a.command).c_str());
 }
 
@@ -466,6 +583,16 @@ int main(int argc, char** argv) {
                   g.name().c_str(), g.num_ops(), g.states().size(),
                   cdfg::cdfg_loops(g).size());
     return 0;
+  }
+  // Two machine-readable outputs aimed at one path would silently
+  // clobber each other (the second write wins); refuse up front. "-" is
+  // also one path: stdout would interleave two JSON documents.
+  if (!a.trace.empty() && a.trace == a.metrics) {
+    std::fprintf(stderr,
+                 "error: --trace and --metrics point at the same output "
+                 "(%s); give them distinct paths\n",
+                 a.trace.c_str());
+    return 2;
   }
   // '-' outputs claim stdout; the human report yields to stderr so the
   // stream a consumer pipes stays pure JSON.
