@@ -1,14 +1,46 @@
 #include "cdfg/dot.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace tsyn::cdfg {
 
-std::string to_dot(const Cdfg& g, const std::vector<VarId>& highlight) {
+namespace {
+
+/// Red -> yellow -> green ramp over [0,1] as a "#rrggbb" hex color (same
+/// stops as rtl/dot.cpp so datapath and CDFG heatmaps read identically).
+std::string heat_color(double v) {
+  if (v < 0) v = 0;
+  if (v > 1) v = 1;
+  const auto lerp = [](int a, int b, double t) {
+    return static_cast<int>(a + (b - a) * t + 0.5);
+  };
+  int r, g, b;
+  if (v < 0.5) {  // #d73027 -> #fee08b
+    r = lerp(0xd7, 0xfe, v * 2), g = lerp(0x30, 0xe0, v * 2),
+    b = lerp(0x27, 0x8b, v * 2);
+  } else {  // #fee08b -> #1a9850
+    r = lerp(0xfe, 0x1a, v * 2 - 1), g = lerp(0xe0, 0x98, v * 2 - 1),
+    b = lerp(0x8b, 0x50, v * 2 - 1);
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_dot(const Cdfg& g, const std::vector<VarId>& highlight,
+                   const std::vector<double>* op_heat) {
   auto highlighted = [&](VarId v) {
     return std::find(highlight.begin(), highlight.end(), v) !=
            highlight.end();
+  };
+  auto heat_of = [&](OpId o) {
+    return op_heat && o >= 0 && o < static_cast<OpId>(op_heat->size())
+               ? (*op_heat)[static_cast<std::size_t>(o)]
+               : -1.0;
   };
   std::ostringstream out;
   out << "digraph \"" << g.name() << "\" {\n"
@@ -31,8 +63,16 @@ std::string to_dot(const Cdfg& g, const std::vector<VarId>& highlight) {
   }
   // Operation nodes and data edges.
   for (const Operation& op : g.ops()) {
-    out << "  o" << op.id << " [label=\"" << to_string(op.kind)
-        << "\", shape=circle, style=filled, fillcolor=lightgray];\n";
+    const double h = heat_of(op.id);
+    out << "  o" << op.id << " [label=\"" << to_string(op.kind);
+    if (h >= 0)
+      out << "\\n" << static_cast<int>(h * 100.0 + 0.5) << "%";
+    out << "\", shape=circle, style=filled, fillcolor=";
+    if (h >= 0)
+      out << "\"" << heat_color(h) << "\"";
+    else
+      out << "lightgray";
+    out << "];\n";
     for (VarId in : op.inputs) out << "  v" << in << " -> o" << op.id
                                    << ";\n";
     out << "  o" << op.id << " -> v" << op.output << ";\n";

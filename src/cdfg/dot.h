@@ -14,7 +14,14 @@ namespace tsyn::cdfg {
 /// Renders the CDFG: operation nodes, variable edges, dashed loop-carried
 /// back edges. Variables in `highlight` (e.g. selected scan variables) are
 /// drawn as doubled red nodes.
+///
+/// `op_heat` (typically observe::op_heat) overlays per-operation fault
+/// coverage: op nodes are re-colored on a red->yellow->green ramp and gain
+/// the coverage percentage; values < 0 (or ops past the vector's end) keep
+/// the plain style. Passing nullptr reproduces the plain rendering
+/// byte-for-byte.
 std::string to_dot(const Cdfg& g,
-                   const std::vector<VarId>& highlight = {});
+                   const std::vector<VarId>& highlight = {},
+                   const std::vector<double>* op_heat = nullptr);
 
 }  // namespace tsyn::cdfg

@@ -153,6 +153,23 @@ namespace {
 
 using rtl::Source;
 
+/// RAII provenance scope: nodes created while alive attribute to `comp`.
+/// No-op when the builder records nothing (comp < 0 attributes to none).
+class ProvScope {
+ public:
+  ProvScope(observe::ProvenanceBuilder& b, const Netlist& n, int comp)
+      : b_(b), n_(n) {
+    b_.push(comp, n_.num_nodes());
+  }
+  ~ProvScope() { b_.pop(n_.num_nodes()); }
+  ProvScope(const ProvScope&) = delete;
+  ProvScope& operator=(const ProvScope&) = delete;
+
+ private:
+  observe::ProvenanceBuilder& b_;
+  const Netlist& n_;
+};
+
 /// Builds all control lines either as free inputs or from a synthesized
 /// controller decode, in the exact signal order of hls::build_rtl.
 class ControlPlane {
@@ -347,8 +364,26 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
   TSYN_SPAN("gl.netlist_expand");
   ExpandedDesign out;
   Netlist& n = out.netlist;
+
+  // Provenance: the component table comes straight from the datapath; the
+  // node attribution streams out of the scopes below. Control lines and
+  // their decode attribute to the mux that consumes them; only the shared
+  // step counter and one-hot belong to the controller component.
+  if (opts.record_provenance)
+    out.provenance =
+        observe::make_component_map(dp, opts.controller != nullptr);
+  observe::ProvenanceBuilder prov(
+      opts.record_provenance ? &out.provenance : nullptr);
+  using observe::CompKind;
+  auto comp = [&](CompKind kind, int index, int port = -1) {
+    return prov.enabled() ? out.provenance.find(kind, index, port) : -1;
+  };
+
   ControlPlane ctl(n, opts);
-  ctl.build_counter(&out.controller_state);
+  {
+    ProvScope scope(prov, n, comp(CompKind::kController, -1));
+    ctl.build_counter(&out.controller_state);
+  }
 
   auto width_of = [&](int w) {
     return opts.width_override > 0 ? opts.width_override : w;
@@ -356,13 +391,18 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
 
   // Primary inputs and constants.
   out.pi_nodes.resize(dp.primary_inputs.size());
-  for (std::size_t i = 0; i < dp.primary_inputs.size(); ++i)
+  for (std::size_t i = 0; i < dp.primary_inputs.size(); ++i) {
+    ProvScope scope(prov, n,
+                    comp(CompKind::kPrimaryInput, static_cast<int>(i)));
     out.pi_nodes[i] = make_input_word(n, dp.primary_inputs[i].name,
                                       width_of(dp.primary_inputs[i].width));
+  }
   std::vector<Word> const_words(dp.constants.size());
-  for (std::size_t i = 0; i < dp.constants.size(); ++i)
+  for (std::size_t i = 0; i < dp.constants.size(); ++i) {
+    ProvScope scope(prov, n, comp(CompKind::kConstant, static_cast<int>(i)));
     const_words[i] = make_const_word(n, dp.constants[i].value,
                                      width_of(dp.constants[i].width));
+  }
 
   // Register Q sides first (so FU inputs can reference them).
   const int num_regs = dp.num_regs();
@@ -374,6 +414,7 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
     const int w = width_of(reg.width);
     scanned[r] =
         opts.respect_scan && reg.test_kind != rtl::TestRegKind::kNone;
+    ProvScope scope(prov, n, comp(CompKind::kRegister, r));
     out.reg_q[r].resize(w);
     for (int i = 0; i < w; ++i) {
       out.reg_q[r][i] =
@@ -406,6 +447,13 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
   std::vector<int> reg_ld_line(num_regs, -1);
   for (int r = 0; r < num_regs; ++r) {
     const rtl::RegisterInfo& reg = dp.regs[r];
+    // Select/load lines (and their decode) belong to the register's input
+    // mux; an undriven register has no mux, so its dangling load line
+    // attributes to the register itself.
+    ProvScope scope(prov, n,
+                    comp(reg.drivers.empty() ? CompKind::kRegister
+                                             : CompKind::kRegMux,
+                         r));
     if (reg.drivers.size() > 1)
       reg_sel_lines[r] = ctl.lines(
           "sel_" + reg.name,
@@ -417,14 +465,22 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
   for (int f = 0; f < dp.num_fus(); ++f) {
     const rtl::FuInfo& fu = dp.fus[f];
     const int w = width_of(fu.width);
+    ProvScope fu_scope(prov, n, comp(CompKind::kFu, f));
     // Port operands through their mux trees.
     std::vector<Word> port_words;
-    for (const auto& drivers : fu.port_drivers) {
+    for (std::size_t p = 0; p < fu.port_drivers.size(); ++p) {
+      const auto& drivers = fu.port_drivers[p];
+      const bool muxed = drivers.size() > 1;
+      // Single-driver ports have no mux component; their wiring (width
+      // adaptation, constants) stays with the FU itself.
+      ProvScope port_scope(prov, n,
+                           muxed ? comp(CompKind::kFuMux, f, static_cast<int>(p))
+                                 : comp(CompKind::kFu, f));
       std::vector<Word> srcs;
       for (const Source& s : drivers) srcs.push_back(word_of_source(s, w));
       std::vector<int> sel;
-      if (srcs.size() > 1)
-        sel = ctl.lines("sel_" + fu.name,
+      if (muxed)
+        sel = ctl.lines("sel_" + fu.name + "_p" + std::to_string(p),
                         select_width(static_cast<int>(srcs.size())));
       port_words.push_back(mux_tree(n, srcs, sel));
     }
@@ -449,6 +505,10 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
   for (int r = 0; r < num_regs; ++r) {
     const rtl::RegisterInfo& reg = dp.regs[r];
     const int w = width_of(reg.width);
+    ProvScope scope(prov, n,
+                    comp(reg.drivers.empty() ? CompKind::kRegister
+                                             : CompKind::kRegMux,
+                         r));
     Word d_word;
     if (reg.drivers.empty()) {
       d_word = out.reg_q[r];  // never written: holds forever
@@ -472,6 +532,11 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
     for (int bit : out.reg_q[po.source.index]) n.mark_output(bit);
 
   out.control_inputs = ctl.free_inputs();
+  prov.finish(n.num_nodes());
+  if (prov.enabled())
+    util::metrics()
+        .gauge("tsyn.provenance.entries")
+        .set(static_cast<double>(out.provenance.num_attributed()));
   n.validate();
   static util::Counter& gates =
       util::metrics().counter("gl.expand.gates_built");

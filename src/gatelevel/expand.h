@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "gatelevel/netlist.h"
+#include "observe/provenance.h"
 #include "rtl/controller.h"
 #include "rtl/datapath.h"
 
@@ -41,6 +42,12 @@ struct ExpandOptions {
   /// Override every component width (0 = keep datapath widths). Gate-level
   /// experiments typically use 4-8 bits to keep fault lists tractable.
   int width_override = 0;
+  /// Record the node -> RTL component provenance map into
+  /// ExpandedDesign::provenance (observe/provenance.h). On by default —
+  /// recording is a serial O(components) bookkeeping pass on top of
+  /// expansion (the <= 2% bench_faultsim_perf budget); set false for
+  /// rigs that churn thousands of expansions.
+  bool record_provenance = true;
 };
 
 /// Expansion result with the cross-reference maps experiments need.
@@ -58,6 +65,10 @@ struct ExpandedDesign {
   std::vector<int> control_inputs;
   /// Counter state FFs of the synthesized controller (empty otherwise).
   std::vector<int> controller_state;
+  /// Node -> RTL component -> CDFG op map (empty when
+  /// ExpandOptions::record_provenance is false). Every node is attributed
+  /// to exactly one component; control lines belong to the mux they feed.
+  observe::ProvenanceMap provenance;
 
   bool sequential() const { return !netlist.flops().empty(); }
 };

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <deque>
+#include <set>
 #include <stdexcept>
 
 namespace tsyn::gl {
@@ -53,9 +54,22 @@ int expected_arity(GateType t) {
 
 }  // namespace
 
+std::string Netlist::unique_name(const std::string& name) {
+  if (name.empty()) return name;
+  auto [it, fresh] = name_uses_.try_emplace(name, 0);
+  if (fresh) return name;
+  // Probe "<name>#k" until free; explicitly inserted "<name>#k" nodes
+  // occupy their slot in the same map, so the loop cannot re-issue them.
+  std::string candidate;
+  do {
+    candidate = name + "#" + std::to_string(++it->second);
+  } while (!name_uses_.try_emplace(candidate, 0).second);
+  return candidate;
+}
+
 int Netlist::add_input(const std::string& name) {
   invalidate_caches();
-  nodes_.push_back({GateType::kInput, {}, name});
+  nodes_.push_back({GateType::kInput, {}, unique_name(name)});
   inputs_.push_back(num_nodes() - 1);
   return num_nodes() - 1;
 }
@@ -155,13 +169,13 @@ int Netlist::add_gate_raw(GateType type, const std::vector<int>& fanins,
     if (f < 0 || f >= num_nodes())
       throw std::runtime_error("bad fanin id");
   invalidate_caches();
-  nodes_.push_back({type, fanins, name});
+  nodes_.push_back({type, fanins, unique_name(name)});
   return num_nodes() - 1;
 }
 
 int Netlist::add_dff(int d_fanin, const std::string& name) {
   invalidate_caches();
-  nodes_.push_back({GateType::kDff, {d_fanin}, name});
+  nodes_.push_back({GateType::kDff, {d_fanin}, unique_name(name)});
   flops_.push_back(num_nodes() - 1);
   return num_nodes() - 1;
 }
@@ -249,6 +263,14 @@ void Netlist::validate() const {
       if (f < 0 || f >= num_nodes())
         throw std::runtime_error("dangling fanin");
   }
+#ifndef NDEBUG
+  {
+    // Non-empty names must be unique — provenance and reports key on them.
+    std::set<std::string> seen;
+    for (const Node& n : nodes_)
+      assert(n.name.empty() || seen.insert(n.name).second);
+  }
+#endif
   topo_order();  // throws on combinational cycles
 }
 

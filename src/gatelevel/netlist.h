@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,9 @@ struct Bits {
 
 class Netlist {
  public:
+  // Node names are a reporting/provenance key, so non-empty names are kept
+  // unique: a second insertion of name N lands as "N#1", then "N#2", ...
+  // (validate() asserts uniqueness in debug builds).
   int add_input(const std::string& name = "");
   int add_const(bool value);
   int add_gate(GateType type, const std::vector<int>& fanins,
@@ -88,8 +92,12 @@ class Netlist {
 
  private:
   void invalidate_caches();
+  /// Returns `name` unchanged on first use, "<name>#k" on collisions.
+  std::string unique_name(const std::string& name);
 
   std::vector<Node> nodes_;
+  /// Per base name: next collision suffix (0 = only the base used so far).
+  std::map<std::string, int> name_uses_;
   std::vector<int> inputs_;
   std::vector<int> outputs_;
   std::vector<int> flops_;

@@ -106,24 +106,39 @@ RtlDesign build_rtl(const cdfg::Cdfg& g, const Schedule& s,
     }
     fu.width = width == 0 ? 16 : width;
     fu.port_drivers.resize(ports);
+    fu.port_driver_ops.resize(ports);
     fu.op_kinds = fu_op_kinds(g, fu.ops);
   }
-  // (op, port) -> driver index on that port, for the controller.
+  // (op, port) -> driver index on that port, for the controller. The same
+  // walk records the provenance cross reference: which ops read through
+  // each port-mux leg.
   std::vector<std::vector<int>> op_port_driver(g.num_ops());
   for (cdfg::OpId o = 0; o < g.num_ops(); ++o) {
     const cdfg::Operation& op = g.op(o);
     if (b.fu_of_op[o] < 0) continue;  // copy: wires, handled at registers
     rtl::FuInfo& fu = dp.fus[b.fu_of_op[o]];
     op_port_driver[o].resize(op.inputs.size());
-    for (std::size_t p = 0; p < op.inputs.size(); ++p)
-      op_port_driver[o][p] =
+    for (std::size_t p = 0; p < op.inputs.size(); ++p) {
+      const int driver =
           find_or_add_source(fu.port_drivers[p], source_of_var(op.inputs[p]));
+      op_port_driver[o][p] = driver;
+      auto& port_ops = fu.port_driver_ops[p];
+      if (static_cast<int>(port_ops.size()) <= driver)
+        port_ops.resize(static_cast<std::size_t>(driver) + 1);
+      port_ops[static_cast<std::size_t>(driver)].push_back(o);
+    }
   }
 
-  // Register drivers and write events.
+  // Register drivers and write events. `op` is the CDFG op whose result
+  // the write carries (-1 for op-less writes: primary-input reloads and
+  // state transfers of unoperated values), recorded for provenance.
   std::vector<std::vector<WriteEvent>> writes(b.num_regs);
-  auto add_write = [&](int reg, const Source& src, int step) {
+  auto add_write = [&](int reg, const Source& src, int step, cdfg::OpId op) {
     const int driver = find_or_add_source(dp.regs[reg].drivers, src);
+    auto& driver_ops = dp.regs[reg].driver_ops;
+    if (static_cast<int>(driver_ops.size()) <= driver)
+      driver_ops.resize(static_cast<std::size_t>(driver) + 1);
+    if (op >= 0) driver_ops[static_cast<std::size_t>(driver)].push_back(op);
     for (const WriteEvent& w : writes[reg])
       if (w.step == step && w.driver != driver)
         throw std::runtime_error("write conflict on register " +
@@ -142,20 +157,24 @@ RtlDesign build_rtl(const cdfg::Cdfg& g, const Schedule& s,
       if (var.kind == cdfg::VarKind::kPrimaryInput) {
         // Reloaded from the pad at the iteration boundary.
         add_write(reg, {Source::Kind::kPrimaryInput, pi_index[v]},
-                  last_step);
+                  last_step, /*op=*/-1);
       } else if (var.kind == cdfg::VarKind::kTemp) {
         const cdfg::Operation& def = g.op(var.def_op);
         const int step = s.step_of_op[var.def_op];
         if (def.kind == cdfg::OpKind::kCopy) {
-          add_write(reg, source_of_var(def.inputs[0]), step);
+          add_write(reg, source_of_var(def.inputs[0]), step, var.def_op);
         } else {
-          add_write(reg, {Source::Kind::kFu, b.fu_of_op[var.def_op]}, step);
+          add_write(reg, {Source::Kind::kFu, b.fu_of_op[var.def_op]}, step,
+                    var.def_op);
         }
       }
       // kState without transfer: covered by its merged update temp.
     }
-    if (life.transfer_from >= 0)
-      add_write(reg, source_of_var(life.transfer_from), last_step);
+    if (life.transfer_from >= 0) {
+      const cdfg::Variable& tv = g.var(life.transfer_from);
+      add_write(reg, source_of_var(life.transfer_from), last_step,
+                tv.kind == cdfg::VarKind::kTemp ? tv.def_op : -1);
+    }
   }
 
   // Primary outputs.
@@ -165,6 +184,22 @@ RtlDesign build_rtl(const cdfg::Cdfg& g, const Schedule& s,
     dp.primary_outputs.push_back(
         {g.var(v).name + "_out", {Source::Kind::kRegister, reg}});
   }
+
+  // Normalize the provenance cross references: fully parallel to the
+  // driver lists, each sub-list sorted and deduped.
+  auto normalize = [](std::vector<std::vector<cdfg::OpId>>& lists,
+                      std::size_t count) {
+    lists.resize(count);
+    for (auto& ops : lists) {
+      std::sort(ops.begin(), ops.end());
+      ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+    }
+  };
+  for (rtl::RegisterInfo& reg : dp.regs)
+    normalize(reg.driver_ops, reg.drivers.size());
+  for (rtl::FuInfo& fu : dp.fus)
+    for (std::size_t p = 0; p < fu.port_drivers.size(); ++p)
+      normalize(fu.port_driver_ops[p], fu.port_drivers[p].size());
   dp.validate();
 
   // ---- controller ----

@@ -1,0 +1,248 @@
+// Cross-layer provenance: gate -> RTL component -> CDFG operation.
+//
+// The survey's thesis is that testability is decided at the behavioral
+// level, yet every measurement we take lands at the gate level: a fault is
+// a (node, pin, polarity) triple with a lossy name string. The provenance
+// map closes that gap structurally. During gl::expand every created node
+// is attributed to exactly one RTL component (register, register input
+// mux, FU, FU port mux, controller, primary-input pad, constant), and
+// hls::build_rtl records which CDFG ops each component serves (the ops a
+// register's drivers write, the ops an FU executes, the ops that read
+// through each port-mux leg). Joining the PR-4 fault ledger against the
+// map then answers the paper's actual question — *which synthesis
+// decision* cost us coverage — as per-component and per-op fault coverage.
+//
+// Determinism contract: the map is built serially during expansion, the
+// ledger snapshot is already byte-identical across thread counts, and the
+// join below is a deterministic fold over both — so provenance_to_json()
+// is byte-identical at any thread count, like ledger_to_json().
+//
+// Layering: this header depends on rtl/cdfg only (no gatelevel types),
+// mirroring how the ledger sits below the engines that feed it. Node ids
+// are plain ints; gl::expand populates them through ProvenanceBuilder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/ir.h"
+#include "rtl/datapath.h"
+
+namespace tsyn::observe {
+
+struct LedgerSnapshot;  // observe/ledger.h
+
+/// RTL component classes a gate can originate from.
+enum class CompKind : std::uint8_t {
+  kController,    ///< step counter + one-hot decode (shared control logic)
+  kPrimaryInput,  ///< input pad word
+  kConstant,      ///< tied constant word
+  kRegister,      ///< register bits (Q flops / scan ports)
+  kRegMux,        ///< a register's input mux tree + hold mux + its controls
+  kFu,            ///< a functional unit's arithmetic + opcode mux
+  kFuMux,         ///< one FU operand port's mux tree + its select lines
+};
+
+const char* to_string(CompKind k);
+
+struct ProvComponent {
+  CompKind kind = CompKind::kFu;
+  /// Index into the datapath's regs/fus/primary_inputs/constants; -1 for
+  /// the controller.
+  int index = -1;
+  /// Operand port for kFuMux; -1 otherwise.
+  int port = -1;
+  /// Stable human key: register/FU/pad name, "<reg>.in", "<fu>.p<k>",
+  /// or "ctl".
+  std::string name;
+  /// CDFG ops bound onto this component (sorted, deduped): the ops an FU
+  /// executes, the ops whose results a register mux routes, the ops that
+  /// read an operand through a port mux, the readers+writers of a
+  /// register. Empty only for the controller (it serves every op) and for
+  /// datapaths built without hls::build_rtl's cross references.
+  std::vector<cdfg::OpId> ops;
+  /// Variables stored in the component (registers only; sorted).
+  std::vector<cdfg::VarId> vars;
+};
+
+/// The map itself: the component table plus one component id per netlist
+/// node (-1 = unattributed, which expand never produces).
+struct ProvenanceMap {
+  std::vector<ProvComponent> components;
+  std::vector<std::int32_t> comp_of_node;
+  /// Optional per-op labels, filled by annotate_ops for reports/explain.
+  std::vector<std::string> op_label;
+
+  bool empty() const { return components.empty(); }
+  int component_of(int node) const {
+    return node >= 0 && node < static_cast<int>(comp_of_node.size())
+               ? comp_of_node[static_cast<std::size_t>(node)]
+               : -1;
+  }
+  /// Linear scan by identity; the table is small (O(datapath)).
+  int find(CompKind kind, int index, int port = -1) const;
+  std::int64_t num_attributed() const;
+  /// 1 + the largest op id any component references (0 when none).
+  int num_ops() const;
+};
+
+/// Derives the component table from the datapath structure, including the
+/// RTL->CDFG cross references hls::build_rtl records (driver_ops /
+/// port_driver_ops). Missing or mis-sized cross references (hand-built
+/// datapaths, post-build transforms that add drivers) degrade to empty op
+/// lists rather than failing. comp_of_node stays empty — gl::expand fills
+/// it through ProvenanceBuilder.
+ProvenanceMap make_component_map(const rtl::Datapath& dp,
+                                 bool with_controller);
+
+/// Streams node-range attribution during netlist construction. The
+/// expander opens a component scope, builds gates, and closes it; every
+/// node created while a scope is open is attributed to the innermost open
+/// component. Scopes nest (controller decode built while a mux component
+/// is open attributes to the mux — the consumer owns its control lines).
+/// Constructed with nullptr the builder is a no-op.
+class ProvenanceBuilder {
+ public:
+  explicit ProvenanceBuilder(ProvenanceMap* map) : map_(map) {}
+
+  /// Enters component `comp` for nodes created from id `num_nodes` on.
+  void push(int comp, int num_nodes) {
+    if (!map_) return;
+    flush(num_nodes);
+    stack_.push_back(comp);
+  }
+  /// Leaves the innermost component; nodes up to `num_nodes` belong to it.
+  void pop(int num_nodes) {
+    if (!map_) return;
+    flush(num_nodes);
+    stack_.pop_back();
+  }
+  /// Final flush; sizes comp_of_node to exactly `num_nodes`.
+  void finish(int num_nodes) {
+    if (!map_) return;
+    flush(num_nodes);
+  }
+  bool enabled() const { return map_ != nullptr; }
+
+ private:
+  /// resize's fill value attributes exactly the nodes created since the
+  /// last flush to the component that was open while they were built.
+  void flush(int num_nodes) {
+    const std::int32_t comp =
+        stack_.empty() ? -1 : static_cast<std::int32_t>(stack_.back());
+    map_->comp_of_node.resize(static_cast<std::size_t>(num_nodes), comp);
+  }
+
+  ProvenanceMap* map_ = nullptr;
+  std::vector<int> stack_;
+};
+
+/// Fills map.op_label with one-line descriptions of every referenced op —
+/// "o3 x1 = mul(x, dx) @s2" — reconstructed from the CDFG (the textual
+/// form ops are written in, i.e. the behavioral source line). Pass the
+/// schedule's step_of_op for the "@s<k>" suffix, or nullptr to omit it.
+void annotate_ops(ProvenanceMap& map, const cdfg::Cdfg& g,
+                  const std::vector<int>* step_of_op = nullptr);
+
+// ---------------------------------------------------------------------------
+// Coverage attribution: ledger join
+// ---------------------------------------------------------------------------
+
+/// Exact per-component rollup: every ledger fault lands in exactly one
+/// component, so the integer counts below sum to the ledger's totals.
+struct ComponentCoverage {
+  std::int64_t faults = 0;
+  std::int64_t detected = 0;    ///< own-test detections
+  std::int64_t dropped = 0;     ///< detected by another fault's test
+  std::int64_t redundant = 0;
+  std::int64_t aborted = 0;
+  std::int64_t undetected = 0;
+  std::int64_t decisions = 0;   ///< summed ATPG effort
+  std::int64_t backtracks = 0;
+  std::int64_t sim_events = 0;
+  /// Covered / coverable, the campaign's definition: detected + dropped
+  /// over all faults (redundant faults count against, like
+  /// AtpgCampaign::fault_coverage).
+  double coverage() const {
+    return faults > 0
+               ? static_cast<double>(detected + dropped) /
+                     static_cast<double>(faults)
+               : 0.0;
+  }
+};
+
+/// Per-op rollup. A fault belongs to one component but a component serves
+/// several ops, so each fault contributes weight 1/|ops(component)| to
+/// every op of its component; the weighted sums over all ops plus the
+/// unattributed bucket reconcile exactly with the global counts.
+struct OpCoverage {
+  std::int64_t faults = 0;    ///< raw overlapping count
+  std::int64_t covered = 0;   ///< detected + dropped, overlapping
+  double faults_w = 0.0;      ///< weighted share of the fault universe
+  double covered_w = 0.0;
+  double coverage() const {
+    return faults > 0
+               ? static_cast<double>(covered) / static_cast<double>(faults)
+               : 0.0;
+  }
+};
+
+struct ProvenanceAttribution {
+  /// Parallel to ProvenanceMap::components.
+  std::vector<ComponentCoverage> components;
+  /// Indexed by op id (size = map.num_ops()); ops no component references
+  /// stay all-zero.
+  std::vector<OpCoverage> ops;
+  /// Ledger totals restated (faults = journeys joined).
+  std::int64_t total_faults = 0;
+  std::int64_t total_covered = 0;  ///< detected + dropped
+  /// Journeys whose node resolved to no component (0 for expand-produced
+  /// maps; nonzero means the map and netlist are out of sync).
+  std::int64_t orphan_faults = 0;
+  /// Weighted mass from components with no op cross reference (the
+  /// controller, or unrecorded datapaths).
+  double unattributed_faults_w = 0.0;
+  double unattributed_covered_w = 0.0;
+  /// Component indices sorted by ascending coverage (worst first), ties by
+  /// more faults, then index; components with no faults excluded.
+  std::vector<int> worst_components;
+};
+
+/// Joins the ledger's per-fault journeys against the map. Deterministic:
+/// a pure fold over two already-deterministic structures. Also publishes
+/// the tsyn.provenance.entries gauge and the provenance.attr.join
+/// histogram (per-component joined fault counts) to the metrics registry.
+ProvenanceAttribution attribute_coverage(const ProvenanceMap& map,
+                                         const LedgerSnapshot& ledger);
+
+/// The provenance report section:
+///   {"schema": 1,
+///    "summary": {"components":N, "attributed_nodes":N, "faults":N,
+///                "covered":N, "orphans":0, ...},
+///    "components": [{"name":..., "kind":..., "faults":..., ...}, ...],
+///    "ops": [{"op":K, "label":..., "faults":..., "faults_w":..., ...}],
+///    "worst_components": [idx, ...]}
+/// Byte-identical across thread counts for deterministic workloads.
+std::string provenance_to_json(const ProvenanceMap& map,
+                               const ProvenanceAttribution& attr);
+
+// ---------------------------------------------------------------------------
+// Heatmap overlays
+// ---------------------------------------------------------------------------
+
+/// Per-register coverage in [0,1] for rtl::datapath_to_dot's overlay,
+/// merging each register's kRegister and kRegMux components; -1 where no
+/// faults attribute.
+std::vector<double> register_heat(const ProvenanceMap& map,
+                                  const ProvenanceAttribution& attr,
+                                  int num_regs);
+/// Per-FU coverage, merging kFu with that FU's kFuMux components.
+std::vector<double> fu_heat(const ProvenanceMap& map,
+                            const ProvenanceAttribution& attr, int num_fus);
+/// Per-op weighted coverage for cdfg::to_dot's overlay; -1 for ops with no
+/// attributed faults.
+std::vector<double> op_heat(const ProvenanceMap& map,
+                            const ProvenanceAttribution& attr, int num_ops);
+
+}  // namespace tsyn::observe

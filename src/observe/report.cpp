@@ -80,6 +80,9 @@ std::string report_to_json(const RunReport& r) {
     append_scoap_row_json(os, r.scoap.rows[static_cast<std::size_t>(idx)]);
   }
   os << "]},\n";
+  if (!r.provenance.empty())
+    os << "  \"provenance\": "
+       << provenance_to_json(r.provenance, r.attribution) << ",\n";
   os << "  \"metrics\": "
      << (r.metrics_json.empty() ? std::string("{}") : r.metrics_json);
   os << "\n}\n";
@@ -304,6 +307,75 @@ std::string report_to_html(const RunReport& r) {
     }
     os << "</table>\n<p>Rows are the faults SCOAP mispredicted hardest "
           "(largest rank gap either way).</p>\n";
+  }
+
+  if (!r.provenance.empty()) {
+    const ProvenanceMap& pm = r.provenance;
+    const ProvenanceAttribution& pa = r.attribution;
+    os << "<h2>Provenance — coverage by RTL component</h2>\n";
+    os << "<p>Every collapsed fault attributed to the RTL component whose "
+          "expansion created the faulted gate ("
+       << pm.components.size() << " components, " << pm.num_attributed()
+       << " of " << pm.comp_of_node.size()
+       << " nodes attributed); worst components first.</p>\n";
+    std::vector<int> comp_rows = pa.worst_components;
+    if (comp_rows.size() > 10) comp_rows.resize(10);
+    if (!comp_rows.empty()) {
+      os << "<table>\n<tr><th>component</th><th>kind</th>"
+            "<th class=\"num\">faults</th><th class=\"num\">detected</th>"
+            "<th class=\"num\">dropped</th><th class=\"num\">undetected</th>"
+            "<th class=\"num\">aborted</th><th class=\"num\">redundant</th>"
+            "<th class=\"num\">decisions</th><th class=\"num\">coverage</th>"
+            "</tr>\n";
+      for (int idx : comp_rows) {
+        const ProvComponent& comp = pm.components[static_cast<std::size_t>(idx)];
+        const ComponentCoverage& c =
+            pa.components[static_cast<std::size_t>(idx)];
+        os << "<tr><td>" << html_escape(comp.name) << "</td><td>"
+           << to_string(comp.kind) << "</td><td class=\"num\">" << c.faults
+           << "</td><td class=\"num\">" << c.detected
+           << "</td><td class=\"num\">" << c.dropped
+           << "</td><td class=\"num\">" << c.undetected
+           << "</td><td class=\"num\">" << c.aborted
+           << "</td><td class=\"num\">" << c.redundant
+           << "</td><td class=\"num\">" << c.decisions
+           << "</td><td class=\"num\">" << fmt_pct(100.0 * c.coverage())
+           << "</td></tr>\n";
+      }
+      os << "</table>\n";
+    }
+
+    os << "<h2>Provenance — coverage by CDFG operation</h2>\n"
+       << "<p>Component counts fanned out to the operations each component "
+          "serves (weight 1/|ops| per fault, so the weighted column sums "
+          "to the fault universe";
+    if (pa.unattributed_faults_w > 0)
+      os << "; " << fmt_double(pa.unattributed_faults_w)
+         << " weighted faults sit in op-less components such as the "
+            "controller";
+    os << ").</p>\n";
+    bool any_op = false;
+    for (std::size_t o = 0; o < pa.ops.size(); ++o) {
+      const OpCoverage& oc = pa.ops[o];
+      if (oc.faults == 0) continue;
+      if (!any_op) {
+        os << "<table>\n<tr><th>op</th><th>source line</th>"
+              "<th class=\"num\">faults (overlapping)</th>"
+              "<th class=\"num\">weighted share</th>"
+              "<th class=\"num\">coverage</th></tr>\n";
+        any_op = true;
+      }
+      const std::string label =
+          o < pm.op_label.size() && !pm.op_label[o].empty()
+              ? pm.op_label[o]
+              : "o" + std::to_string(o);
+      os << "<tr><td>o" << o << "</td><td><code>" << html_escape(label)
+         << "</code></td><td class=\"num\">" << oc.faults
+         << "</td><td class=\"num\">" << fmt_double(oc.faults_w)
+         << "</td><td class=\"num\">" << fmt_pct(100.0 * oc.coverage())
+         << "</td></tr>\n";
+    }
+    if (any_op) os << "</table>\n";
   }
 
   os << "</body>\n</html>\n";

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "observe/ledger.h"
+#include "observe/provenance.h"
 #include "observe/scoap_attr.h"
 
 namespace tsyn::observe {
@@ -34,14 +35,22 @@ struct RunReport {
   std::int64_t baseline_patterns = 0;   ///< uncompacted reference
   LedgerSnapshot ledger;
   ScoapAttribution scoap;
+  /// Cross-layer provenance: the gate->component->op map recorded during
+  /// expansion and its ledger join. Leave the map empty (the default) when
+  /// the pipeline ran with record_provenance off — the report then simply
+  /// omits the provenance section.
+  ProvenanceMap provenance;
+  ProvenanceAttribution attribution;
   std::string metrics_json;  ///< util::metrics().to_json(), embedded raw
 };
 
 /// The consolidated JSON artifact:
 ///   {"schema": 1, "tool": "tsyn", "title": ..., "design": {...},
-///    "atpg": {...}, "ledger": {...}, "scoap": {...}, "metrics": {...}}
-/// `ledger` embeds ledger_to_json(report.ledger) verbatim, so the
-/// determinism contract carries through.
+///    "atpg": {...}, "ledger": {...}, "scoap": {...},
+///    "provenance": {...}, "metrics": {...}}
+/// `ledger` embeds ledger_to_json(report.ledger) verbatim and
+/// `provenance` embeds provenance_to_json (present only when the map was
+/// recorded), so the determinism contracts carry through.
 std::string report_to_json(const RunReport& r);
 
 /// Self-contained HTML rendering of the same data.

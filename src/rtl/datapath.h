@@ -51,6 +51,13 @@ struct RegisterInfo {
   std::vector<Source> drivers;
   /// Variables stored here over the schedule (reporting/trace).
   std::vector<cdfg::VarId> vars;
+  /// Provenance cross reference, parallel to `drivers` when recorded by
+  /// hls::build_rtl: the CDFG ops whose results arrive through each driver
+  /// (sorted, deduped; empty sub-list for op-less writes such as
+  /// primary-input reloads). May be empty or shorter than `drivers` on
+  /// hand-built datapaths or after transforms that add drivers — consumers
+  /// must treat missing entries as unrecorded, not fail.
+  std::vector<std::vector<cdfg::OpId>> driver_ops;
 };
 
 struct FuInfo {
@@ -64,6 +71,11 @@ struct FuInfo {
   /// Distinct operation kinds this unit implements, sorted; the opcode
   /// control signal (if any) indexes into this list.
   std::vector<cdfg::OpKind> op_kinds;
+  /// Provenance cross reference, parallel to `port_drivers` when recorded
+  /// by hls::build_rtl: per port, per driver, the CDFG ops that read their
+  /// operand through that driver (sorted, deduped). Same degrade-to-empty
+  /// contract as RegisterInfo::driver_ops.
+  std::vector<std::vector<std::vector<cdfg::OpId>>> port_driver_ops;
 };
 
 struct PrimaryInputInfo {

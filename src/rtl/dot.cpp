@@ -1,5 +1,6 @@
 #include "rtl/dot.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "rtl/sgraph.h"
@@ -20,23 +21,71 @@ std::string reg_color(TestRegKind k) {
   return "white";
 }
 
+double heat_value(const std::vector<double>& heat, int i) {
+  return i >= 0 && i < static_cast<int>(heat.size())
+             ? heat[static_cast<std::size_t>(i)]
+             : -1.0;
+}
+
+/// Red -> yellow -> green ramp over [0,1] as a "#rrggbb" hex color.
+std::string heat_color(double v) {
+  if (v < 0) v = 0;
+  if (v > 1) v = 1;
+  const auto lerp = [](int a, int b, double t) {
+    return static_cast<int>(a + (b - a) * t + 0.5);
+  };
+  int r, g, b;
+  if (v < 0.5) {  // #d73027 -> #fee08b
+    r = lerp(0xd7, 0xfe, v * 2), g = lerp(0x30, 0xe0, v * 2),
+    b = lerp(0x27, 0x8b, v * 2);
+  } else {  // #fee08b -> #1a9850
+    r = lerp(0xfe, 0x1a, v * 2 - 1), g = lerp(0xe0, 0x98, v * 2 - 1),
+    b = lerp(0x8b, 0x50, v * 2 - 1);
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+/// "87%" with round-half-up — deterministic across platforms.
+std::string heat_pct(double v) {
+  return std::to_string(static_cast<int>(v * 100.0 + 0.5)) + "%";
+}
+
 }  // namespace
 
-std::string datapath_to_dot(const Datapath& dp) {
+std::string datapath_to_dot(const Datapath& dp, const DatapathHeat* heat) {
   std::ostringstream out;
   out << "digraph \"" << dp.name << "\" {\n  rankdir=LR;\n"
       << "  node [fontsize=10];\n";
   for (std::size_t i = 0; i < dp.primary_inputs.size(); ++i)
     out << "  pi" << i << " [label=\"" << dp.primary_inputs[i].name
         << "\", shape=invtriangle];\n";
-  for (int r = 0; r < dp.num_regs(); ++r)
+  for (int r = 0; r < dp.num_regs(); ++r) {
+    const double h = heat ? heat_value(heat->reg, r) : -1.0;
     out << "  r" << r << " [label=\"" << dp.regs[r].name << "\\n"
-        << to_string(dp.regs[r].test_kind)
-        << "\", shape=box, style=filled, fillcolor="
-        << reg_color(dp.regs[r].test_kind) << "];\n";
-  for (int f = 0; f < dp.num_fus(); ++f)
-    out << "  f" << f << " [label=\"" << dp.fus[f].name
-        << "\", shape=trapezium, style=filled, fillcolor=lightgray];\n";
+        << to_string(dp.regs[r].test_kind);
+    if (h >= 0) out << "\\n" << heat_pct(h);
+    out << "\", shape=box, style=filled, fillcolor=";
+    // Hex colors need quoting; plain named colors stay unquoted so the
+    // no-heat rendering is byte-identical to what it always was.
+    if (h >= 0)
+      out << "\"" << heat_color(h) << "\"";
+    else
+      out << reg_color(dp.regs[r].test_kind);
+    out << "];\n";
+  }
+  for (int f = 0; f < dp.num_fus(); ++f) {
+    const double h = heat ? heat_value(heat->fu, f) : -1.0;
+    out << "  f" << f << " [label=\"" << dp.fus[f].name;
+    if (h >= 0) out << "\\n" << heat_pct(h);
+    out << "\", shape=trapezium, style=filled, fillcolor=";
+    if (h >= 0)
+      out << "\"" << heat_color(h) << "\"";
+    else
+      out << "lightgray";
+    out << "];\n";
+  }
 
   auto src_name = [&](const Source& s) -> std::string {
     switch (s.kind) {

@@ -2,14 +2,28 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "rtl/datapath.h"
 
 namespace tsyn::rtl {
 
+/// Fault-coverage overlay for datapath_to_dot: one value in [0,1] per
+/// register / FU (typically observe::register_heat / observe::fu_heat),
+/// -1 or missing = no data (node keeps its structural color). Covered
+/// components render green, uncovered red.
+struct DatapathHeat {
+  std::vector<double> reg;
+  std::vector<double> fu;
+};
+
 /// Structural view: registers, FUs, and the driver edges between them.
-/// Scan/BIST registers are colored by role.
-std::string datapath_to_dot(const Datapath& dp);
+/// Scan/BIST registers are colored by role. With `heat`, nodes are
+/// re-colored on a red->yellow->green coverage ramp and labels gain the
+/// coverage percentage; without it the output is byte-identical to the
+/// plain rendering.
+std::string datapath_to_dot(const Datapath& dp,
+                            const DatapathHeat* heat = nullptr);
 
 /// S-graph view: one node per register, an edge per combinational path;
 /// scanned registers dashed.

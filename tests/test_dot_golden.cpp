@@ -1,0 +1,138 @@
+// Golden-file tests for the DOT writers: the plain renderings of
+// rtl::datapath_to_dot and cdfg::to_dot must stay byte-stable, and the
+// coverage-heatmap overlays must produce exactly the committed output for
+// a fixed synthetic heat vector.
+//
+// Regenerate after an intentional format change with
+//   TSYN_REGEN_GOLDEN=1 ctest -R test_dot_golden
+// and commit the updated files under tests/data/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cdfg/benchmarks.h"
+#include "cdfg/dot.h"
+#include "hls/synthesis.h"
+#include "rtl/dot.h"
+
+namespace tsyn {
+namespace {
+
+/// Locates the committed golden `name`, probing the configured source-tree
+/// data dir first, then the relative fallbacks older tests use.
+std::string data_path(const std::string& name) {
+  std::vector<std::string> candidates;
+#ifdef TSYN_TEST_DATA_DIR
+  candidates.push_back(std::string(TSYN_TEST_DATA_DIR) + "/" + name);
+#endif
+  candidates.push_back("../data/" + name);
+  candidates.push_back("data/" + name);
+  for (const std::string& path : candidates) {
+    if (std::ifstream(path).good()) return path;
+  }
+  return candidates.front();  // regen mode writes here
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Compares `rendered` against the golden, or rewrites the golden when
+/// TSYN_REGEN_GOLDEN is set.
+void check_golden(const std::string& name, const std::string& rendered) {
+  const std::string path = data_path(name);
+  if (std::getenv("TSYN_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream probe(path);
+  if (!probe.good())
+    GTEST_SKIP() << "golden " << path
+                 << " not found (run with TSYN_REGEN_GOLDEN=1 to create)";
+  EXPECT_EQ(read_file(path), rendered)
+      << "DOT output drifted from golden " << name
+      << "; regenerate with TSYN_REGEN_GOLDEN=1 if intentional";
+}
+
+/// The fixture design: default-synthesis diffeq, fully deterministic.
+const hls::Synthesis& diffeq_syn() {
+  static const hls::Synthesis syn = hls::synthesize(cdfg::diffeq(), {});
+  return syn;
+}
+
+/// Synthetic heat: a deterministic ramp with one no-data entry, so the
+/// golden exercises the full color range plus the -1 passthrough.
+std::vector<double> ramp(int n, int no_data_at) {
+  std::vector<double> h(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    h[static_cast<std::size_t>(i)] =
+        i == no_data_at ? -1.0 : static_cast<double>(i) / std::max(n - 1, 1);
+  return h;
+}
+
+TEST(DotGolden, DatapathPlain) {
+  check_golden("diffeq_datapath.dot",
+               rtl::datapath_to_dot(diffeq_syn().rtl.datapath));
+}
+
+TEST(DotGolden, DatapathHeatmap) {
+  const rtl::Datapath& dp = diffeq_syn().rtl.datapath;
+  rtl::DatapathHeat heat;
+  heat.reg = ramp(dp.num_regs(), 1);
+  heat.fu = ramp(dp.num_fus(), -1);
+  check_golden("diffeq_datapath_heat.dot", rtl::datapath_to_dot(dp, &heat));
+}
+
+TEST(DotGolden, CdfgPlain) {
+  check_golden("diffeq_cdfg.dot", cdfg::to_dot(cdfg::diffeq()));
+}
+
+TEST(DotGolden, CdfgHeatmap) {
+  const cdfg::Cdfg g = cdfg::diffeq();
+  const std::vector<double> heat = ramp(g.num_ops(), 2);
+  check_golden("diffeq_cdfg_heat.dot", cdfg::to_dot(g, {}, &heat));
+}
+
+// The overlay contract, independent of golden files: no heat pointer,
+// an empty heat, and an all-no-data heat must all render the plain bytes.
+TEST(DotOverlay, NoDataHeatIsByteIdenticalToPlain) {
+  const rtl::Datapath& dp = diffeq_syn().rtl.datapath;
+  const std::string plain = rtl::datapath_to_dot(dp);
+  rtl::DatapathHeat empty;
+  EXPECT_EQ(rtl::datapath_to_dot(dp, &empty), plain);
+  rtl::DatapathHeat none;
+  none.reg.assign(static_cast<std::size_t>(dp.num_regs()), -1.0);
+  none.fu.assign(static_cast<std::size_t>(dp.num_fus()), -1.0);
+  EXPECT_EQ(rtl::datapath_to_dot(dp, &none), plain);
+
+  const cdfg::Cdfg g = cdfg::diffeq();
+  const std::string cplain = cdfg::to_dot(g);
+  const std::vector<double> cnone(static_cast<std::size_t>(g.num_ops()),
+                                  -1.0);
+  EXPECT_EQ(cdfg::to_dot(g, {}, &cnone), cplain);
+}
+
+TEST(DotOverlay, RampEndpointsUseAnchorColors) {
+  const rtl::Datapath& dp = diffeq_syn().rtl.datapath;
+  rtl::DatapathHeat heat;
+  heat.reg.assign(static_cast<std::size_t>(dp.num_regs()), 0.0);
+  heat.fu.assign(static_cast<std::size_t>(dp.num_fus()), 1.0);
+  const std::string dot = rtl::datapath_to_dot(dp, &heat);
+  EXPECT_NE(dot.find("#d73027"), std::string::npos);  // 0% -> red
+  EXPECT_NE(dot.find("#1a9850"), std::string::npos);  // 100% -> green
+  EXPECT_NE(dot.find("0%"), std::string::npos);
+  EXPECT_NE(dot.find("100%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsyn

@@ -8,6 +8,10 @@
 //   tsyn_cli report <file.cdfg|bench:NAME> [options]  atpg run with the
 //                                                     fault ledger on ->
 //                                                     JSON/HTML run report
+//   tsyn_cli explain <file.cdfg|bench:NAME> [options] trace faults back
+//                                                     through the provenance
+//                                                     map: gate -> RTL
+//                                                     component -> CDFG op
 //   tsyn_cli list                                     list built-in benchmarks
 //
 // Options accept both `--opt value` and `--opt=value`.
@@ -35,6 +39,11 @@
 // report options:
 //   --out FILE             report JSON path (default report.json, - stdout)
 //   --html FILE            also render the self-contained HTML page
+//   --dot-rtl FILE         datapath DOT with per-component coverage heatmap
+//   --dot-cdfg FILE        CDFG DOT with per-operation coverage heatmap
+// explain options (defaults to every undetected/aborted fault):
+//   --fault N/P/S          one fault: node N, pin P (-1 = output), stuck-at S
+//   --undetected           explain all undetected + aborted faults (default)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -50,6 +59,7 @@
 #include "bist/test_registers.h"
 #include "bist/tfb.h"
 #include "cdfg/benchmarks.h"
+#include "cdfg/dot.h"
 #include "cdfg/loops.h"
 #include "cdfg/parser.h"
 #include "compaction/compaction.h"
@@ -58,11 +68,14 @@
 #include "gatelevel/expand.h"
 #include "gatelevel/faults.h"
 #include "gatelevel/faultsim.h"
+#include "gatelevel/scoap.h"
 #include "hls/synthesis.h"
 #include "observe/ledger.h"
+#include "observe/provenance.h"
 #include "observe/report.h"
 #include "observe/scoap_attr.h"
 #include "rtl/area.h"
+#include "rtl/dot.h"
 #include "rtl/sgraph.h"
 #include "rtl/verilog.h"
 #include "testability/behavior_analysis.h"
@@ -88,7 +101,7 @@ FILE* g_report = stdout;
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: tsyn_cli <synth|analyze|bist|atpg|report|list> "
+               "usage: tsyn_cli <synth|analyze|bist|atpg|report|explain|list> "
                "<file.cdfg|bench:NAME> [options]\n"
                "run with no arguments for the option list in the source "
                "header.\n");
@@ -128,6 +141,11 @@ struct Args {
   int width = 4;
   std::string out = "report.json";
   std::string html;
+  std::string dot_rtl;
+  std::string dot_cdfg;
+  /// explain: one fault as "node/pin/sa" (empty = --undetected behavior).
+  std::string fault;
+  bool undetected = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -176,6 +194,13 @@ Args parse_args(int argc, char** argv) {
     else if (opt == "--width") a.width = std::stoi(value());
     else if (opt == "--out") a.out = value();
     else if (opt == "--html") a.html = value();
+    else if (opt == "--dot-rtl") a.dot_rtl = value();
+    else if (opt == "--dot-cdfg") a.dot_cdfg = value();
+    else if (opt == "--fault") a.fault = value();
+    else if (opt == "--undetected") {
+      if (has_inline) usage("--undetected takes no value");
+      a.undetected = true;
+    }
     else if (opt == "--log-level") {
       util::LogLevel level;
       if (!util::parse_log_level(value(), &level))
@@ -457,12 +482,36 @@ int cmd_atpg(const Args& a) {
   return 0;
 }
 
-/// The atpg flow with the fault-lifecycle ledger enabled, consolidated
-/// into a single JSON artifact (and optionally a self-contained HTML
-/// page): design numbers, campaign results, per-fault journeys, coverage
-/// waterfalls, SCOAP effort attribution, and the metrics registry.
-int cmd_report(const Args& a) {
-  TSYN_SPAN("cli.report");
+/// The shared full-scan front half of `report` and `explain`: synthesize,
+/// scan every register, expand with provenance recording, annotate the op
+/// labels, enumerate the collapsed faults.
+struct FullScanDesign {
+  cdfg::Cdfg g;
+  hls::Synthesis syn;
+  rtl::Datapath dp;
+  gl::ExpandedDesign ed;
+  std::vector<gl::Fault> faults;
+};
+
+FullScanDesign build_full_scan(const Args& a) {
+  FullScanDesign d;
+  d.g = load_behavior(a.behavior);
+  hls::SynthesisOptions opts;
+  opts.resources = hls::Resources{{cdfg::FuType::kAlu, a.alu},
+                                  {cdfg::FuType::kMultiplier, a.mul}};
+  opts.num_steps = a.steps;
+  d.syn = hls::synthesize(d.g, opts);
+  d.dp = d.syn.rtl.datapath;
+  for (auto& reg : d.dp.regs) reg.test_kind = rtl::TestRegKind::kScan;
+  gl::ExpandOptions eo;
+  eo.width_override = a.width;
+  d.ed = gl::expand_datapath(d.dp, eo);
+  observe::annotate_ops(d.ed.provenance, d.g, &d.syn.schedule.step_of_op);
+  d.faults = gl::enumerate_faults(d.ed.netlist);
+  return d;
+}
+
+compaction::CompactionOptions parse_compaction(const Args& a) {
   compaction::CompactionOptions copts;
   const std::string compact = a.compact.empty() ? "static" : a.compact;
   if (!compaction::parse_compact_mode(compact, &copts.mode))
@@ -470,23 +519,18 @@ int cmd_report(const Args& a) {
   if (!compaction::parse_xfill(a.xfill, &copts.xfill))
     usage("--xfill expects random|0|1|adjacent");
   if (a.width < 1) usage("--width must be >= 1");
+  return copts;
+}
 
-  const cdfg::Cdfg g = load_behavior(a.behavior);
-  hls::SynthesisOptions opts;
-  opts.resources = hls::Resources{{cdfg::FuType::kAlu, a.alu},
-                                  {cdfg::FuType::kMultiplier, a.mul}};
-  opts.num_steps = a.steps;
-  hls::Synthesis syn = hls::synthesize(g, opts);
-  rtl::Datapath dp = syn.rtl.datapath;
-  for (auto& reg : dp.regs) reg.test_kind = rtl::TestRegKind::kScan;
-  gl::ExpandOptions eo;
-  eo.width_override = a.width;
-  const gl::Netlist n = gl::expand_datapath(dp, eo).netlist;
-  const std::vector<gl::Fault> faults = gl::enumerate_faults(n);
-
+/// The compacted ATPG campaign with the fault ledger on, plus a final
+/// detection-matrix grading of the shipped set under its own phase.
+compaction::CompactedCampaign run_ledgered_campaign(
+    const gl::Netlist& n, const std::vector<gl::Fault>& faults,
+    const compaction::CompactionOptions& copts,
+    observe::LedgerSnapshot* snap) {
   observe::ledger_reset();
   observe::ledger_enable();
-  const compaction::CompactedCampaign c =
+  compaction::CompactedCampaign c =
       compaction::run_compacted_atpg(n, faults, copts);
   {
     // Grade the shipped set once more with the matrix grader so the ledger
@@ -495,9 +539,26 @@ int cmd_report(const Args& a) {
     (void)compaction::detection_matrix(n, c.patterns, faults);
   }
   observe::ledger_disable();
+  *snap = observe::ledger_snapshot();
+  return c;
+}
+
+/// The atpg flow with the fault-lifecycle ledger enabled, consolidated
+/// into a single JSON artifact (and optionally a self-contained HTML
+/// page): design numbers, campaign results, per-fault journeys, coverage
+/// waterfalls, SCOAP effort attribution, provenance coverage attribution,
+/// and the metrics registry.
+int cmd_report(const Args& a) {
+  TSYN_SPAN("cli.report");
+  const compaction::CompactionOptions copts = parse_compaction(a);
+  FullScanDesign d = build_full_scan(a);
+  const gl::Netlist& n = d.ed.netlist;
 
   observe::RunReport r;
-  r.title = g.name() + " w" + std::to_string(a.width) + " " +
+  const compaction::CompactedCampaign c =
+      run_ledgered_campaign(n, d.faults, copts, &r.ledger);
+
+  r.title = d.g.name() + " w" + std::to_string(a.width) + " " +
             compaction::to_string(copts.mode);
   r.behavior = a.behavior;
   r.compact_mode = compaction::to_string(copts.mode);
@@ -505,14 +566,16 @@ int cmd_report(const Args& a) {
   r.width = a.width;
   r.gates = n.gate_count();
   r.pis = static_cast<std::int64_t>(n.primary_inputs().size());
-  r.faults = static_cast<std::int64_t>(faults.size());
+  r.faults = static_cast<std::int64_t>(d.faults.size());
   r.fault_coverage = c.campaign.fault_coverage;
   r.fault_efficiency = c.campaign.fault_efficiency;
   r.cubes = c.stats.cubes_generated;
   r.patterns = static_cast<std::int64_t>(c.patterns.size());
   r.baseline_patterns = c.baseline_patterns;
-  r.ledger = observe::ledger_snapshot();
   r.scoap = observe::attribute_scoap(n, r.ledger, /*top_k=*/10);
+  r.provenance = std::move(d.ed.provenance);
+  r.attribution = observe::attribute_coverage(r.provenance, r.ledger);
+  // Metrics last, so the attribution join's gauge/histogram are included.
   r.metrics_json = util::metrics().to_json();
 
   if (!write_output(a.out, observe::report_to_json(r) + "\n")) {
@@ -533,6 +596,30 @@ int cmd_report(const Args& a) {
     if (a.html != "-")
       std::fprintf(g_report, "html      : written to %s\n", a.html.c_str());
   }
+  if (!a.dot_rtl.empty()) {
+    rtl::DatapathHeat heat;
+    heat.reg = observe::register_heat(r.provenance, r.attribution,
+                                      d.dp.num_regs());
+    heat.fu = observe::fu_heat(r.provenance, r.attribution, d.dp.num_fus());
+    if (!write_output(a.dot_rtl, rtl::datapath_to_dot(d.dp, &heat))) {
+      std::fprintf(stderr, "error: cannot write %s\n", a.dot_rtl.c_str());
+      return 1;
+    }
+    if (a.dot_rtl != "-")
+      std::fprintf(g_report, "dot-rtl   : heatmap written to %s\n",
+                   a.dot_rtl.c_str());
+  }
+  if (!a.dot_cdfg.empty()) {
+    const std::vector<double> heat =
+        observe::op_heat(r.provenance, r.attribution, d.g.num_ops());
+    if (!write_output(a.dot_cdfg, cdfg::to_dot(d.g, {}, &heat))) {
+      std::fprintf(stderr, "error: cannot write %s\n", a.dot_cdfg.c_str());
+      return 1;
+    }
+    if (a.dot_cdfg != "-")
+      std::fprintf(g_report, "dot-cdfg  : heatmap written to %s\n",
+                   a.dot_cdfg.c_str());
+  }
   std::fprintf(g_report,
                "atpg      : %.2f%% coverage, %zu patterns vs %ld baseline\n",
                100 * c.campaign.fault_coverage, c.patterns.size(),
@@ -541,6 +628,129 @@ int cmd_report(const Args& a) {
                "scoap     : spearman(predicted, effort) = %.3f over %zu "
                "targeted faults\n",
                r.scoap.spearman, r.scoap.rows.size());
+  const std::size_t worst =
+      r.attribution.worst_components.empty()
+          ? 0
+          : static_cast<std::size_t>(r.attribution.worst_components[0]);
+  if (!r.attribution.worst_components.empty())
+    std::fprintf(g_report,
+                 "provenance: %zu components, worst \"%s\" at %.1f%% "
+                 "coverage\n",
+                 r.provenance.components.size(),
+                 r.provenance.components[worst].name.c_str(),
+                 100 * r.attribution.components[worst].coverage());
+  return 0;
+}
+
+/// Prints one fault's full cross-layer chain: the faulted gate with its
+/// SCOAP measures, the ledger journey, the RTL component whose expansion
+/// created the gate, and the CDFG operations bound onto that component
+/// (the behavioral source lines a detected defect would corrupt).
+void explain_fault(const FullScanDesign& d, const gl::Scoap& scoap,
+                   const observe::ProvenanceAttribution& attr,
+                   const observe::FaultJourney& j) {
+  const gl::Netlist& n = d.ed.netlist;
+  const observe::ProvenanceMap& map = d.ed.provenance;
+  const gl::Fault f{j.key.node, j.key.pin, j.key.sa1 != 0};
+  std::fprintf(g_report, "fault %d/%d/sa%d: %s\n", j.key.node, j.key.pin,
+               static_cast<int>(j.key.sa1), gl::describe(n, f).c_str());
+  std::fprintf(g_report,
+               "  journey : %s (targeted %d times, %ld decisions, %ld "
+               "backtracks, n-detect %ld)\n",
+               j.status.c_str(), j.targets,
+               static_cast<long>(j.decisions), static_cast<long>(j.backtracks),
+               static_cast<long>(j.n_detect));
+  if (j.key.node >= 0 && j.key.node < static_cast<int>(scoap.cc0.size()))
+    std::fprintf(g_report, "  scoap   : cc0=%d cc1=%d co=%d\n",
+                 scoap.cc0[static_cast<std::size_t>(j.key.node)],
+                 scoap.cc1[static_cast<std::size_t>(j.key.node)],
+                 scoap.co[static_cast<std::size_t>(j.key.node)]);
+  const int ci = map.component_of(j.key.node);
+  if (ci < 0) {
+    std::fprintf(g_report, "  origin  : (unattributed node)\n");
+    return;
+  }
+  const observe::ProvComponent& comp =
+      map.components[static_cast<std::size_t>(ci)];
+  const observe::ComponentCoverage& cov =
+      attr.components[static_cast<std::size_t>(ci)];
+  std::fprintf(g_report,
+               "  origin  : %s (%s), component coverage %.1f%% over %ld "
+               "faults\n",
+               comp.name.c_str(), observe::to_string(comp.kind),
+               100 * cov.coverage(), static_cast<long>(cov.faults));
+  if (comp.ops.empty()) {
+    std::fprintf(g_report, "  ops     : (none — shared control logic)\n");
+    return;
+  }
+  bool first = true;
+  for (cdfg::OpId o : comp.ops) {
+    std::string label;
+    if (o >= 0 && o < static_cast<int>(map.op_label.size()))
+      label = map.op_label[static_cast<std::size_t>(o)];
+    if (label.empty()) label = "o" + std::to_string(o);
+    std::fprintf(g_report, "  %s %s\n", first ? "ops     :" : "         ",
+                 label.c_str());
+    first = false;
+  }
+}
+
+/// Runs the report pipeline (without writing artifacts) and prints the
+/// gate -> RTL component -> CDFG op chain for the selected faults:
+/// --fault N/P/S for one, otherwise every undetected/aborted fault.
+int cmd_explain(const Args& a) {
+  TSYN_SPAN("cli.explain");
+  const compaction::CompactionOptions copts = parse_compaction(a);
+  FullScanDesign d = build_full_scan(a);
+  const gl::Netlist& n = d.ed.netlist;
+
+  observe::LedgerSnapshot led;
+  const compaction::CompactedCampaign c =
+      run_ledgered_campaign(n, d.faults, copts, &led);
+  const observe::ProvenanceAttribution attr =
+      observe::attribute_coverage(d.ed.provenance, led);
+  const gl::Scoap scoap = gl::compute_scoap(n);
+
+  std::fprintf(g_report,
+               "campaign  : %.2f%% coverage over %zu faults (%ld detected, "
+               "%ld dropped, %ld redundant, %ld aborted, %ld undetected)\n",
+               100 * c.campaign.fault_coverage, d.faults.size(),
+               static_cast<long>(led.detected), static_cast<long>(led.dropped),
+               static_cast<long>(led.redundant),
+               static_cast<long>(led.aborted),
+               static_cast<long>(led.undetected));
+
+  std::vector<const observe::FaultJourney*> picks;
+  if (!a.fault.empty()) {
+    int node = 0, pin = 0, sa = 0;
+    if (std::sscanf(a.fault.c_str(), "%d/%d/%d", &node, &pin, &sa) != 3)
+      usage("--fault expects node/pin/sa, e.g. 123/-1/1");
+    for (const observe::FaultJourney& j : led.journeys)
+      if (j.key.node == node && j.key.pin == pin && j.key.sa1 == (sa != 0))
+        picks.push_back(&j);
+    if (picks.empty()) {
+      std::fprintf(stderr, "error: fault %s is not in the collapsed list\n",
+                   a.fault.c_str());
+      return 1;
+    }
+  } else {
+    for (const observe::FaultJourney& j : led.journeys)
+      if (j.status == "undetected" || j.status == "aborted")
+        picks.push_back(&j);
+    if (picks.empty()) {
+      std::fprintf(g_report,
+                   "explain   : nothing to explain — every fault detected, "
+                   "dropped, or proven redundant\n");
+      return 0;
+    }
+  }
+  constexpr std::size_t kMaxExplained = 25;
+  const std::size_t shown = std::min(picks.size(), kMaxExplained);
+  for (std::size_t i = 0; i < shown; ++i)
+    explain_fault(d, scoap, attr, *picks[i]);
+  if (shown < picks.size())
+    std::fprintf(g_report, "... and %zu more (use --fault N/P/S to drill in)\n",
+                 picks.size() - shown);
   return 0;
 }
 
@@ -572,6 +782,7 @@ int run_command(const Args& a) {
   if (a.command == "bist") return cmd_bist(a);
   if (a.command == "atpg") return cmd_atpg(a);
   if (a.command == "report") return cmd_report(a);
+  if (a.command == "explain") return cmd_explain(a);
   usage(("unknown command: " + a.command).c_str());
 }
 
