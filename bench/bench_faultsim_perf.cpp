@@ -1,12 +1,15 @@
 // PERF-FAULTSIM — performance trajectory of the fault-simulation engine.
 //
-// Two comparisons, both on the generated benchmark suite:
+// Three comparisons, all on the generated benchmark suite:
 //  (1) PPSFP: serial (num_threads=1) vs sharded (one worker per hardware
 //      thread) run_block over full-scan expansions, up to the largest
 //      generated netlist;
 //  (2) sequential: the old full-resimulation-per-fault simulator vs the
 //      event-driven divergence-carrying engine (serial and sharded) on the
-//      EXP-SEQATPG circuits and a non-scan datapath expansion.
+//      EXP-SEQATPG circuits and a non-scan datapath expansion;
+//  (3) soa: the compiled SoA core's wide-lane grading (64 vs 256 vs 512
+//      pattern lanes) on the detection-matrix and dropping workloads,
+//      plus the one-time lowering cost and thread scaling.
 //
 // Results go to stdout and to BENCH_faultsim.json (schema documented in
 // docs/faultsim.md) so the perf trajectory is tracked from PR to PR.
@@ -24,6 +27,8 @@
 #include "gatelevel/expand.h"
 #include "gatelevel/faults.h"
 #include "gatelevel/faultsim.h"
+#include "gatelevel/simgraph.h"
+#include "gatelevel/widebits.h"
 #include "observe/ledger.h"
 
 namespace tsyn {
@@ -31,9 +36,26 @@ namespace {
 
 /// With one hardware thread, FaultSimOptions{0} resolves to one worker and
 /// takes the identical inline path as FaultSimOptions{1} — timing the two
-/// separately would only record scheduler noise, so the bench reuses the
-/// serial measurement for the parallel column in that case.
+/// separately would only record scheduler noise, so the bench skips the
+/// parallel measurements entirely and writes null markers to the JSON
+/// (bench_diff treats a skipped measurement as a note, not a regression).
+/// Internally "skipped" is a negative sentinel.
 bool single_core() { return gl::FaultSimOptions{}.resolved_threads() <= 1; }
+
+constexpr double kSkipped = -1.0;
+
+/// JSON image of a measurement: "null" when skipped, else fixed-point.
+std::string num_or_null(double v, int digits) {
+  if (v < 0) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+/// Table image of a measurement: "-" when skipped.
+std::string fmt_or_dash(double v, int digits) {
+  return v < 0 ? "-" : util::fmt(v, digits);
+}
 
 double time_ms(const std::function<void()>& fn, int reps = 1) {
   double best = 1e300;
@@ -45,6 +67,19 @@ double time_ms(const std::function<void()>& fn, int reps = 1) {
         best, std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
   return best;
+}
+
+/// MEDIAN-of-reps timing for the soa section: the SoA rows feed speedup
+/// ratios where one outlier sample in either direction distorts the
+/// quotient, and the median is robust against host slow phases on both
+/// sides (best-of is robust against slowdowns only).
+double median_ms(const std::function<void()>& fn, int reps) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) samples.push_back(time_ms(fn));
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
 }
 
 /// Full-scan gate-level expansion of a behavior at the standard allocation.
@@ -102,9 +137,9 @@ struct PpsfpRow {
   int gates = 0;
   std::size_t faults = 0;
   int patterns = 0;
-  double serial_ms = 0, parallel_ms = 0, coverage = 0;
+  double serial_ms = 0, parallel_ms = kSkipped, coverage = 0;
   double speedup() const {
-    return parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+    return parallel_ms > 0 ? serial_ms / parallel_ms : kSkipped;
   }
 };
 
@@ -112,13 +147,14 @@ struct SeqRow {
   std::string circuit;
   std::size_t faults = 0;
   int frames = 0;
-  double full_resim_ms = 0, event_serial_ms = 0, event_parallel_ms = 0;
+  double full_resim_ms = 0, event_serial_ms = 0, event_parallel_ms = kSkipped;
   long detected = 0;
   double speedup_algorithmic() const {
-    return event_serial_ms > 0 ? full_resim_ms / event_serial_ms : 0;
+    return event_serial_ms > 0 ? full_resim_ms / event_serial_ms : kSkipped;
   }
   double speedup_total() const {
-    return event_parallel_ms > 0 ? full_resim_ms / event_parallel_ms : 0;
+    return event_parallel_ms > 0 ? full_resim_ms / event_parallel_ms
+                                 : kSkipped;
   }
 };
 
@@ -143,7 +179,7 @@ PpsfpRow ppsfp_case(const std::string& name, const gl::Netlist& n,
   cov_parallel = gl::fault_coverage(n, blocks, faults, nullptr,
                                     gl::FaultSimOptions{0});
   row.parallel_ms =
-      single_core() ? row.serial_ms
+      single_core() ? kSkipped
                     : time_ms(
                           [&] {
                             cov_parallel = gl::fault_coverage(
@@ -215,7 +251,7 @@ SeqRow seq_suite_case(const std::string& name,
   }
   row.event_parallel_ms =
       single_core()
-          ? row.event_serial_ms
+          ? kSkipped
           : time_ms(
                 [&] {
                   for (int r = 0; r < reps_inner; ++r)
@@ -261,7 +297,7 @@ SeqRow seq_case(const std::string& name, const gl::Netlist& n,
   event_parallel =
       gl::sequential_fault_sim(n, frames, faults, gl::FaultSimOptions{0});
   row.event_parallel_ms =
-      single_core() ? row.event_serial_ms
+      single_core() ? kSkipped
                     : time_ms(
                           [&] {
                             event_parallel = gl::sequential_fault_sim(
@@ -402,8 +438,115 @@ ProvRow provenance_case(const std::string& name, const rtl::Datapath& dp,
   return row;
 }
 
+struct SoaWidthRow {
+  std::string case_name;  ///< "<circuit>/w<lanes>" — unique bench_diff key
+  int lanes = 0;
+  double coverage = 0;
+  double matrix_ms = 0;  ///< no-drop detection matrix (detection_masks)
+  double drop_ms = 0;    ///< dropping coverage pass (fault_coverage)
+  double matrix_speedup_vs_w64 = 0;
+};
+
+struct SoaThreadRow {
+  std::string case_name;  ///< "<circuit>/t<threads>"
+  int threads = 0;
+  double matrix_ms = kSkipped;  ///< null when threads > hardware threads
+};
+
+struct SoaCase {
+  std::string circuit;
+  std::string backend;  ///< SIMD kernel set the wide engine dispatched to
+  int gates = 0;
+  std::size_t faults = 0;
+  int patterns = 0;
+  double lower_ms = 0;  ///< Netlist -> SimGraph lowering, paid once
+  std::vector<SoaWidthRow> widths;
+  std::vector<SoaThreadRow> threads;
+};
+
+/// Compiled-SoA-core section: lowering cost, then single-thread matrix and
+/// dropping grading at 64/256/512 lanes (matrix is the workload wide lanes
+/// exist for — every fault against every block, the N-detect/compaction
+/// shape), then the 512-lane matrix across thread counts. All width rows
+/// are cross-checked for bit-identical masks and detected sets.
+SoaCase soa_case(const std::string& name, const gl::Netlist& n,
+                 int blocks_count, int reps) {
+  const auto faults = gl::enumerate_faults(n);
+  const auto blocks = gl::lfsr_pattern_blocks(
+      static_cast<int>(n.primary_inputs().size()), blocks_count, 0x5EED);
+  SoaCase sc;
+  sc.circuit = name;
+  sc.backend = gl::to_string(gl::active_simd_backend());
+  sc.gates = n.gate_count();
+  sc.faults = faults.size();
+  sc.patterns = blocks_count * 64;
+
+  // Lowering cost: SimGraph::lower directly, since the cached
+  // SimGraph::of path is free after the first call.
+  long sink = 0;
+  sc.lower_ms = median_ms(
+      [&] {
+        const gl::SimGraph g = gl::SimGraph::lower(n);
+        sink += g.num_nodes();
+      },
+      reps + 2);
+  if (sink < 0) std::fprintf(stderr, "unreachable\n");
+
+  std::vector<std::uint64_t> ref_masks;
+  std::vector<bool> ref_detected;
+  for (const int lanes : {64, 256, 512}) {
+    gl::FaultSimOptions o;
+    o.num_threads = 1;
+    o.lanes = lanes;
+    SoaWidthRow row;
+    row.case_name = name + "/w" + std::to_string(lanes);
+    row.lanes = lanes;
+    std::vector<std::uint64_t> masks;
+    row.matrix_ms = median_ms(
+        [&] { gl::detection_masks(n, blocks, faults, masks, o); }, reps);
+    std::vector<bool> detected;
+    row.drop_ms = median_ms(
+        [&] {
+          detected.clear();
+          row.coverage = gl::fault_coverage(n, blocks, faults, &detected, o);
+        },
+        reps);
+    if (lanes == 64) {
+      ref_masks = masks;
+      ref_detected = detected;
+    } else if (masks != ref_masks || detected != ref_detected) {
+      std::fprintf(stderr, "WARNING: %s w%d result differs from w64\n",
+                   name.c_str(), lanes);
+    }
+    row.matrix_speedup_vs_w64 =
+        sc.widths.empty() ? 1.0 : sc.widths.front().matrix_ms / row.matrix_ms;
+    sc.widths.push_back(row);
+  }
+
+  const int hw = gl::FaultSimOptions{}.resolved_threads();
+  for (const int t : {1, 2, 4}) {
+    gl::FaultSimOptions o;
+    o.num_threads = t;
+    o.lanes = 512;
+    SoaThreadRow row;
+    row.case_name = name + "/t" + std::to_string(t);
+    row.threads = t;
+    if (t <= hw) {
+      std::vector<std::uint64_t> masks;
+      row.matrix_ms = median_ms(
+          [&] { gl::detection_masks(n, blocks, faults, masks, o); }, reps);
+      if (masks != ref_masks)
+        std::fprintf(stderr, "WARNING: %s t%d masks differ from serial\n",
+                     name.c_str(), t);
+    }
+    sc.threads.push_back(row);
+  }
+  return sc;
+}
+
 void write_json(const std::vector<PpsfpRow>& ppsfp,
                 const std::vector<SeqRow>& seq,
+                const std::vector<SoaCase>& soa,
                 const std::vector<LedgerRow>& ledger,
                 const std::vector<ProvRow>& prov, int hw, int used) {
   FILE* f = std::fopen("BENCH_faultsim.json", "w");
@@ -422,10 +565,11 @@ void write_json(const std::vector<PpsfpRow>& ppsfp,
     std::fprintf(f,
                  "    {\"circuit\": \"%s\", \"gates\": %d, \"faults\": %zu, "
                  "\"patterns\": %d, \"coverage\": %.4f, "
-                 "\"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
-                 "\"speedup\": %.2f}%s\n",
+                 "\"serial_ms\": %.3f, \"parallel_ms\": %s, "
+                 "\"speedup\": %s}%s\n",
                  r.circuit.c_str(), r.gates, r.faults, r.patterns, r.coverage,
-                 r.serial_ms, r.parallel_ms, r.speedup(),
+                 r.serial_ms, num_or_null(r.parallel_ms, 3).c_str(),
+                 num_or_null(r.speedup(), 2).c_str(),
                  i + 1 < ppsfp.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"sequential\": [\n");
@@ -435,11 +579,44 @@ void write_json(const std::vector<PpsfpRow>& ppsfp,
         f,
         "    {\"circuit\": \"%s\", \"faults\": %zu, \"frames\": %d, "
         "\"detected\": %ld, \"full_resim_ms\": %.3f, "
-        "\"event_serial_ms\": %.3f, \"event_parallel_ms\": %.3f, "
-        "\"speedup_algorithmic\": %.2f, \"speedup_total\": %.2f}%s\n",
+        "\"event_serial_ms\": %.3f, \"event_parallel_ms\": %s, "
+        "\"speedup_algorithmic\": %s, \"speedup_total\": %s}%s\n",
         r.circuit.c_str(), r.faults, r.frames, r.detected, r.full_resim_ms,
-        r.event_serial_ms, r.event_parallel_ms, r.speedup_algorithmic(),
-        r.speedup_total(), i + 1 < seq.size() ? "," : "");
+        r.event_serial_ms, num_or_null(r.event_parallel_ms, 3).c_str(),
+        num_or_null(r.speedup_algorithmic(), 2).c_str(),
+        num_or_null(r.speedup_total(), 2).c_str(),
+        i + 1 < seq.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"soa\": [\n");
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    const SoaCase& c = soa[i];
+    std::fprintf(f,
+                 "    {\"circuit\": \"%s\", \"backend\": \"%s\", "
+                 "\"gates\": %d, \"faults\": %zu, \"patterns\": %d, "
+                 "\"lower_ms\": %.3f,\n     \"widths\": [\n",
+                 c.circuit.c_str(), c.backend.c_str(), c.gates, c.faults,
+                 c.patterns, c.lower_ms);
+    for (std::size_t w = 0; w < c.widths.size(); ++w) {
+      const SoaWidthRow& r = c.widths[w];
+      std::fprintf(f,
+                   "       {\"case\": \"%s\", \"lanes\": %d, "
+                   "\"coverage\": %.4f, \"matrix_ms\": %.3f, "
+                   "\"drop_ms\": %.3f, \"matrix_speedup_vs_w64\": %.2f}%s\n",
+                   r.case_name.c_str(), r.lanes, r.coverage, r.matrix_ms,
+                   r.drop_ms, r.matrix_speedup_vs_w64,
+                   w + 1 < c.widths.size() ? "," : "");
+    }
+    std::fprintf(f, "     ],\n     \"threads\": [\n");
+    for (std::size_t t = 0; t < c.threads.size(); ++t) {
+      const SoaThreadRow& r = c.threads[t];
+      std::fprintf(f,
+                   "       {\"case\": \"%s\", \"threads\": %d, "
+                   "\"matrix_ms\": %s}%s\n",
+                   r.case_name.c_str(), r.threads,
+                   num_or_null(r.matrix_ms, 3).c_str(),
+                   t + 1 < c.threads.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < soa.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"ledger\": [\n");
   for (std::size_t i = 0; i < ledger.size(); ++i) {
@@ -481,12 +658,13 @@ int main() {
   std::printf("hardware threads: %d\n\n", hw);
 
   std::vector<PpsfpRow> ppsfp;
-  ppsfp.push_back(ppsfp_case("diffeq_scan_w8", scan_netlist(cdfg::diffeq(), 8),
-                             8, 3));
+  const gl::Netlist diffeq_scan = scan_netlist(cdfg::diffeq(), 8);
+  ppsfp.push_back(ppsfp_case("diffeq_scan_w8", diffeq_scan, 8, 3));
   ppsfp.push_back(ppsfp_case("ewf_scan_w8", scan_netlist(cdfg::ewf(), 8),
                              8, 3));
   ppsfp.push_back(ppsfp_case("tseng_scan_w8", scan_netlist(cdfg::tseng(), 8),
                              8, 3));
+  gl::Netlist random160_scan;
   {
     cdfg::GeneratorParams p;
     p.num_ops = 80;
@@ -498,8 +676,9 @@ int main() {
     p.num_ops = 160;
     p.seed = 23;
     // The largest generated netlist: a 160-op random behavior, full scan.
-    ppsfp.push_back(ppsfp_case("random160_scan_w8",
-                               scan_netlist(cdfg::random_cdfg(p), 8), 4, 2));
+    // Kept alive for the soa section below.
+    random160_scan = scan_netlist(cdfg::random_cdfg(p), 8);
+    ppsfp.push_back(ppsfp_case("random160_scan_w8", random160_scan, 4, 2));
   }
 
   util::Table pt({"circuit", "gates", "faults", "patterns", "serial ms",
@@ -507,8 +686,36 @@ int main() {
   for (const PpsfpRow& r : ppsfp)
     pt.add_row({r.circuit, std::to_string(r.gates), std::to_string(r.faults),
                 std::to_string(r.patterns), util::fmt(r.serial_ms, 1),
-                util::fmt(r.parallel_ms, 1), util::fmt(r.speedup(), 2)});
+                fmt_or_dash(r.parallel_ms, 1), fmt_or_dash(r.speedup(), 2)});
   bench::print_table(pt);
+
+  // Compiled-SoA-core rows: matrix (no-drop) and dropping grading per lane
+  // width, 512-lane matrix per thread count, plus the one-time lowering
+  // cost. The headline claim is the width-512 matrix speedup on the
+  // largest netlist.
+  std::vector<SoaCase> soa;
+  soa.push_back(soa_case("diffeq_scan_w8", diffeq_scan, 8, 5));
+  soa.push_back(soa_case("random160_scan_w8", random160_scan, 8, 3));
+
+  util::Table wt({"case", "lanes", "coverage", "matrix ms", "drop ms",
+                  "matrix speedup"});
+  for (const SoaCase& c : soa)
+    for (const SoaWidthRow& r : c.widths)
+      wt.add_row({r.case_name, std::to_string(r.lanes),
+                  util::fmt(r.coverage, 4), util::fmt(r.matrix_ms, 1),
+                  util::fmt(r.drop_ms, 1),
+                  util::fmt(r.matrix_speedup_vs_w64, 2)});
+  bench::print_table(wt);
+
+  util::Table tt({"case", "threads", "matrix ms (512 lanes)"});
+  for (const SoaCase& c : soa) {
+    std::printf("soa %s: backend=%s lower_ms=%s\n", c.circuit.c_str(),
+                c.backend.c_str(), util::fmt(c.lower_ms, 2).c_str());
+    for (const SoaThreadRow& r : c.threads)
+      tt.add_row({r.case_name, std::to_string(r.threads),
+                  fmt_or_dash(r.matrix_ms, 1)});
+  }
+  bench::print_table(tt);
 
   std::vector<SeqRow> seq;
   // The EXP-SEQATPG circuit set (rings L=1..6 at L+4 frames, pipelines
@@ -545,9 +752,9 @@ int main() {
     st.add_row({r.circuit, std::to_string(r.faults), std::to_string(r.frames),
                 util::fmt(r.full_resim_ms, 1),
                 util::fmt(r.event_serial_ms, 1),
-                util::fmt(r.event_parallel_ms, 1),
+                fmt_or_dash(r.event_parallel_ms, 1),
                 util::fmt(r.speedup_algorithmic(), 2),
-                util::fmt(r.speedup_total(), 2)});
+                fmt_or_dash(r.speedup_total(), 2)});
   bench::print_table(st);
 
   // Fault-ledger recording cost on the two engine shapes the ledger hooks
@@ -613,12 +820,13 @@ int main() {
                 util::fmt(r.overhead_pct, 1) + "%"});
   bench::print_table(vt);
 
-  write_json(ppsfp, seq, ledger, prov, hw, hw);
+  write_json(ppsfp, seq, soa, ledger, prov, hw, hw);
   std::printf(
       "Wrote BENCH_faultsim.json. Shape check: PPSFP speedup should track "
-      "the\nhardware thread count (>= 3x on >= 4 cores, ~1x on 1 core); "
-      "the event-driven\nsequential engine should win on every circuit "
-      "regardless of cores; ledger\nrecording overhead should stay within "
-      "5%%; provenance recording within 2%%.\n");
+      "the\nhardware thread count (>= 3x on >= 4 cores, skipped on 1 core); "
+      "the\nevent-driven sequential engine should win on every circuit "
+      "regardless of\ncores; the 512-lane matrix speedup should reach >= 3x "
+      "on the largest\nnetlist; ledger recording overhead should stay within "
+      "5%%; provenance\nrecording within 2%%.\n");
   return 0;
 }

@@ -365,6 +365,23 @@ ExpandedDesign expand_datapath(const rtl::Datapath& dp,
   ExpandedDesign out;
   Netlist& n = out.netlist;
 
+  {
+    // Pre-size the node table (and the name map) from the datapath shape:
+    // a register bit costs a DFF plus a scan/steering mux or two, an FU
+    // bit a few dozen gates, plus the port muxes and the controller. A
+    // rough over-estimate is fine — this is a capacity hint, not a limit.
+    const auto est_w = [&](int w) {
+      return opts.width_override > 0 ? opts.width_override : w;
+    };
+    long est = 64;  // controller counter/decode and misc slack
+    for (const auto& r : dp.regs) est += 6L * est_w(r.width);
+    for (const auto& f : dp.fus) est += 40L * est_w(f.width);
+    est += 2L * dp.mux2_count();
+    for (const auto& pi : dp.primary_inputs) est += est_w(pi.width);
+    for (const auto& c : dp.constants) est += est_w(c.width);
+    n.reserve_nodes(static_cast<int>(std::min<long>(est, 1L << 24)));
+  }
+
   // Provenance: the component table comes straight from the datapath; the
   // node attribution streams out of the scopes below. Control lines and
   // their decode attribute to the mux that consumes them; only the shared

@@ -3,16 +3,32 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <thread>
 
+#include "gatelevel/faultsim_wide.h"
+#include "gatelevel/widebits.h"
 #include "observe/scoap_attr.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace tsyn::gl {
+
+namespace {
+
+/// Items claimed per work-stealing grab. Fault propagations are cheap
+/// (microseconds on small benches), so claiming one per atomic add is pure
+/// contention; a chunk this size amortizes it while the tail imbalance
+/// stays under a handful of propagations.
+constexpr int kPpsfpStealChunk = 16;
+/// Sequential faults cost a whole frame sweep each; smaller chunks keep
+/// the tail short.
+constexpr int kSeqStealChunk = 4;
+
+}  // namespace
 
 int FaultSimOptions::resolved_threads() const {
   if (num_threads > 0) return num_threads;
@@ -24,28 +40,21 @@ int FaultSimOptions::resolved_threads() const {
 // FaultPropagator — the one propagation routine every path shares.
 // ---------------------------------------------------------------------------
 
-FaultPropagator::FaultPropagator(const Netlist& n) : n_(n) {
-  topo_pos_.assign(n.num_nodes(), 0);
-  const auto& topo = n.topo_order();  // also builds the fanout cache
-  topo_ = &topo;
-  for (std::size_t i = 0; i < topo.size(); ++i)
-    topo_pos_[topo[i]] = static_cast<int>(i);
-  flags_.assign(n.num_nodes(), 0);
-  for (int po : n.primary_outputs()) flags_[po] |= 1;
-  for (int id = 0; id < n.num_nodes(); ++id)
-    if (n.node(id).type == GateType::kDff) flags_[id] |= 4;
-  const auto& fo = n.fanouts();
-  fan_off_.assign(n.num_nodes() + 1, 0);
-  for (int id = 0; id < n.num_nodes(); ++id)
-    fan_off_[id + 1] = fan_off_[id] + static_cast<int>(fo[id].size());
-  fan_flat_.resize(fan_off_.back());
-  for (int id = 0; id < n.num_nodes(); ++id)
-    std::copy(fo[id].begin(), fo[id].end(), fan_flat_.begin() + fan_off_[id]);
-  faulty_.assign(n.num_nodes(), Bits::unknown());
-  stamp_.assign(n.num_nodes(), -1);
-  sched_stamp_.assign(n.num_nodes(), -1);
-  po_stamp_.assign(n.num_nodes(), -1);
-  watch_stamp_.assign(n.num_nodes(), -1);
+FaultPropagator::FaultPropagator(const Netlist& n)
+    : n_(n), g_(&SimGraph::of(n)) {
+  const int nn = g_->num_nodes();
+  flags_.assign(nn, 0);
+  const std::uint8_t* gf = g_->flags();
+  for (int id = 0; id < nn; ++id)
+    if (gf[id] & SimGraph::kFlagPo) flags_[id] |= 1;
+  faulty_.assign(nn, Bits::unknown());
+  stamp_.assign(nn, -1);
+  sched_stamp_.assign(nn, -1);
+  po_stamp_.assign(nn, -1);
+  watch_stamp_.assign(nn, -1);
+  lvl_stamp_.assign(g_->num_levels(), -1);
+  lvl_lo_.assign(g_->num_levels(), 0);
+  lvl_hi_.assign(g_->num_levels(), 0);
 }
 
 void FaultPropagator::set_watches(const std::vector<int>& nodes) {
@@ -62,25 +71,40 @@ void FaultPropagator::begin(const std::vector<Bits>& good) {
     std::fill(sched_stamp_.begin(), sched_stamp_.end(), -1);
     std::fill(po_stamp_.begin(), po_stamp_.end(), -1);
     std::fill(watch_stamp_.begin(), watch_stamp_.end(), -1);
+    std::fill(lvl_stamp_.begin(), lvl_stamp_.end(), -1);
     current_stamp_ = 0;
   }
   ++current_stamp_;
-  sweep_lo_ = static_cast<int>(topo_->size());
-  sweep_hi_ = -1;
+  min_lvl_ = g_->num_levels();
+  max_lvl_ = -1;
   touched_pos_.clear();
   touched_watches_.clear();
 }
 
 void FaultPropagator::schedule_fanouts(int id) {
-  const int end = fan_off_[id + 1];
-  for (int k = fan_off_[id]; k < end; ++k) {
-    const int s = fan_flat_[k];
-    if (flags_[s] & 4) continue;  // D edges: caller's job
+  // The SimGraph fanout CSR carries combinational edges only, so there is
+  // no D-edge check here — state capture is the sequential engine's job.
+  const std::int32_t* foff = g_->fanout_off();
+  const std::int32_t* fo = g_->fanout();
+  const std::int32_t* pos_of = g_->pos_of();
+  const std::int32_t* level_of = g_->level_of();
+  const std::int32_t end = foff[id + 1];
+  for (std::int32_t k = foff[id]; k < end; ++k) {
+    const int s = fo[k];
     if (sched_stamp_[s] == current_stamp_) continue;
     sched_stamp_[s] = current_stamp_;
-    const int pos = topo_pos_[s];
-    if (pos < sweep_lo_) sweep_lo_ = pos;
-    if (pos > sweep_hi_) sweep_hi_ = pos;
+    const int pos = pos_of[s];
+    const int lvl = level_of[s];
+    if (lvl_stamp_[lvl] != current_stamp_) {
+      lvl_stamp_[lvl] = current_stamp_;
+      lvl_lo_[lvl] = pos;
+      lvl_hi_[lvl] = pos;
+      if (lvl < min_lvl_) min_lvl_ = lvl;
+      if (lvl > max_lvl_) max_lvl_ = lvl;
+    } else {
+      if (pos < lvl_lo_[lvl]) lvl_lo_[lvl] = pos;
+      if (pos > lvl_hi_[lvl]) lvl_hi_[lvl] = pos;
+    }
   }
 }
 
@@ -109,42 +133,51 @@ void FaultPropagator::inject(const Fault& f) {
     force(f.node, stuck);
     return;
   }
-  const Node& g = n_.node(f.node);
-  if (g.type == GateType::kDff) return;  // sampled at state capture
+  const GateType t = g_->type(f.node);
+  if (t == GateType::kDff) return;  // sampled at state capture
+  const std::int32_t* fin = g_->fanin();
+  const std::int32_t lo = g_->fanin_off()[f.node];
+  const int nf = g_->num_fanins(f.node);
   Bits fanin_vals[16];
-  for (std::size_t i = 0; i < g.fanins.size(); ++i)
-    fanin_vals[i] = static_cast<int>(i) == f.fanin_index
-                        ? stuck
-                        : value(g.fanins[i]);
-  force(f.node, eval_gate(g.type, fanin_vals,
-                          static_cast<int>(g.fanins.size())));
+  for (int i = 0; i < nf; ++i)
+    fanin_vals[i] = i == f.fanin_index ? stuck : value(fin[lo + i]);
+  force(f.node, eval_gate(t, fanin_vals, nf));
 }
 
 void FaultPropagator::drain(const Fault& f) {
   const Bits stuck = f.stuck_at_one ? Bits::all1() : Bits::all0();
   Bits fanin_vals[16];
-  const std::vector<int>& topo = *topo_;
-  // Fanouts sit strictly later in topo order, so scheduling during the
-  // sweep only ever raises sweep_hi_ — one forward pass suffices.
-  for (int pos = sweep_lo_; pos <= sweep_hi_; ++pos) {
-    const int id = topo[pos];
-    if (sched_stamp_[id] != current_stamp_) continue;
-    ++events_;
-    const Node& g = n_.node(id);
-    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
-    // An output-faulted node stays pinned at its stuck value even when its
-    // fanins diverge (possible through flip-flop feedback in the
-    // sequential engine); inject() already forced it.
-    if (f.fanin_index < 0 && id == f.node) continue;
-    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-      Bits v = value(g.fanins[i]);
-      if (f.fanin_index >= 0 && id == f.node &&
-          static_cast<int>(i) == f.fanin_index)
-        v = stuck;
-      fanin_vals[i] = v;
+  const std::int32_t* order = g_->order().data();
+  const std::int32_t* foff = g_->fanin_off();
+  const std::int32_t* fin = g_->fanin();
+  const std::uint8_t* types = g_->types();
+  // Fanouts sit at strictly deeper levels, so scheduling during the sweep
+  // only ever stamps levels ahead of the cursor (max_lvl_ may grow, the
+  // current level's span cannot) — one ascending pass over the stamped
+  // levels suffices, and untouched levels cost one compare each.
+  for (int lvl = min_lvl_; lvl <= max_lvl_; ++lvl) {
+    if (lvl_stamp_[lvl] != current_stamp_) continue;
+    const int hi = lvl_hi_[lvl];
+    for (int pos = lvl_lo_[lvl]; pos <= hi; ++pos) {
+      const int id = order[pos];
+      if (sched_stamp_[id] != current_stamp_) continue;
+      ++events_;
+      // Only combinational gates ever get scheduled (the fanout CSR
+      // excludes DFF targets and sources are never fanout targets).
+      // An output-faulted node stays pinned at its stuck value even when
+      // its fanins diverge (possible through flip-flop feedback in the
+      // sequential engine); inject() already forced it.
+      if (f.fanin_index < 0 && id == f.node) continue;
+      const std::int32_t lo = foff[id];
+      const int nf = foff[id + 1] - lo;
+      for (int i = 0; i < nf; ++i) {
+        Bits v = value(fin[lo + i]);
+        if (f.fanin_index >= 0 && id == f.node && i == f.fanin_index)
+          v = stuck;
+        fanin_vals[i] = v;
+      }
+      force(id, eval_gate(static_cast<GateType>(types[id]), fanin_vals, nf));
     }
-    force(id, eval_gate(g.type, fanin_vals,
-                        static_cast<int>(g.fanins.size())));
   }
 }
 
@@ -170,7 +203,7 @@ std::uint64_t FaultPropagator::propagate(const Fault& f,
 }
 
 // ---------------------------------------------------------------------------
-// FaultSimulator — PPSFP with the fault list sharded over the worker pool.
+// FaultSimulator — PPSFP with the fault list spread over the worker pool.
 // ---------------------------------------------------------------------------
 
 FaultSimulator::FaultSimulator(const Netlist& n,
@@ -179,7 +212,7 @@ FaultSimulator::FaultSimulator(const Netlist& n,
   if (!n.flops().empty())
     throw std::runtime_error(
         "FaultSimulator is combinational; expand state as PI/PO first");
-  n.topo_order();  // build the lazy caches before any worker reads them
+  SimGraph::of(n);  // build the lowered form before any worker reads it
   good_.assign(n.num_nodes(), Bits::unknown());
 }
 
@@ -215,13 +248,14 @@ void FaultSimulator::propagate_shard(const std::vector<Fault>& faults,
   if (workers <= 1) {
     for (int i = 0; i < count; ++i) job(i, 0);
   } else {
-    util::ThreadPool::shared().run(count, workers, job);
+    util::ThreadPool::shared().run_chunked(count, workers, kPpsfpStealChunk,
+                                           job);
   }
 
   // Publish the shard's work into the registry off the hot path — worker
-  // counters are stable once run() has returned. Imbalance is the largest
-  // slot's share over the ideal equal share (1.0 = perfectly balanced,
-  // `workers` = one slot did everything).
+  // counters are stable once run_chunked() has returned. Imbalance is the
+  // largest slot's share over the ideal equal share (1.0 = perfectly
+  // balanced, `workers` = one slot did everything).
   static util::Counter& m_events =
       util::metrics().counter("faultsim.ppsfp.events");
   static util::Counter& m_sims =
@@ -275,6 +309,59 @@ void FaultSimulator::run_block_detail(const std::vector<Bits>& pi_values,
   propagate_shard(faults, nullptr, lane_masks);
 }
 
+// ---------------------------------------------------------------------------
+// Wide-lane engine: W×64 patterns per good-machine pass and per fault
+// propagation, value rows stored SoA (W value words then W x-words per
+// node) so the kernels stream whole rows through the chosen SIMD backend.
+// The engine itself lives in faultsim_wide.h, instantiated per ISA in
+// dedicated TUs; only the runtime dispatch is here.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using wide_detail::wide_campaign;
+
+/// Per-width backend dispatch: the widest runtime-detected backend whose
+/// kernel TU is in the build (TSYN_WIDE_AVX2 / TSYN_WIDE_AVX512, see
+/// CMakeLists.txt), demoted to scalar by TSYN_FORCE_SCALAR
+/// (active_simd_backend). The ISA-specific entry points live in TUs
+/// compiled with the matching -m flags; this TU stays portable, so the
+/// binary runs on any x86-64 and still uses AVX where the CPU has it.
+template <int W>
+void run_wide_campaign(const Netlist& n,
+                       const std::vector<std::vector<Bits>>& blocks,
+                       const std::vector<Fault>& faults,
+                       const FaultSimOptions& options,
+                       std::vector<bool>* detected,
+                       std::vector<std::uint64_t>* matrix) {
+  const SimdBackend be = active_simd_backend();
+  (void)be;
+#if defined(TSYN_WIDE_AVX512)
+  if constexpr (W == 8) {
+    if (be == SimdBackend::kAvx512) {
+      wide_detail::wide_campaign_avx512_w8(n, blocks, faults, options,
+                                           detected, matrix);
+      return;
+    }
+  }
+#endif
+#if defined(TSYN_WIDE_AVX2)
+  if (be == SimdBackend::kAvx2 || be == SimdBackend::kAvx512) {
+    if constexpr (W == 4)
+      wide_detail::wide_campaign_avx2_w4(n, blocks, faults, options, detected,
+                                         matrix);
+    else
+      wide_detail::wide_campaign_avx2_w8(n, blocks, faults, options, detected,
+                                         matrix);
+    return;
+  }
+#endif
+  wide_campaign<W, ScalarWords<W>>(n, blocks, faults, options, detected,
+                                   matrix);
+}
+
+}  // namespace
+
 double fault_coverage(const Netlist& n,
                       const std::vector<std::vector<Bits>>& blocks,
                       const std::vector<Fault>& faults,
@@ -283,14 +370,48 @@ double fault_coverage(const Netlist& n,
   TSYN_SPAN("gl.faultsim.ppsfp");
   if (observe::ledger_enabled())
     observe::record_universe(static_cast<long>(faults.size()));
-  FaultSimulator sim(n, options);
   std::vector<bool> detected(faults.size(), false);
-  for (const auto& block : blocks) sim.run_block(block, faults, detected);
+  const int lanes = options.resolved_lanes();
+  if (lanes != 64 && !blocks.empty() && !faults.empty()) {
+    if (lanes == 256)
+      run_wide_campaign<4>(n, blocks, faults, options, &detected, nullptr);
+    else
+      run_wide_campaign<8>(n, blocks, faults, options, &detected, nullptr);
+  } else {
+    FaultSimulator sim(n, options);
+    for (const auto& block : blocks) sim.run_block(block, faults, detected);
+  }
   const long hit = std::count(detected.begin(), detected.end(), true);
   if (detected_out) *detected_out = std::move(detected);
   return faults.empty() ? 1.0
                         : static_cast<double>(hit) /
                               static_cast<double>(faults.size());
+}
+
+void detection_masks(const Netlist& n,
+                     const std::vector<std::vector<Bits>>& blocks,
+                     const std::vector<Fault>& faults,
+                     std::vector<std::uint64_t>& masks,
+                     const FaultSimOptions& options) {
+  TSYN_SPAN("gl.faultsim.matrix");
+  const std::size_t count = faults.size();
+  const std::size_t nb = blocks.size();
+  masks.assign(count * nb, 0);
+  if (count == 0 || nb == 0) return;
+  const int lanes = options.resolved_lanes();
+  if (lanes == 64) {
+    FaultSimulator sim(n, options);
+    std::vector<std::uint64_t> row;
+    for (std::size_t b = 0; b < nb; ++b) {
+      sim.run_block_detail(blocks[b], faults, row);
+      for (std::size_t i = 0; i < count; ++i) masks[i * nb + b] = row[i];
+    }
+    return;
+  }
+  if (lanes == 256)
+    run_wide_campaign<4>(n, blocks, faults, options, nullptr, &masks);
+  else
+    run_wide_campaign<8>(n, blocks, faults, options, nullptr, &masks);
 }
 
 // ---------------------------------------------------------------------------
@@ -308,7 +429,7 @@ std::vector<bool> sequential_fault_sim(
   const int count = static_cast<int>(faults.size());
   std::vector<bool> detected(faults.size(), false);
   if (count == 0 || input_frames.empty()) return detected;
-  n.topo_order();  // build the lazy caches before any worker reads them
+  SimGraph::of(n);  // build the lowered form before any worker reads it
 
   const auto& flops = n.flops();
   const int workers = std::min(options.resolved_threads(), count);
@@ -410,10 +531,11 @@ std::vector<bool> sequential_fault_sim(
   if (workers <= 1) {
     for (int i = 0; i < count; ++i) simulate_fault(i, 0);
   } else {
-    util::ThreadPool::shared().run(count, workers, simulate_fault);
+    util::ThreadPool::shared().run_chunked(count, workers, kSeqStealChunk,
+                                           simulate_fault);
   }
 
-  // Merge the slot-private effort counters (stable after run() returns).
+  // Merge the slot-private effort counters (stable after the pool returns).
   static util::Counter& m_faults =
       util::metrics().counter("faultsim.seq.faults_simulated");
   static util::Counter& m_frames =

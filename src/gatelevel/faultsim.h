@@ -1,14 +1,19 @@
 // Fault simulation.
 //
-// Parallel-pattern (64 lanes) single-fault propagation with fault dropping
-// for combinational circuits — the workhorse behind every fault-coverage
+// Parallel-pattern single-fault propagation with fault dropping for
+// combinational circuits — the workhorse behind every fault-coverage
 // number in the benches (full-scan coverage, BIST coverage, test-point
-// evaluation). The fault list is sharded over a worker pool: the good
-// machine is simulated once per block, then each worker propagates its
-// share of the faults with private copy-on-write scratch (FaultPropagator).
-// Sequential circuits get an event-driven faulty-machine simulator that
-// carries only the divergent flip-flop state between frames and drops
-// detected faults mid-sequence.
+// evaluation). The engines run on the compiled SoA form (simgraph.h):
+// levelized order, flat fanin/fanout arenas, per-level event buckets.
+// Grading is 64 lanes per pass by default and can widen to 256/512 lanes
+// (FaultSimOptions::lanes) with SIMD-dispatched kernels (widebits.h), so
+// one good-machine pass and one propagation per fault cover a whole
+// super-block of patterns. The fault list is spread over a worker pool
+// with chunked work-stealing: each worker drains its own contiguous range
+// chunk by chunk, then steals chunks from the others, so cone-size
+// imbalance stops costing wall-clock. Sequential circuits get an
+// event-driven faulty-machine simulator that carries only the divergent
+// flip-flop state between frames and drops detected faults mid-sequence.
 #pragma once
 
 #include <cstdint>
@@ -16,12 +21,13 @@
 
 #include "gatelevel/faults.h"
 #include "gatelevel/netlist.h"
+#include "gatelevel/simgraph.h"
 
 namespace tsyn::gl {
 
 /// Knobs shared by every fault-simulation entry point.
 struct FaultSimOptions {
-  /// Worker threads the fault shard is spread over. 0 = one per hardware
+  /// Worker threads the fault list is spread over. 0 = one per hardware
   /// thread; 1 = serial, bit-identical to the single-threaded engine (the
   /// parallel path is deterministic too — faults are independent — but 1
   /// also avoids touching the pool entirely).
@@ -37,6 +43,20 @@ struct FaultSimOptions {
   /// the host's core count); 0 = one wave per resolved_threads().
   int atpg_wave = 1;
 
+  /// Pattern lanes graded per good-machine pass: 64 (one machine word,
+  /// the default — byte-identical to the historical engine, including
+  /// ledger JSON), 256, or 512. Wider widths produce the exact same
+  /// detected-fault set and per-fault first-detecting pattern as the
+  /// corresponding sequence of 64-lane blocks (asserted in
+  /// tests/test_simgraph.cpp); only per-fault simulation-effort event
+  /// counts in the ledger differ (fewer, wider propagations). Widening
+  /// pays off when most faults stay live across many blocks — no-drop
+  /// detection matrices (N-detect, compaction pruning), BIST signature
+  /// grading — and on the good-machine side; with aggressive fault
+  /// dropping the first 64 lanes already retire most faults and 64 stays
+  /// the right default. See docs/faultsim.md.
+  int lanes = 64;
+
   /// num_threads with 0 resolved to the hardware parallelism (>= 1).
   int resolved_threads() const;
 
@@ -44,12 +64,20 @@ struct FaultSimOptions {
   int resolved_atpg_wave() const {
     return atpg_wave > 0 ? atpg_wave : resolved_threads();
   }
+
+  /// lanes snapped to a supported width (64, 256, or 512).
+  int resolved_lanes() const {
+    return lanes == 256 || lanes == 512 ? lanes : 64;
+  }
 };
 
 /// Per-thread fault-propagation scratch plus the one propagation routine
 /// both the serial and the sharded PPSFP paths (and the sequential engine)
 /// share. Values are copy-on-write against a caller-owned good-value
 /// vector: a node reads as good until touched in the current epoch.
+/// Internally runs on the netlist's cached SimGraph: flat CSR fanouts,
+/// levelized sweep with per-level event buckets (untouched levels are
+/// skipped wholesale — on shallow scan netlists most of them are).
 class FaultPropagator {
  public:
   explicit FaultPropagator(const Netlist& n);
@@ -69,7 +97,7 @@ class FaultPropagator {
   /// the state capture, which the caller owns).
   void inject(const Fault& f);
 
-  /// Drains the event queue in topological order, re-evaluating `f`'s gate
+  /// Drains the event buckets level by level, re-evaluating `f`'s gate
   /// with the faulted pin forced whenever it is reached.
   void drain(const Fault& f);
 
@@ -107,12 +135,14 @@ class FaultPropagator {
   void reset_work_counters() {
     events_ = 0;
     faults_ = 0;
+    last_propagate_events_ = 0;
   }
 
  private:
   void schedule_fanouts(int id);
 
   const Netlist& n_;
+  const SimGraph* g_ = nullptr;  ///< cached lowered form (owned by n_)
   const std::vector<Bits>* good_ = nullptr;
   // Timestamped copy-on-write faulty values: faulty_[id] is valid only
   // when stamp_[id] == current_stamp_.
@@ -120,19 +150,18 @@ class FaultPropagator {
   std::vector<int> stamp_;
   std::vector<int> sched_stamp_;  ///< node already scheduled this epoch
   int current_stamp_ = 0;
-  std::vector<int> topo_pos_;
-  /// Per-node flags: bit0 = primary output, bit1 = watched, bit2 = DFF.
-  /// One load on the force() fast path instead of three parallel arrays.
+  /// Per-node flags: bit0 = primary output, bit1 = watched (SimGraph
+  /// flags plus the propagator-local watch bit). One load on the force()
+  /// fast path instead of parallel arrays.
   std::vector<char> flags_;
-  /// CSR-flattened copy of Netlist::fanouts() — contiguous successor
-  /// iteration without the outer-vector indirection on the hottest loop.
-  std::vector<int> fan_off_, fan_flat_;
-  /// Reusable event scheduler (replaces a fresh std::priority_queue per
-  /// fault): scheduling stamps the node and widens [sweep_lo_, sweep_hi_];
-  /// drain() sweeps the topo order over that range evaluating stamped
-  /// nodes. O(1) schedule, in-order processing, no heap traffic.
-  const std::vector<int>* topo_ = nullptr;
-  int sweep_lo_ = 0, sweep_hi_ = -1;
+  /// Per-level event buckets replacing the single global sweep range:
+  /// scheduling stamps the node's level and widens that level's
+  /// [lvl_lo_, lvl_hi_] position span; drain() walks levels
+  /// [min_lvl_, max_lvl_] skipping unstamped ones. Fanouts sit at
+  /// strictly deeper levels, so one ascending pass suffices and a level's
+  /// span is frozen by the time the sweep reaches it.
+  std::vector<int> lvl_stamp_, lvl_lo_, lvl_hi_;
+  int min_lvl_ = 0, max_lvl_ = -1;
   /// Primary outputs touched this epoch (deduplicated via sched stamps on
   /// a parallel array), so po_diff_mask() is O(touched POs).
   std::vector<int> touched_pos_;
@@ -177,8 +206,9 @@ class FaultSimulator {
 
  private:
   void simulate_good(const std::vector<Bits>& pi_values);
-  /// Shards `faults` over the worker pool; masks[i] receives the detecting
-  /// lane mask (0 for faults where skip[i] is true).
+  /// Spreads `faults` over the worker pool (chunked work-stealing);
+  /// masks[i] receives the detecting lane mask (0 for faults where
+  /// skip[i] is true).
   void propagate_shard(const std::vector<Fault>& faults,
                        const std::vector<bool>* skip,
                        std::vector<std::uint64_t>& masks);
@@ -196,19 +226,33 @@ class FaultSimulator {
 
 /// Convenience: coverage of `faults` under `blocks` of PI patterns.
 /// Returns the fraction detected; `detected` (optional) receives the mask.
+/// options.lanes = 256/512 grades 4/8 blocks per pass with the wide-lane
+/// engine — same detected set and first-detecting patterns, fewer passes.
 double fault_coverage(const Netlist& n,
                       const std::vector<std::vector<Bits>>& blocks,
                       const std::vector<Fault>& faults,
                       std::vector<bool>* detected = nullptr,
                       const FaultSimOptions& options = {});
 
+/// Full detection matrix, no fault dropping: grades every fault against
+/// every block and fills `masks[f * blocks.size() + b]` with the 64-bit
+/// lane mask of block b detecting fault f. This is the workload shape of
+/// N-detect grading and compaction's reverse-order pruning, and the one
+/// where wide lanes pay off most — options.lanes picks the engine width,
+/// the result is bit-identical across widths.
+void detection_masks(const Netlist& n,
+                     const std::vector<std::vector<Bits>>& blocks,
+                     const std::vector<Fault>& faults,
+                     std::vector<std::uint64_t>& masks,
+                     const FaultSimOptions& options = {});
+
 /// Per-fault sequential simulation over a vector sequence (64 lanes of
 /// sequences in parallel; lane l of frame f is vector f of sequence l).
 /// FFs start unknown. Event-driven: the good trace is simulated once, each
 /// fault then propagates only its divergence per frame, carrying only the
 /// flip-flops that differ from the good machine across frame boundaries,
-/// and stops at its first detecting frame. The fault list is sharded over
-/// the worker pool. Returns the detected mask.
+/// and stops at its first detecting frame. The fault list is spread over
+/// the worker pool with chunked work-stealing. Returns the detected mask.
 std::vector<bool> sequential_fault_sim(
     const Netlist& n, const std::vector<std::vector<Bits>>& input_frames,
     const std::vector<Fault>& faults, const FaultSimOptions& options = {});

@@ -1,0 +1,19 @@
+// AVX-512F instantiation of the wide PPSFP engine (512-lane rows only;
+// a 256-lane row is a single AVX2 vector already). Compiled with
+// -mavx512f when the compiler accepts it; called only after runtime CPU
+// detection. Same comdat caveat as faultsim_avx2.cpp: nothing but the
+// instantiation lives here.
+#include "gatelevel/faultsim_wide.h"
+
+namespace tsyn::gl::wide_detail {
+
+void wide_campaign_avx512_w8(const Netlist& n,
+                             const std::vector<std::vector<Bits>>& blocks,
+                             const std::vector<Fault>& faults,
+                             const FaultSimOptions& options,
+                             std::vector<bool>* detected,
+                             std::vector<std::uint64_t>* matrix) {
+  wide_campaign<8, Avx512Words>(n, blocks, faults, options, detected, matrix);
+}
+
+}  // namespace tsyn::gl::wide_detail

@@ -1,0 +1,496 @@
+// Wide-lane PPSFP engine, templated over the lane width W and the SIMD
+// word-vector backend V (widebits.h). This header is instantiated by
+// several translation units compiled with different ISA flags:
+//
+//   faultsim.cpp         (portable flags)  -> wide_campaign<W, ScalarWords<W>>
+//   faultsim_avx2.cpp    (-mavx2)          -> wide_campaign<W, Avx2Words>
+//   faultsim_avx512.cpp  (-mavx512f)       -> wide_campaign<8, Avx512Words>
+//
+// and run_wide_campaign (faultsim.cpp) picks an entry point at runtime
+// from what the CPU supports. Every template here therefore carries V in
+// its parameter list even where the code never touches V: instantiations
+// from differently-flagged TUs must have distinct symbols, or the linker
+// could keep an AVX-encoded comdat copy and hand it to the scalar path on
+// a CPU without that ISA.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "gatelevel/faultsim.h"
+#include "gatelevel/netlist.h"
+#include "gatelevel/simgraph.h"
+#include "gatelevel/widebits.h"
+#include "observe/scoap_attr.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace tsyn::gl::wide_detail {
+
+/// Items claimed per work-stealing grab; mirrors the narrow engine's
+/// kPpsfpStealChunk (faultsim.cpp) and for the same reason — per-fault
+/// propagation is microseconds, one atomic add each is pure contention.
+constexpr int kWideStealChunk = 16;
+
+/// Good-machine value rows for one super-block, shared read-only by every
+/// worker's propagator. Rows are interleaved: node id owns 2W contiguous
+/// words, the W value words then the W x words — one pointer addresses a
+/// node's whole three-valued row and the row sits on adjacent cache lines
+/// (split v/x arrays cost twice the line and TLB traffic on the per-event
+/// hot path).
+template <int W>
+struct WideGood {
+  std::vector<std::uint64_t> rows;  // node-major, 2W words per node
+
+  const std::uint64_t* row(int id) const {
+    return &rows[static_cast<std::size_t>(id) * 2 * W];
+  }
+};
+
+/// Evaluates one V-chunk (V::kWords lanes-of-64 at word offset `off`) of a
+/// gate from per-fanin row pointers. These are eval_gate's formulas routed
+/// through the widebits.h kernels.
+template <int W, class V>
+inline Tv<V> wide_eval_chunk(GateType type, const std::uint64_t* const* fr,
+                             int nf, int off) {
+  const auto ld = [&](int i) {
+    return Tv<V>{V::load(fr[i] + off), V::load(fr[i] + W + off)};
+  };
+  Tv<V> r;
+  switch (type) {
+    case GateType::kConst0:
+      r.v = V::zero();
+      r.x = V::zero();
+      break;
+    case GateType::kConst1:
+      r.v = V::ones();
+      r.x = V::zero();
+      break;
+    case GateType::kBuf:
+      r = ld(0);
+      break;
+    case GateType::kNot:
+      r = tv_not(ld(0));
+      break;
+    case GateType::kAnd:
+    case GateType::kNand:
+      r = ld(0);
+      for (int i = 1; i < nf; ++i) r = tv_and(r, ld(i));
+      if (type == GateType::kNand) r = tv_not(r);
+      break;
+    case GateType::kOr:
+    case GateType::kNor:
+      r = ld(0);
+      for (int i = 1; i < nf; ++i) r = tv_or(r, ld(i));
+      if (type == GateType::kNor) r = tv_not(r);
+      break;
+    case GateType::kXor:
+      r = tv_xor(ld(0), ld(1));
+      break;
+    case GateType::kXnor:
+      r = tv_not(tv_xor(ld(0), ld(1)));
+      break;
+    case GateType::kMux:
+      r = tv_mux(ld(0), ld(1), ld(2));
+      break;
+    case GateType::kInput:
+    case GateType::kDff:
+      assert(false && "wide eval on a source node");
+      r.v = V::zero();
+      r.x = V::ones();
+      break;
+  }
+  return r;
+}
+
+/// Evaluates one gate row (W lanes-of-64) into `out`.
+template <int W, class V>
+inline void wide_eval_row(GateType type, const std::uint64_t* const* fr,
+                          int nf, std::uint64_t* out) {
+  static_assert(W % V::kWords == 0, "backend width must divide the row");
+  constexpr int kChunks = W / V::kWords;
+  for (int c = 0; c < kChunks; ++c) {
+    const int off = c * V::kWords;
+    const Tv<V> r = wide_eval_chunk<W, V>(type, fr, nf, off);
+    r.v.store(out + off);
+    r.x.store(out + W + off);
+  }
+}
+
+/// Evaluates one gate row, returning whether the result differs from
+/// `old` (the node's previous faulty-machine row) and storing it to `dst`
+/// only when it does. This is the per-event hot path: the old
+/// copy-on-write shape (eval to a temp row, memcmp, memcpy) streamed
+/// every row through memory three extra times; here the row lives in
+/// registers while the diff accumulates, and unchanged events — the cone
+/// boundary, a large share of all events — never dirty a cache line.
+template <int W, class V>
+inline bool wide_eval_diff(GateType type, const std::uint64_t* const* fr,
+                           int nf, const std::uint64_t* old,
+                           std::uint64_t* dst) {
+  static_assert(W % V::kWords == 0, "backend width must divide the row");
+  constexpr int kChunks = W / V::kWords;
+  Tv<V> rs[kChunks];
+  V diff = V::zero();
+  for (int c = 0; c < kChunks; ++c) {
+    const int off = c * V::kWords;
+    rs[c] = wide_eval_chunk<W, V>(type, fr, nf, off);
+    diff = diff | (rs[c].v ^ V::load(old + off)) |
+           (rs[c].x ^ V::load(old + W + off));
+  }
+  if (!diff.any()) return false;
+  for (int c = 0; c < kChunks; ++c) {
+    const int off = c * V::kWords;
+    rs[c].v.store(dst + off);
+    rs[c].x.store(dst + W + off);
+  }
+  return true;
+}
+
+/// Loads PI rows for the super-block starting at block `base`. Blocks past
+/// the end of the campaign pad with all-X lanes; three-valued monotonicity
+/// makes them inert (an X-input lane can only detect a fault that every
+/// real lane also detects, so first-detection attribution stays real).
+template <int W, class V>
+void wide_set_inputs(const SimGraph& g,
+                     const std::vector<std::vector<Bits>>& blocks,
+                     std::size_t base, WideGood<W>& good) {
+  const std::size_t nn = static_cast<std::size_t>(g.num_nodes());
+  good.rows.assign(nn * 2 * W, 0);
+  for (std::size_t id = 0; id < nn; ++id) {  // default all lanes to X
+    std::uint64_t* rx = &good.rows[id * 2 * W + W];
+    for (int w = 0; w < W; ++w) rx[w] = ~0ULL;
+  }
+  const auto& pis = g.pis();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    std::uint64_t* r = &good.rows[static_cast<std::size_t>(pis[i]) * 2 * W];
+    for (int w = 0; w < W; ++w) {
+      const std::size_t b = base + static_cast<std::size_t>(w);
+      if (b >= blocks.size() || i >= blocks[b].size()) continue;
+      r[w] = blocks[b][i].v;
+      r[W + w] = blocks[b][i].x;
+    }
+  }
+}
+
+/// Full good simulation of the preset rows (one levelized pass).
+template <int W, class V>
+void wide_simulate_good(const SimGraph& g, WideGood<W>& good) {
+  const std::uint64_t* frp[16];
+  const std::int32_t* foff = g.fanin_off();
+  const std::int32_t* fin = g.fanin();
+  for (const std::int32_t id : g.order()) {
+    const GateType t = g.type(id);
+    if (t == GateType::kInput || t == GateType::kDff) continue;
+    const std::int32_t lo = foff[id];
+    const int nf = foff[id + 1] - lo;
+    assert(nf <= 16);
+    for (int i = 0; i < nf; ++i)
+      frp[i] = &good.rows[static_cast<std::size_t>(fin[lo + i]) * 2 * W];
+    wide_eval_row<W, V>(t, frp, nf,
+                        &good.rows[static_cast<std::size_t>(id) * 2 * W]);
+  }
+}
+
+/// FaultPropagator widened to W×64 lanes: same copy-on-write stamps, same
+/// per-level event buckets, value rows instead of single Bits. One
+/// instance per worker slot.
+template <int W, class V>
+class WideProp {
+ public:
+  explicit WideProp(const SimGraph& g) : g_(&g) {
+    const std::size_t nn = static_cast<std::size_t>(g.num_nodes());
+    frows_.assign(nn * 2 * W, 0);
+    stamp_.assign(nn, -1);
+    sched_stamp_.assign(nn, -1);
+    po_stamp_.assign(nn, -1);
+    lvl_stamp_.assign(g.num_levels(), -1);
+    lvl_nodes_.resize(g.num_levels());
+  }
+
+  /// One fault against the whole super-block: out_mask[w] is the detecting
+  /// lane mask of the super-block's w-th 64-lane block.
+  void propagate(const Fault& f, const WideGood<W>& good,
+                 std::uint64_t* out_mask) {
+    ++faults_;
+    const long before = events_;
+    begin(good);
+    inject(f);
+    drain(f);
+    last_events_ = events_ - before;
+    po_diff(out_mask);
+  }
+
+  long events() const { return events_; }
+  long faults() const { return faults_; }
+  long last_events() const { return last_events_; }
+  void reset_work_counters() {
+    events_ = 0;
+    faults_ = 0;
+    last_events_ = 0;
+  }
+
+ private:
+  /// Current faulty-machine row of `id`: its copy-on-write row when touched
+  /// this epoch, the shared good row otherwise.
+  const std::uint64_t* row(int id) const {
+    return stamp_[id] == cur_ ? &frows_[static_cast<std::size_t>(id) * 2 * W]
+                              : good_->row(id);
+  }
+
+  void begin(const WideGood<W>& good) {
+    good_ = &good;
+    if (cur_ == std::numeric_limits<int>::max()) {
+      std::fill(stamp_.begin(), stamp_.end(), -1);
+      std::fill(sched_stamp_.begin(), sched_stamp_.end(), -1);
+      std::fill(po_stamp_.begin(), po_stamp_.end(), -1);
+      std::fill(lvl_stamp_.begin(), lvl_stamp_.end(), -1);
+      cur_ = 0;
+    }
+    ++cur_;
+    min_lvl_ = g_->num_levels();
+    max_lvl_ = -1;
+    touched_pos_.clear();
+  }
+
+  void schedule_fanouts(int id) {
+    const std::int32_t* foff = g_->fanout_off();
+    const std::int32_t* fo = g_->fanout();
+    const std::int32_t* level_of = g_->level_of();
+    const std::int32_t end = foff[id + 1];
+    for (std::int32_t k = foff[id]; k < end; ++k) {
+      const int s = fo[k];
+      if (sched_stamp_[s] == cur_) continue;
+      sched_stamp_[s] = cur_;
+      // The sweep reaches `s` strictly later (deeper level); start pulling
+      // its good row in now so the eval doesn't stall on it.
+      const std::uint64_t* gr = good_->row(s);
+      __builtin_prefetch(gr);
+      __builtin_prefetch(gr + W);
+      const int lvl = level_of[s];
+      if (lvl_stamp_[lvl] != cur_) {
+        lvl_stamp_[lvl] = cur_;
+        lvl_nodes_[lvl].clear();
+        if (lvl < min_lvl_) min_lvl_ = lvl;
+        if (lvl > max_lvl_) max_lvl_ = lvl;
+      }
+      lvl_nodes_[lvl].push_back(s);
+    }
+  }
+
+  /// Marks `id` as diverged this epoch: stamp, PO bookkeeping, fanouts.
+  void touch(int id) {
+    stamp_[id] = cur_;
+    if ((g_->flags()[id] & SimGraph::kFlagPo) && po_stamp_[id] != cur_) {
+      po_stamp_[id] = cur_;
+      touched_pos_.push_back(id);
+    }
+    schedule_fanouts(id);
+  }
+
+  /// Overwrites node `id`'s row with `srow` (output-fault injection; once
+  /// per fault, so the memcmp shape is fine here).
+  void force(int id, const std::uint64_t* srow) {
+    if (std::memcmp(row(id), srow, sizeof(std::uint64_t) * 2 * W) == 0)
+      return;
+    std::memcpy(&frows_[static_cast<std::size_t>(id) * 2 * W], srow,
+                sizeof(std::uint64_t) * 2 * W);
+    touch(id);
+  }
+
+  /// Re-evaluates node `id` with fanin pin `pin` (or -1: none) overridden
+  /// to the `srow` row, directly into its copy-on-write row.
+  void eval_node(int id, int pin, const std::uint64_t* srow) {
+    const std::uint64_t* frp[16];
+    const std::int32_t* fin = g_->fanin();
+    const std::int32_t lo = g_->fanin_off()[id];
+    const int nf = g_->fanin_off()[id + 1] - lo;
+    assert(nf <= 16);
+    for (int i = 0; i < nf; ++i)
+      frp[i] = i == pin ? srow : row(fin[lo + i]);
+    std::uint64_t* dst = &frows_[static_cast<std::size_t>(id) * 2 * W];
+    const std::uint64_t* old = stamp_[id] == cur_ ? dst : good_->row(id);
+    if (wide_eval_diff<W, V>(g_->type(id), frp, nf, old, dst)) touch(id);
+  }
+
+  /// The faulted pin/node row: stuck value in every lane, nothing unknown.
+  void stuck_row(const Fault& f, std::uint64_t* srow) const {
+    for (int w = 0; w < W; ++w) {
+      srow[w] = f.stuck_at_one ? ~0ULL : 0;
+      srow[W + w] = 0;
+    }
+  }
+
+  void inject(const Fault& f) {
+    std::uint64_t srow[2 * W];
+    stuck_row(f, srow);
+    if (f.fanin_index < 0) {
+      force(f.node, srow);
+      return;
+    }
+    if (g_->type(f.node) == GateType::kDff) return;
+    eval_node(f.node, f.fanin_index, srow);
+  }
+
+  void drain(const Fault& f) {
+    std::uint64_t srow[2 * W];
+    stuck_row(f, srow);
+    // Scheduled nodes sit in per-level worklists (no scanning a level's
+    // position span for the few scheduled entries — cones here are small
+    // and the holes would dominate). A level's list is complete once the
+    // sweep reaches it: scheduling only ever targets deeper levels.
+    for (int lvl = min_lvl_; lvl <= max_lvl_; ++lvl) {
+      if (lvl_stamp_[lvl] != cur_) continue;
+      for (const int id : lvl_nodes_[lvl]) {
+        ++events_;
+        if (f.fanin_index < 0 && id == f.node) continue;  // pinned
+        eval_node(id, id == f.node ? f.fanin_index : -1, srow);
+      }
+    }
+  }
+
+  void po_diff(std::uint64_t* out) const {
+    for (int w = 0; w < W; ++w) out[w] = 0;
+    for (const int id : touched_pos_) {
+      const std::uint64_t* gr = good_->row(id);
+      const std::uint64_t* br = &frows_[static_cast<std::size_t>(id) * 2 * W];
+      for (int w = 0; w < W; ++w)
+        out[w] |= (gr[w] ^ br[w]) & ~gr[W + w] & ~br[W + w];
+    }
+  }
+
+  const SimGraph* g_;
+  const WideGood<W>* good_ = nullptr;
+  std::vector<std::uint64_t> frows_;  ///< copy-on-write rows, 2W words/node
+  std::vector<int> stamp_, sched_stamp_, po_stamp_;
+  int cur_ = 0;
+  std::vector<int> lvl_stamp_;
+  std::vector<std::vector<int>> lvl_nodes_;  ///< scheduled ids per level
+  int min_lvl_ = 0, max_lvl_ = -1;
+  std::vector<int> touched_pos_;
+  long events_ = 0, faults_ = 0, last_events_ = 0;
+};
+
+/// One wide campaign over all blocks. Drop mode when `detected` is given
+/// (fault dropping plus ledger detect events, exactly the serial
+/// first-detection attribution); matrix mode when `matrix` is given (no
+/// dropping, every block's lane mask recorded).
+template <int W, class V>
+void wide_campaign(const Netlist& n,
+                   const std::vector<std::vector<Bits>>& blocks,
+                   const std::vector<Fault>& faults,
+                   const FaultSimOptions& options, std::vector<bool>* detected,
+                   std::vector<std::uint64_t>* matrix) {
+  if (!n.flops().empty())
+    throw std::runtime_error(
+        "wide fault sim is combinational; expand state as PI/PO first");
+  const SimGraph& g = SimGraph::of(n);  // built before workers fan out
+  const int count = static_cast<int>(faults.size());
+  const std::size_t nb = blocks.size();
+  if (count == 0 || nb == 0) return;
+  const std::size_t nsuper = (nb + W - 1) / W;
+  const int workers = std::min(options.resolved_threads(), count);
+  std::vector<WideProp<W, V>> props;
+  props.reserve(static_cast<std::size_t>(std::max(workers, 1)));
+  for (int w = 0; w < std::max(workers, 1); ++w) props.emplace_back(g);
+
+  WideGood<W> good;
+  std::vector<std::uint64_t> block_masks(static_cast<std::size_t>(count) * W);
+  const bool ledger_on = observe::ledger_enabled();
+  long newly = 0, blocks_done = 0;
+  for (std::size_t s = 0; s < nsuper; ++s) {
+    wide_set_inputs<W, V>(g, blocks, s * W, good);
+    wide_simulate_good<W, V>(g, good);
+    auto job = [&](int i, int slot) {
+      std::uint64_t* mw = &block_masks[static_cast<std::size_t>(i) * W];
+      if (detected && (*detected)[i]) {
+        std::fill(mw, mw + W, 0);
+        return;
+      }
+      props[slot].propagate(faults[i], good, mw);
+      if (ledger_on)
+        observe::record_sim_effort(observe::make_fault_key(faults[i]),
+                                   props[slot].last_events());
+    };
+    if (workers <= 1) {
+      for (int i = 0; i < count; ++i) job(i, 0);
+    } else {
+      util::ThreadPool::shared().run_chunked(count, workers, kWideStealChunk,
+                                             job);
+    }
+    const int real = static_cast<int>(
+        std::min<std::size_t>(W, nb - s * W));  // blocks, minus padding
+    if (detected) {
+      const long pattern_base = 64 * static_cast<long>(s * W);
+      for (int i = 0; i < count; ++i) {
+        if ((*detected)[i]) continue;
+        const std::uint64_t* mw =
+            &block_masks[static_cast<std::size_t>(i) * W];
+        for (int w = 0; w < W; ++w) {
+          if (mw[w] == 0) continue;
+          (*detected)[i] = true;
+          ++newly;
+          if (ledger_on)
+            observe::record_detected(
+                observe::make_fault_key(faults[i]),
+                pattern_base + 64 * w + std::countr_zero(mw[w]));
+          break;
+        }
+      }
+    }
+    if (matrix) {
+      for (int i = 0; i < count; ++i) {
+        const std::uint64_t* mw =
+            &block_masks[static_cast<std::size_t>(i) * W];
+        std::uint64_t* row = &(*matrix)[static_cast<std::size_t>(i) * nb];
+        for (int w = 0; w < real; ++w) row[s * W + w] = mw[w];
+      }
+    }
+    blocks_done += real;
+  }
+
+  long events = 0, done = 0;
+  for (WideProp<W, V>& p : props) {
+    events += p.events();
+    done += p.faults();
+    p.reset_work_counters();
+  }
+  util::metrics().counter("faultsim.ppsfp.events").add(events);
+  util::metrics().counter("faultsim.ppsfp.faults_simulated").add(done);
+  util::metrics().counter("faultsim.ppsfp.blocks").add(blocks_done);
+  util::metrics().counter("faultsim.ppsfp.faults_detected").add(newly);
+  util::metrics()
+      .counter("faultsim.wide.super_blocks")
+      .add(static_cast<long>(nsuper));
+  util::metrics().gauge("faultsim.wide.lanes").set(64 * W);
+}
+
+// Per-ISA entry points, defined in faultsim_avx2.cpp / faultsim_avx512.cpp
+// when the build compiled them (TSYN_WIDE_AVX2 / TSYN_WIDE_AVX512). Only
+// call after active_simd_backend() confirms the CPU has the ISA.
+void wide_campaign_avx2_w4(const Netlist& n,
+                           const std::vector<std::vector<Bits>>& blocks,
+                           const std::vector<Fault>& faults,
+                           const FaultSimOptions& options,
+                           std::vector<bool>* detected,
+                           std::vector<std::uint64_t>* matrix);
+void wide_campaign_avx2_w8(const Netlist& n,
+                           const std::vector<std::vector<Bits>>& blocks,
+                           const std::vector<Fault>& faults,
+                           const FaultSimOptions& options,
+                           std::vector<bool>* detected,
+                           std::vector<std::uint64_t>* matrix);
+void wide_campaign_avx512_w8(const Netlist& n,
+                             const std::vector<std::vector<Bits>>& blocks,
+                             const std::vector<Fault>& faults,
+                             const FaultSimOptions& options,
+                             std::vector<bool>* detected,
+                             std::vector<std::uint64_t>* matrix);
+
+}  // namespace tsyn::gl::wide_detail

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "gatelevel/simgraph.h"
+
 namespace tsyn::gl {
 
 std::string to_string(GateType t) {
@@ -65,6 +67,14 @@ std::string Netlist::unique_name(const std::string& name) {
     candidate = name + "#" + std::to_string(++it->second);
   } while (!name_uses_.try_emplace(candidate, 0).second);
   return candidate;
+}
+
+void Netlist::reserve_nodes(int expected_nodes) {
+  if (expected_nodes <= num_nodes()) return;
+  nodes_.reserve(static_cast<std::size_t>(expected_nodes));
+  // Most nodes carry a distinct name; sizing the hash table with them
+  // avoids rehashing mid-construction.
+  name_uses_.reserve(static_cast<std::size_t>(expected_nodes));
 }
 
 int Netlist::add_input(const std::string& name) {
@@ -195,7 +205,10 @@ void Netlist::mark_output(int node) {
   outputs_.push_back(node);
 }
 
-void Netlist::invalidate_caches() { caches_valid_ = false; }
+void Netlist::invalidate_caches() {
+  caches_valid_ = false;
+  lowered_.reset();  // the SimGraph mirrors the structure; rebuild lazily
+}
 
 const std::vector<int>& Netlist::topo_order() const {
   if (!caches_valid_) {
@@ -274,87 +287,24 @@ void Netlist::validate() const {
   topo_order();  // throws on combinational cycles
 }
 
-Bits eval_gate(GateType type, const Bits* in, int num_fanins) {
-  auto and2 = [](Bits a, Bits b) {
-    Bits r;
-    r.v = a.v & b.v;
-    // Unknown unless either side is a known 0.
-    r.x = (a.x | b.x) & ~((~a.v & ~a.x) | (~b.v & ~b.x));
-    r.v &= ~r.x;
-    return r;
-  };
-  auto or2 = [](Bits a, Bits b) {
-    Bits r;
-    r.v = (a.v & ~a.x) | (b.v & ~b.x);
-    r.x = (a.x | b.x) & ~((a.v & ~a.x) | (b.v & ~b.x));
-    return r;
-  };
-  auto inv = [](Bits a) {
-    return Bits{~a.v & ~a.x, a.x};
-  };
-  auto xor2 = [](Bits a, Bits b) {
-    Bits r;
-    r.x = a.x | b.x;
-    r.v = (a.v ^ b.v) & ~r.x;
-    return r;
-  };
-
-  switch (type) {
-    case GateType::kConst0: return Bits::all0();
-    case GateType::kConst1: return Bits::all1();
-    case GateType::kBuf: return in[0];
-    case GateType::kNot: return inv(in[0]);
-    case GateType::kAnd:
-    case GateType::kNand: {
-      Bits r = in[0];
-      for (int i = 1; i < num_fanins; ++i) r = and2(r, in[i]);
-      return type == GateType::kNand ? inv(r) : r;
-    }
-    case GateType::kOr:
-    case GateType::kNor: {
-      Bits r = in[0];
-      for (int i = 1; i < num_fanins; ++i) r = or2(r, in[i]);
-      return type == GateType::kNor ? inv(r) : r;
-    }
-    case GateType::kXor: return xor2(in[0], in[1]);
-    case GateType::kXnor: return inv(xor2(in[0], in[1]));
-    case GateType::kMux: {
-      // sel ? b : a, with X-pessimism when sel is unknown and a != b.
-      const Bits sel = in[0];
-      const Bits a = in[1];
-      const Bits b = in[2];
-      Bits r;
-      const std::uint64_t sel_known = ~sel.x;
-      const std::uint64_t pick_b = sel.v & sel_known;
-      const std::uint64_t pick_a = ~sel.v & sel_known;
-      r.v = (a.v & pick_a) | (b.v & pick_b);
-      r.x = (a.x & pick_a) | (b.x & pick_b);
-      // Unknown select: known only where a and b agree and are known.
-      const std::uint64_t agree = ~(a.v ^ b.v) & ~a.x & ~b.x;
-      r.v |= sel.x & agree & a.v;
-      r.x |= sel.x & ~agree;
-      return r;
-    }
-    case GateType::kInput:
-    case GateType::kDff:
-      break;  // sources: handled by the caller
-  }
-  assert(false && "eval_gate on a source node");
-  return Bits::unknown();
-}
-
 void simulate_frame(const Netlist& n, std::vector<Bits>& values) {
   assert(values.size() == static_cast<std::size_t>(n.num_nodes()));
+  // Runs on the compiled SoA form: flat fanin arena, levelized order —
+  // one indexed load per pin instead of chasing per-node heap vectors.
+  const SimGraph& g = SimGraph::of(n);
   Bits fanin_vals[16];
-  for (int id : n.topo_order()) {
-    const Node& node = n.node(id);
-    if (node.type == GateType::kInput || node.type == GateType::kDff)
+  const std::int32_t* fanin = g.fanin();
+  const std::int32_t* off = g.fanin_off();
+  Bits* vals = values.data();
+  for (const std::int32_t id : g.order()) {
+    const GateType type = g.type(id);
+    if (type == GateType::kInput || type == GateType::kDff)
       continue;  // sources, preset by the caller
-    assert(node.fanins.size() <= 16);
-    for (std::size_t i = 0; i < node.fanins.size(); ++i)
-      fanin_vals[i] = values[node.fanins[i]];
-    values[id] = eval_gate(node.type, fanin_vals,
-                           static_cast<int>(node.fanins.size()));
+    const std::int32_t lo = off[id];
+    const int nf = off[id + 1] - lo;
+    assert(nf <= 16);
+    for (int i = 0; i < nf; ++i) fanin_vals[i] = vals[fanin[lo + i]];
+    vals[id] = eval_gate(type, fanin_vals, nf);
   }
 }
 

@@ -7,9 +7,11 @@
 // node is the FF's Q; fanin[0] is its D).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace tsyn::gl {
@@ -57,6 +59,11 @@ class Netlist {
   // (validate() asserts uniqueness in debug builds).
   int add_input(const std::string& name = "");
   int add_const(bool value);
+  /// Pre-sizes the node table (and the name map's bucket array) for a
+  /// construction pass that knows roughly how many nodes it will add —
+  /// expand_datapath does, and reallocation during expansion is pure
+  /// waste. A hint, not a limit.
+  void reserve_nodes(int expected_nodes);
   int add_gate(GateType type, const std::vector<int>& fanins,
                const std::string& name = "");
   /// add_gate without constant folding. For experiment rigs that need two
@@ -90,6 +97,17 @@ class Netlist {
   /// Checks structure: fanin arities, no combinational cycles.
   void validate() const;
 
+  /// Opaque cache slot for the lowered SoA simulation form, owned by
+  /// gl::SimGraph::of (simgraph.h) and reset together with the topo and
+  /// fanout caches on every structural edit. Opaque here so netlist.h
+  /// stays free of the simgraph dependency; nobody else should touch it.
+  const std::shared_ptr<const void>& lowered_cache() const {
+    return lowered_;
+  }
+  void set_lowered_cache(std::shared_ptr<const void> cache) const {
+    lowered_ = std::move(cache);
+  }
+
  private:
   void invalidate_caches();
   /// Returns `name` unchanged on first use, "<name>#k" on collisions.
@@ -97,17 +115,90 @@ class Netlist {
 
   std::vector<Node> nodes_;
   /// Per base name: next collision suffix (0 = only the base used so far).
-  std::map<std::string, int> name_uses_;
+  /// Only ever probed point-wise, never iterated, so hash order is safe.
+  std::unordered_map<std::string, int> name_uses_;
   std::vector<int> inputs_;
   std::vector<int> outputs_;
   std::vector<int> flops_;
   mutable std::vector<int> topo_;
   mutable std::vector<std::vector<int>> fanouts_;
   mutable bool caches_valid_ = false;
+  mutable std::shared_ptr<const void> lowered_;
 };
 
-/// Evaluates one combinational gate from fanin values.
-Bits eval_gate(GateType type, const Bits* fanin_values, int num_fanins);
+/// Evaluates one combinational gate from fanin values. Header-inline so
+/// the simulation hot loops (simulate_frame, FaultPropagator::drain) fold
+/// the whole evaluation into one switch instead of an out-of-line call;
+/// the wide-lane kernels in widebits.h are these same formulas lifted to
+/// W words and must stay bit-identical at W=1.
+inline Bits eval_gate(GateType type, const Bits* in, int num_fanins) {
+  auto and2 = [](Bits a, Bits b) {
+    Bits r;
+    r.v = a.v & b.v;
+    // Unknown unless either side is a known 0.
+    r.x = (a.x | b.x) & ~((~a.v & ~a.x) | (~b.v & ~b.x));
+    r.v &= ~r.x;
+    return r;
+  };
+  auto or2 = [](Bits a, Bits b) {
+    Bits r;
+    r.v = (a.v & ~a.x) | (b.v & ~b.x);
+    r.x = (a.x | b.x) & ~((a.v & ~a.x) | (b.v & ~b.x));
+    return r;
+  };
+  auto inv = [](Bits a) {
+    return Bits{~a.v & ~a.x, a.x};
+  };
+  auto xor2 = [](Bits a, Bits b) {
+    Bits r;
+    r.x = a.x | b.x;
+    r.v = (a.v ^ b.v) & ~r.x;
+    return r;
+  };
+
+  switch (type) {
+    case GateType::kConst0: return Bits::all0();
+    case GateType::kConst1: return Bits::all1();
+    case GateType::kBuf: return in[0];
+    case GateType::kNot: return inv(in[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Bits r = in[0];
+      for (int i = 1; i < num_fanins; ++i) r = and2(r, in[i]);
+      return type == GateType::kNand ? inv(r) : r;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Bits r = in[0];
+      for (int i = 1; i < num_fanins; ++i) r = or2(r, in[i]);
+      return type == GateType::kNor ? inv(r) : r;
+    }
+    case GateType::kXor: return xor2(in[0], in[1]);
+    case GateType::kXnor: return inv(xor2(in[0], in[1]));
+    case GateType::kMux: {
+      // sel ? b : a, with X-pessimism when sel is unknown and a != b.
+      const Bits sel = in[0];
+      const Bits a = in[1];
+      const Bits b = in[2];
+      Bits r;
+      const std::uint64_t sel_known = ~sel.x;
+      const std::uint64_t pick_b = sel.v & sel_known;
+      const std::uint64_t pick_a = ~sel.v & sel_known;
+      r.v = (a.v & pick_a) | (b.v & pick_b);
+      r.x = (a.x & pick_a) | (b.x & pick_b);
+      // Unknown select: known only where a and b agree and are known.
+      const std::uint64_t agree = ~(a.v ^ b.v) & ~a.x & ~b.x;
+      r.v |= sel.x & agree & a.v;
+      r.x |= sel.x & ~agree;
+      return r;
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;  // sources: handled by the caller
+  }
+  assert(false && "eval_gate on a source node");
+  return Bits::unknown();
+}
 
 /// Full-parallel good simulation of one clock frame.
 /// `values` must be sized num_nodes; entries for kInput and kDff nodes are

@@ -1,0 +1,97 @@
+#include "gatelevel/simgraph.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace tsyn::gl {
+
+SimGraph SimGraph::lower(const Netlist& n) {
+  TSYN_SPAN("gl.simgraph.lower");
+  const int nn = n.num_nodes();
+  SimGraph g;
+  g.type_.resize(nn);
+  g.fanin_off_.assign(nn + 1, 0);
+  g.flags_.assign(nn, 0);
+  for (int id = 0; id < nn; ++id) {
+    const Node& node = n.node(id);
+    g.type_[id] = static_cast<std::uint8_t>(node.type);
+    g.fanin_off_[id + 1] =
+        g.fanin_off_[id] + static_cast<std::int32_t>(node.fanins.size());
+    if (node.type == GateType::kDff) g.flags_[id] |= kFlagDff;
+  }
+  for (int po : n.primary_outputs()) g.flags_[po] |= kFlagPo;
+  g.fanin_.resize(g.fanin_off_[nn]);
+  for (int id = 0; id < nn; ++id)
+    std::copy(n.node(id).fanins.begin(), n.node(id).fanins.end(),
+              g.fanin_.begin() + g.fanin_off_[id]);
+
+  // Levelize along the Netlist's own topological order (which also proves
+  // acyclicity): sources sit at level 0, every comb gate one past its
+  // deepest fanin. DFFs are sources — their D edge is a capture boundary.
+  g.level_of_.assign(nn, 0);
+  int max_level = 0;
+  for (int id : n.topo_order()) {
+    const Node& node = n.node(id);
+    if (node.type == GateType::kInput || node.type == GateType::kDff)
+      continue;
+    int lvl = 0;
+    for (int f : node.fanins) lvl = std::max(lvl, g.level_of_[f] + 1);
+    g.level_of_[id] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+
+  // Counting sort by level, node id ascending within a level, giving the
+  // levelized order plus the per-level spans.
+  g.level_off_.assign(max_level + 2, 0);
+  for (int id = 0; id < nn; ++id) ++g.level_off_[g.level_of_[id] + 1];
+  for (int l = 0; l < max_level + 1; ++l)
+    g.level_off_[l + 1] += g.level_off_[l];
+  g.order_.resize(nn);
+  g.pos_of_.resize(nn);
+  {
+    std::vector<std::int32_t> fill(g.level_off_.begin(),
+                                   g.level_off_.end() - 1);
+    for (int id = 0; id < nn; ++id) {
+      const std::int32_t pos = fill[g.level_of_[id]]++;
+      g.order_[pos] = id;
+      g.pos_of_[id] = pos;
+    }
+  }
+
+  // CSR fanouts over combinational edges only.
+  g.fanout_off_.assign(nn + 1, 0);
+  for (int id = 0; id < nn; ++id) {
+    if (g.type(id) == GateType::kDff) continue;
+    for (int f : n.node(id).fanins) ++g.fanout_off_[f + 1];
+  }
+  for (int id = 0; id < nn; ++id) g.fanout_off_[id + 1] += g.fanout_off_[id];
+  g.fanout_.resize(g.fanout_off_[nn]);
+  {
+    std::vector<std::int32_t> fill(g.fanout_off_.begin(),
+                                   g.fanout_off_.end() - 1);
+    for (int id = 0; id < nn; ++id) {
+      if (g.type(id) == GateType::kDff) continue;
+      for (int f : n.node(id).fanins) g.fanout_[fill[f]++] = id;
+    }
+  }
+
+  g.pis_.assign(n.primary_inputs().begin(), n.primary_inputs().end());
+  g.pos_.assign(n.primary_outputs().begin(), n.primary_outputs().end());
+  g.ffs_.assign(n.flops().begin(), n.flops().end());
+
+  util::metrics().counter("gl.simgraph.lowered").add();
+  util::metrics().gauge("gl.simgraph.last_levels").set(g.num_levels());
+  return g;
+}
+
+const SimGraph& SimGraph::of(const Netlist& n) {
+  const auto& slot = n.lowered_cache();
+  if (!slot)
+    n.set_lowered_cache(std::make_shared<const SimGraph>(lower(n)));
+  return *static_cast<const SimGraph*>(n.lowered_cache().get());
+}
+
+}  // namespace tsyn::gl

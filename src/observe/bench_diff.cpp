@@ -114,6 +114,20 @@ struct Differ {
     if (key == "metrics" || key == "ledger") return;
     if (classify(key) == FieldClass::kSkip) return;
     if (b.type != f.type) {
+      // A null on either side is a skip marker — the bench decided the
+      // measurement is meaningless in that environment (e.g.
+      // "parallel_ms": null on a single-core host) rather than timing
+      // noise dressed up as data. A skipped measurement is never a
+      // regression; only workload identity may not flip to null.
+      if (b.type == Json::Type::kNull || f.type == Json::Type::kNull) {
+        if (classify(key) == FieldClass::kIdentity)
+          fail(path, "null vs value (workload identity changed)");
+        else
+          note(path, b.type == Json::Type::kNull
+                         ? "unmeasured in baseline, measured in new run"
+                         : "measured in baseline, skipped in new run");
+        return;
+      }
       fail(path, "type changed");
       return;
     }
@@ -211,7 +225,12 @@ struct Differ {
       const std::string kpath = path.empty() ? key : path + "." + key;
       const Json* fval = f.find(key);
       if (!fval) {
-        if (opts.allow_missing)
+        // A missing leaf measurement is the same statement as an explicit
+        // null: the new run skipped it. Structural members (sections,
+        // row arrays) and identity fields must still be present.
+        const bool leaf = !bval.is_object() && !bval.is_array();
+        if (opts.allow_missing ||
+            (leaf && classify(key) != FieldClass::kIdentity))
           note(kpath, "missing from new run");
         else
           fail(kpath, "missing from new run");

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <exception>
@@ -8,8 +9,10 @@
 
 namespace tsyn::util {
 
-/// One run() call in flight. Work is claimed index-by-index from `next` so
-/// uneven items (fault propagation cost varies wildly) balance themselves.
+/// One run()/run_chunked() call in flight. run() claims work index-by-index
+/// from `next` so uneven items (fault propagation cost varies wildly)
+/// balance themselves; run_chunked() splits the range into per-slot deques
+/// (next_of/end_of) that participants drain chunk-wise and steal from.
 struct ThreadPool::Batch {
   int count = 0;
   /// Helper slots still unclaimed; the caller retires the leftovers when it
@@ -18,6 +21,14 @@ struct ThreadPool::Batch {
   int started = 0;   ///< helpers that joined (guarded by the pool mutex)
   int finished = 0;  ///< helpers that completed (guarded by the pool mutex)
   std::atomic<int> next{0};
+  /// Chunked mode (chunk > 0): slot s owns items [start of its range,
+  /// end_of[s]) and claims `chunk` of them per fetch_add on next_of[s];
+  /// a cursor past its end means the range is dry (it never refills, which
+  /// is what makes a single stealing pass over the victims complete).
+  int chunk = 0;
+  int slots = 0;
+  std::unique_ptr<std::atomic<long>[]> next_of;
+  std::vector<long> end_of;
   const std::function<void(int, int)>* job = nullptr;
   std::mutex err_mu;
   std::exception_ptr error;
@@ -53,6 +64,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::work(Batch& b, int slot) {
+  if (b.chunk > 0) {
+    work_chunked(b, slot);
+    return;
+  }
   try {
     for (int i = b.next.fetch_add(1, std::memory_order_relaxed); i < b.count;
          i = b.next.fetch_add(1, std::memory_order_relaxed))
@@ -63,6 +78,34 @@ void ThreadPool::work(Batch& b, int slot) {
       if (!b.error) b.error = std::current_exception();
     }
     b.next.store(b.count, std::memory_order_relaxed);  // abandon the rest
+  }
+}
+
+void ThreadPool::work_chunked(Batch& b, int slot) {
+  try {
+    // Drain our own range first, then visit each victim in turn. Ranges
+    // only deplete, so by the time we move past a victim it is dry for
+    // good — one pass covers everything even if some planned helper never
+    // actually joined the batch (its range just gets stolen whole).
+    for (int v = 0; v < b.slots; ++v) {
+      const int victim = (slot + v) % b.slots;
+      const long end = b.end_of[victim];
+      for (;;) {
+        const long i =
+            b.next_of[victim].fetch_add(b.chunk, std::memory_order_relaxed);
+        if (i >= end) break;
+        const long stop = std::min(i + b.chunk, end);
+        for (long k = i; k < stop; ++k)
+          (*b.job)(static_cast<int>(k), slot);
+      }
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(b.err_mu);
+      if (!b.error) b.error = std::current_exception();
+    }
+    for (int v = 0; v < b.slots; ++v)  // abandon the rest
+      b.next_of[v].store(b.end_of[v], std::memory_order_relaxed);
   }
 }
 
@@ -88,21 +131,8 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run(int count, int max_threads,
-                     const std::function<void(int, int)>& job) {
-  if (count <= 0) return;
-  const int helpers =
-      std::min({max_threads - 1, num_workers_, count - 1});
-  if (helpers <= 0) {
-    for (int i = 0; i < count; ++i) job(i, 0);
-    return;
-  }
-
+void ThreadPool::run_batch(const std::shared_ptr<Batch>& b) {
   State& s = *state_;
-  auto b = std::make_shared<Batch>();
-  b->count = count;
-  b->open_slots = helpers;
-  b->job = &job;
   {
     std::lock_guard<std::mutex> lk(s.mu);
     s.batch = b;
@@ -117,6 +147,52 @@ void ThreadPool::run(int count, int max_threads,
   lk.unlock();
 
   if (b->error) std::rethrow_exception(b->error);
+}
+
+void ThreadPool::run(int count, int max_threads,
+                     const std::function<void(int, int)>& job) {
+  if (count <= 0) return;
+  const int helpers =
+      std::min({max_threads - 1, num_workers_, count - 1});
+  if (helpers <= 0) {
+    for (int i = 0; i < count; ++i) job(i, 0);
+    return;
+  }
+
+  auto b = std::make_shared<Batch>();
+  b->count = count;
+  b->open_slots = helpers;
+  b->job = &job;
+  run_batch(b);
+}
+
+void ThreadPool::run_chunked(int count, int max_threads, int chunk,
+                             const std::function<void(int, int)>& job) {
+  if (count <= 0) return;
+  if (chunk < 1) chunk = 1;
+  const int helpers =
+      std::min({max_threads - 1, num_workers_, count - 1});
+  if (helpers <= 0) {
+    for (int i = 0; i < count; ++i) job(i, 0);
+    return;
+  }
+
+  auto b = std::make_shared<Batch>();
+  b->count = count;
+  b->open_slots = helpers;
+  b->job = &job;
+  b->chunk = chunk;
+  b->slots = helpers + 1;
+  b->next_of.reset(new std::atomic<long>[b->slots]);
+  b->end_of.resize(b->slots);
+  for (int v = 0; v < b->slots; ++v) {
+    // Even contiguous split; empty ranges (count < slots) are fine — they
+    // are born dry and thieves skip straight past them.
+    b->next_of[v].store(static_cast<long>(count) * v / b->slots,
+                        std::memory_order_relaxed);
+    b->end_of[v] = static_cast<long>(count) * (v + 1) / b->slots;
+  }
+  run_batch(b);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -35,6 +35,20 @@ class ThreadPool {
   /// thrown by job are rethrown on the calling thread (first one wins).
   void run(int count, int max_threads, const std::function<void(int, int)>& job);
 
+  /// Like run(), but with chunked work-stealing instead of a single shared
+  /// counter: [0, count) is split into one contiguous range per slot, each
+  /// participant claims `chunk` items at a time from its own range with one
+  /// atomic add, and steals chunks from the other ranges once its own is
+  /// dry. Ranges only ever drain, so one pass over the victims suffices and
+  /// every item runs exactly once. Same guarantees as run() (slot ids,
+  /// caller participation, inline degeneration, exception rethrow); use it
+  /// when items are cheap enough that one atomic per item shows up, or
+  /// skewed enough that idle threads should steal. Chunk granularity trades
+  /// contention against tail imbalance — the final `chunk` items of the
+  /// slowest range can't be shared.
+  void run_chunked(int count, int max_threads, int chunk,
+                   const std::function<void(int, int)>& job);
+
   /// Process-wide pool sized to the hardware. Lazily constructed.
   static ThreadPool& shared();
 
@@ -42,7 +56,9 @@ class ThreadPool {
   struct Batch;
   struct State;
   void worker_loop();
+  void run_batch(const std::shared_ptr<Batch>& b);
   static void work(Batch& b, int slot);
+  static void work_chunked(Batch& b, int slot);
 
   std::unique_ptr<State> state_;
   int num_workers_ = 0;

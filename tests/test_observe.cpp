@@ -458,6 +458,44 @@ TEST(BenchDiff, MissingRowFailsUnlessAllowed) {
   EXPECT_TRUE(diff_bench_json(parse(kBase), parse(fresh), allow).ok());
 }
 
+TEST(BenchDiff, NullSkipMarkerIsANoteNotARegression) {
+  // A single-core host writes "parallel_ms": null instead of a fake
+  // measurement; the gate must not flag the skip either direction.
+  const BenchDiffResult skipped =
+      diff_bench_json(parse(kBase), parse(with("serial_ms", "null")));
+  EXPECT_TRUE(skipped.ok());
+  EXPECT_FALSE(skipped.notes.empty());
+  const BenchDiffResult measured =
+      diff_bench_json(parse(with("serial_ms", "null")), parse(kBase));
+  EXPECT_TRUE(measured.ok());
+  // Workload identity may not turn into a skip marker.
+  const BenchDiffResult identity =
+      diff_bench_json(parse(kBase), parse(with("gates", "null")));
+  EXPECT_FALSE(identity.ok());
+}
+
+TEST(BenchDiff, MissingLeafMeasurementIsANote) {
+  const std::string fresh = R"({
+    "schema": 2, "seed": 1,
+    "ppsfp": [
+      {"circuit": "diffeq", "gates": 100, "faults": 400,
+       "coverage": 98.5, "speedup8": 4.0}
+    ]
+  })";  // serial_ms absent: skipped measurement, not a regression
+  const BenchDiffResult res = diff_bench_json(parse(kBase), parse(fresh));
+  EXPECT_TRUE(res.ok());
+  EXPECT_FALSE(res.notes.empty());
+  // An identity field going missing is still a failure.
+  const std::string no_gates = R"({
+    "schema": 2, "seed": 1,
+    "ppsfp": [
+      {"circuit": "diffeq", "faults": 400,
+       "coverage": 98.5, "serial_ms": 10.0, "speedup8": 4.0}
+    ]
+  })";
+  EXPECT_FALSE(diff_bench_json(parse(kBase), parse(no_gates)).ok());
+}
+
 TEST(BenchDiff, SeedOrSchemaMismatchIsUnusable) {
   const BenchDiffResult res =
       diff_bench_json(parse(kBase), parse(with("seed", "2")));
