@@ -8,6 +8,7 @@
 #include "observe/scoap_attr.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -76,6 +77,8 @@ AtpgCampaign run_dynamic_campaign(const Netlist& n,
   static util::Counter& m_merged =
       util::metrics().counter("compaction.dynamic.secondary_merged");
 
+  static util::Progress& p_targets = util::progress("atpg.targets");
+  p_targets.add_total(static_cast<std::int64_t>(faults.size()));
   AtpgCampaign campaign;
   campaign.status.assign(faults.size(), AtpgStatus::kAborted);
   std::vector<bool> handled(faults.size(), false);
@@ -97,12 +100,15 @@ AtpgCampaign run_dynamic_campaign(const Netlist& n,
     std::vector<bool> drop(faults.size(), false);
     for (std::size_t j = 0; j < faults.size(); ++j) drop[j] = handled[j];
     sim.run_block(block, faults, drop);
+    std::int64_t closed = 0;
     for (std::size_t j = 0; j < faults.size(); ++j) {
       if (!handled[j] && drop[j]) {
         handled[j] = true;
         campaign.status[j] = AtpgStatus::kDetected;
+        ++closed;
       }
     }
+    if (closed) p_targets.add(closed);
   };
 
   auto add_stats = [&](const gl::AtpgStats& s) {
@@ -118,6 +124,7 @@ AtpgCampaign run_dynamic_campaign(const Netlist& n,
     add_stats(r.stats);
     campaign.status[fi] = r.status;
     handled[fi] = true;
+    p_targets.add(1);
     if (r.status != AtpgStatus::kDetected) continue;
 
     TestCube cube = r.pi_values;
@@ -141,6 +148,7 @@ AtpgCampaign run_dynamic_campaign(const Netlist& n,
         cube = r2.pi_values;
         handled[fj] = true;
         campaign.status[fj] = AtpgStatus::kDetected;
+        p_targets.add(1);
         ++merged;
       }
     }
@@ -230,6 +238,8 @@ std::vector<std::vector<std::uint64_t>> detection_matrix(
   const std::vector<std::vector<Bits>> blocks = patterns_to_blocks(patterns);
   for (auto& row : matrix) row.assign(blocks.size(), 0);
   if (blocks.empty() || faults.empty()) return matrix;
+  util::progress("sim.patterns")
+      .add_total(64 * static_cast<std::int64_t>(blocks.size()));
 
   // Blocks are independent without fault dropping, so they shard over the
   // pool: one SERIAL FaultSimulator per worker slot (the per-block inner

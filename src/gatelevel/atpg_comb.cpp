@@ -10,6 +10,7 @@
 #include "gatelevel/scoap.h"
 #include "observe/scoap_attr.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -507,6 +508,8 @@ AtpgCampaign run_combinational_atpg(const Netlist& n,
   TSYN_SPAN("gl.atpg.comb");
   if (observe::ledger_enabled())
     observe::record_universe(static_cast<long>(faults.size()));
+  static util::Progress& p_targets = util::progress("atpg.targets");
+  p_targets.add_total(static_cast<std::int64_t>(faults.size()));
   AtpgCampaign campaign;
   campaign.status.assign(faults.size(), AtpgStatus::kAborted);
   std::vector<bool> handled(faults.size(), false);
@@ -535,12 +538,15 @@ AtpgCampaign run_combinational_atpg(const Netlist& n,
     std::vector<bool> drop(faults.size(), false);
     for (std::size_t j = 0; j < faults.size(); ++j) drop[j] = handled[j];
     sim.run_block(block, faults, drop);
+    std::int64_t closed = 0;
     for (std::size_t j = 0; j < faults.size(); ++j) {
       if (!handled[j] && drop[j]) {
         handled[j] = true;
         campaign.status[j] = AtpgStatus::kDetected;
+        ++closed;
       }
     }
+    if (closed) p_targets.add(closed);
   };
 
   auto add_stats = [&](const AtpgStats& s) {
@@ -561,6 +567,7 @@ AtpgCampaign run_combinational_atpg(const Netlist& n,
       add_stats(r.stats);
       campaign.status[fi] = r.status;
       handled[fi] = true;
+      p_targets.add(1);
       if (r.status == AtpgStatus::kDetected) grade_test(r.pi_values);
     }
   } else {
@@ -607,6 +614,7 @@ AtpgCampaign run_combinational_atpg(const Netlist& n,
         if (handled[fi]) continue;  // dropped by an earlier wave-mate
         campaign.status[fi] = r.status;
         handled[fi] = true;
+        p_targets.add(1);
         if (r.status == AtpgStatus::kDetected) grade_test(r.pi_values);
       }
     }

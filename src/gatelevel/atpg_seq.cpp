@@ -5,6 +5,7 @@
 
 #include "gatelevel/faultsim.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace tsyn::gl {
@@ -166,6 +167,8 @@ SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
   TSYN_SPAN("gl.atpg.seq");
   static util::Histogram& frames_hist =
       util::metrics().histogram("atpg.seq.frames_used");
+  static util::Progress& p_targets = util::progress("atpg.targets");
+  p_targets.add_total(static_cast<std::int64_t>(faults.size()));
   SeqAtpgCampaign c;
   std::vector<bool> handled(faults.size(), false);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
@@ -176,6 +179,7 @@ SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
     c.total.backtracks += r.stats.backtracks;
     c.total.implications += r.stats.implications;
     handled[fi] = true;
+    p_targets.add(1);
     switch (r.status) {
       case AtpgStatus::kDetected: {
         ++c.detected;
@@ -205,6 +209,7 @@ SeqAtpgCampaign run_sequential_atpg(const Netlist& n,
         for (std::size_t k = 0; k < remaining.size(); ++k)
           if (hit[k]) {
             handled[remaining_idx[k]] = true;
+            p_targets.add(1);
             ++c.detected;
           }
         break;

@@ -12,6 +12,7 @@
 #include "gatelevel/widebits.h"
 #include "observe/scoap_attr.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -299,6 +300,8 @@ int FaultSimulator::run_block(const std::vector<Bits>& pi_values,
       util::metrics().counter("faultsim.ppsfp.faults_detected");
   m_blocks.add();
   m_detected.add(newly_detected);
+  static util::Progress& p_patterns = util::progress("sim.patterns");
+  p_patterns.add(64);
   return newly_detected;
 }
 
@@ -307,6 +310,8 @@ void FaultSimulator::run_block_detail(const std::vector<Bits>& pi_values,
                                       std::vector<std::uint64_t>& lane_masks) {
   simulate_good(pi_values);
   propagate_shard(faults, nullptr, lane_masks);
+  static util::Progress& p_patterns = util::progress("sim.patterns");
+  p_patterns.add(64);
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +375,8 @@ double fault_coverage(const Netlist& n,
   TSYN_SPAN("gl.faultsim.ppsfp");
   if (observe::ledger_enabled())
     observe::record_universe(static_cast<long>(faults.size()));
+  util::progress("sim.patterns")
+      .add_total(64 * static_cast<std::int64_t>(blocks.size()));
   std::vector<bool> detected(faults.size(), false);
   const int lanes = options.resolved_lanes();
   if (lanes != 64 && !blocks.empty() && !faults.empty()) {
@@ -398,6 +405,7 @@ void detection_masks(const Netlist& n,
   const std::size_t nb = blocks.size();
   masks.assign(count * nb, 0);
   if (count == 0 || nb == 0) return;
+  util::progress("sim.patterns").add_total(64 * static_cast<std::int64_t>(nb));
   const int lanes = options.resolved_lanes();
   if (lanes == 64) {
     FaultSimulator sim(n, options);
@@ -424,6 +432,8 @@ std::vector<bool> sequential_fault_sim(
   TSYN_SPAN("gl.faultsim.seq");
   const bool ledger_on = observe::ledger_enabled();
   if (ledger_on) observe::record_universe(static_cast<long>(faults.size()));
+  static util::Progress& p_seq = util::progress("sim.seq.faults");
+  p_seq.add_total(static_cast<std::int64_t>(faults.size()));
   // Good trace, simulated once and shared (read-only) by every worker.
   const auto good = simulate_sequence(n, input_frames);
   const int count = static_cast<int>(faults.size());
@@ -507,6 +517,7 @@ std::vector<bool> sequential_fault_sim(
           observe::record_sim_effort(
               key, s.prop.events_processed() - events_before);
         }
+        p_seq.add(1);
         return;
       }
       // Capture the next frame's state, keeping only the divergence.
@@ -527,6 +538,7 @@ std::vector<bool> sequential_fault_sim(
     if (ledger_on)
       observe::record_sim_effort(observe::make_fault_key(f),
                                  s.prop.events_processed() - events_before);
+    p_seq.add(1);
   };
   if (workers <= 1) {
     for (int i = 0; i < count; ++i) simulate_fault(i, 0);

@@ -29,6 +29,7 @@
 #include "gatelevel/widebits.h"
 #include "observe/scoap_attr.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace tsyn::gl::wide_detail {
@@ -453,6 +454,10 @@ void wide_campaign(const Netlist& n,
       }
     }
     blocks_done += real;
+    // Live progress after each good-machine pass, not once at the end, so
+    // heartbeats see pattern-grained advance inside long campaigns.
+    static util::Progress& p_patterns = util::progress("sim.patterns");
+    p_patterns.add(64 * static_cast<std::int64_t>(real));
   }
 
   long events = 0, done = 0;

@@ -1,0 +1,84 @@
+#include "observe/profile.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/trace.h"
+
+namespace tsyn::observe {
+
+void Profiler::sample() {
+  const std::vector<util::ThreadStack> stacks = util::trace_sample_stacks();
+  std::lock_guard<std::mutex> lk(mu_);
+  ++ticks_;
+  for (const util::ThreadStack& ts : stacks) {
+    std::string key;
+    for (std::size_t i = 0; i < ts.frames.size(); ++i) {
+      if (i) key += ';';
+      key += ts.frames[i];
+    }
+    ++stacks_[key];
+    ++samples_;
+  }
+}
+
+std::int64_t Profiler::ticks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ticks_;
+}
+
+std::int64_t Profiler::samples() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return samples_;
+}
+
+std::string Profiler::collapsed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const auto& [key, count] : stacks_) {
+    out += key;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<ProfileFrame> Profiler::top_self(int n) const {
+  std::map<std::string, ProfileFrame> frames;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, count] : stacks_) {
+      // Split the collapsed key back into frames; credit total once per
+      // frame per stack (a recursive frame still counts one sample).
+      std::set<std::string> seen;
+      std::size_t start = 0;
+      std::string leaf;
+      while (start <= key.size()) {
+        const std::size_t semi = key.find(';', start);
+        const std::size_t end = semi == std::string::npos ? key.size() : semi;
+        leaf = key.substr(start, end - start);
+        if (seen.insert(leaf).second) {
+          ProfileFrame& f = frames[leaf];
+          f.name = leaf;
+          f.total += count;
+        }
+        if (semi == std::string::npos) break;
+        start = semi + 1;
+      }
+      if (!leaf.empty()) frames[leaf].self += count;
+    }
+  }
+  std::vector<ProfileFrame> out;
+  out.reserve(frames.size());
+  for (auto& [name, f] : frames) out.push_back(std::move(f));
+  std::sort(out.begin(), out.end(), [](const ProfileFrame& a,
+                                       const ProfileFrame& b) {
+    if (a.self != b.self) return a.self > b.self;
+    return a.name < b.name;
+  });
+  if (n >= 0 && static_cast<std::size_t>(n) < out.size()) out.resize(n);
+  return out;
+}
+
+}  // namespace tsyn::observe

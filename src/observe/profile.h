@@ -1,0 +1,67 @@
+// Wall-clock sampling profiler over the live span stacks.
+//
+// The telemetry sampler thread calls Profiler::sample() every ~5 ms; each
+// call snapshots every thread's current span stack (util/trace's
+// mutex-free live stacks) and counts one hit per distinct stack. Because
+// sampling is on wall-clock time, the counts estimate where threads
+// actually spend their time — including inside util::ThreadPool workers —
+// without instrumenting anything beyond the TSYN_SPAN markers the
+// pipeline already carries.
+//
+// Two outputs:
+//  * collapsed() — the standard collapsed-stack flamegraph format, one
+//    "outer;inner;leaf COUNT" line per distinct stack, ready for
+//    flamegraph.pl / speedscope / inferno.
+//  * top_self(n) — a self-time table (samples where the frame was the
+//    leaf, plus total samples where it appeared at all), folded into the
+//    run report's JSON and HTML.
+//
+// Requires util::trace_stacks_enable() — without it the span stacks stay
+// empty and every sample sees idle threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsyn::observe {
+
+/// One row of the self-time table.
+struct ProfileFrame {
+  std::string name;
+  std::int64_t self = 0;   ///< samples with this frame as the leaf
+  std::int64_t total = 0;  ///< samples with this frame anywhere on the stack
+};
+
+class Profiler {
+ public:
+  /// Snapshots all live span stacks and records one hit per thread with a
+  /// non-empty stack. Called from the telemetry sampler thread; safe to
+  /// call concurrently with readers.
+  void sample();
+
+  /// Sampler ticks taken (calls to sample(), whether or not any stack was
+  /// live at the time).
+  std::int64_t ticks() const;
+
+  /// Samples that actually hit a non-empty stack.
+  std::int64_t samples() const;
+
+  /// Collapsed-stack flamegraph text: "frame;frame;leaf COUNT\n" lines,
+  /// sorted by stack name. Empty string when nothing was sampled.
+  std::string collapsed() const;
+
+  /// Top `n` frames by self-time, descending (ties by name).
+  std::vector<ProfileFrame> top_self(int n) const;
+
+ private:
+  /// Key: frames joined with ';', outermost first.
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t> stacks_;
+  std::int64_t ticks_ = 0;
+  std::int64_t samples_ = 0;
+};
+
+}  // namespace tsyn::observe

@@ -1,0 +1,452 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/trace.h"
+
+namespace tsyn::util {
+
+namespace detail {
+std::atomic<bool> g_progress_enabled{false};
+}  // namespace detail
+
+void progress_enable() {
+  detail::g_progress_enabled.store(true, std::memory_order_relaxed);
+}
+
+void progress_disable() {
+  detail::g_progress_enabled.store(false, std::memory_order_relaxed);
+}
+
+namespace {
+
+struct ProgressRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Progress>> rows;
+};
+
+ProgressRegistry& progress_registry() {
+  static ProgressRegistry* r = new ProgressRegistry();  // never dtor'd
+  return *r;
+}
+
+std::atomic<const char*> g_phase{"run"};
+
+double now_ms() {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+Progress& progress(const std::string& name) {
+  ProgressRegistry& r = progress_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto& slot = r.rows[name];
+  if (!slot) slot = std::make_unique<Progress>();
+  return *slot;
+}
+
+std::vector<ProgressRow> progress_snapshot() {
+  ProgressRegistry& r = progress_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<ProgressRow> out;
+  out.reserve(r.rows.size());
+  for (const auto& [name, p] : r.rows)
+    out.push_back({name, p->done(), p->total()});
+  return out;  // std::map iteration is already name-sorted
+}
+
+void progress_reset() {
+  ProgressRegistry& r = progress_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& [name, p] : r.rows) {
+    for (auto& c : p->done_) c.v.store(0, std::memory_order_relaxed);
+    p->total_.store(0, std::memory_order_relaxed);
+  }
+}
+
+void telemetry_set_phase(const char* phase) {
+  g_phase.store(phase, std::memory_order_relaxed);
+}
+
+const char* telemetry_phase() {
+  return g_phase.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Per-progress-row rate tracking between heartbeats.
+struct RowState {
+  std::int64_t last_done = 0;
+  double rate_per_s = 0.0;  ///< EWMA, 0 until first observed advance
+};
+
+struct TelemetrySession {
+  TelemetryOptions opts;
+  std::FILE* stream = nullptr;  ///< nullptr when no heartbeat destination
+  bool owns_stream = false;
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+
+  double start_ms = 0.0;
+  long seq = 0;
+  std::map<std::string, RowState> row_state;
+  bool tty_dirty = false;
+};
+
+TelemetrySession* g_session = nullptr;  // guarded by g_session_mu
+std::mutex g_session_mu;
+std::atomic<long> g_heartbeats{0};
+
+/// One heartbeat/stall line. `stalled_ms` < 0 means a plain heartbeat.
+void emit_record(TelemetrySession& s, double t_ms, double stalled_ms) {
+  const bool stall = stalled_ms >= 0.0;
+  // dt for rate estimation: time since the previous heartbeat (rates are
+  // only updated on heartbeats, so stall records reuse the stored ones).
+  static thread_local double last_t_ms = 0.0;  // sampler thread only
+  const double dt_ms = s.seq == 0 ? t_ms : t_ms - last_t_ms;
+
+  std::string line = "{\"schema\":1,\"type\":\"";
+  line += stall ? "stall" : "heartbeat";
+  line += "\",\"seq\":";
+  line += std::to_string(s.seq);
+  line += ",\"t_ms\":";
+  append_double(line, t_ms);
+  if (stall) {
+    line += ",\"stalled_ms\":";
+    append_double(line, stalled_ms);
+  }
+  line += ",\"phase\":\"";
+  append_json_escaped(line, telemetry_phase());
+  line += "\",\"progress\":[";
+  bool first = true;
+  for (const ProgressRow& row : progress_snapshot()) {
+    RowState& st = s.row_state[row.name];
+    // Some producers learn totals late (e.g. tests graded against blocks
+    // not pre-registered); never report total < done.
+    const std::int64_t total = std::max(row.total, row.done);
+    const std::int64_t delta = row.done - st.last_done;
+    if (!stall && dt_ms > 0.0) {
+      const double inst = static_cast<double>(delta) / (dt_ms / 1e3);
+      st.rate_per_s =
+          st.rate_per_s == 0.0 ? inst : 0.7 * st.rate_per_s + 0.3 * inst;
+    }
+    if (!first) line += ',';
+    first = false;
+    line += "{\"name\":\"";
+    append_json_escaped(line, row.name);
+    line += "\",\"done\":";
+    line += std::to_string(row.done);
+    line += ",\"total\":";
+    line += std::to_string(total);
+    line += ",\"delta\":";
+    line += std::to_string(delta);
+    line += ",\"rate_per_s\":";
+    append_double(line, st.rate_per_s);
+    line += ",\"eta_ms\":";
+    if (st.rate_per_s > 0.0 && total > row.done) {
+      append_double(line,
+                    static_cast<double>(total - row.done) / st.rate_per_s * 1e3);
+    } else {
+      line += "null";
+    }
+    line += '}';
+    if (!stall) st.last_done = row.done;
+  }
+  line += ']';
+  if (stall) {
+    line += ",\"stacks\":[";
+    bool first_stack = true;
+    for (const ThreadStack& ts : trace_sample_stacks()) {
+      if (!first_stack) line += ',';
+      first_stack = false;
+      line += "{\"tid\":";
+      line += std::to_string(ts.tid);
+      line += ",\"frames\":[";
+      for (std::size_t i = 0; i < ts.frames.size(); ++i) {
+        if (i) line += ',';
+        line += '"';
+        append_json_escaped(line, ts.frames[i]);
+        line += '"';
+      }
+      line += "]}";
+    }
+    line += ']';
+  }
+  const MetricsSnapshot m = metrics().snapshot();
+  line += ",\"counters\":{";
+  first = true;
+  for (const auto& [name, v] : m.counters) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    append_json_escaped(line, name);
+    line += "\":";
+    line += std::to_string(v);
+  }
+  line += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : m.gauges) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    append_json_escaped(line, name);
+    line += "\":";
+    append_double(line, v);
+  }
+  line += "}}\n";
+
+  if (!stall) {
+    last_t_ms = t_ms;
+    ++s.seq;
+  }
+  ++g_heartbeats;
+  if (s.stream) {
+    std::fwrite(line.data(), 1, line.size(), s.stream);
+    std::fflush(s.stream);  // each line must survive a crash
+  }
+}
+
+void update_tty(TelemetrySession& s) {
+  std::string line = "[";
+  line += telemetry_phase();
+  line += "]";
+  for (const ProgressRow& row : progress_snapshot()) {
+    const std::int64_t total = std::max(row.total, row.done);
+    line += ' ';
+    line += row.name;
+    line += ' ';
+    line += std::to_string(row.done);
+    line += '/';
+    line += std::to_string(total);
+    if (total > 0) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, " (%d%%)",
+                    static_cast<int>(100 * row.done / total));
+      line += buf;
+    }
+  }
+  if (line.size() > 118) line.resize(118);
+  line.resize(120, ' ');  // overwrite any longer previous line
+  std::fputc('\r', stderr);
+  std::fputs(line.c_str(), stderr);
+  std::fflush(stderr);
+  s.tty_dirty = true;
+}
+
+void clear_tty(TelemetrySession& s) {
+  if (!s.tty_dirty) return;
+  std::fputc('\r', stderr);
+  for (int i = 0; i < 120; ++i) std::fputc(' ', stderr);
+  std::fputc('\r', stderr);
+  std::fflush(stderr);
+  s.tty_dirty = false;
+}
+
+std::int64_t progress_done_sum() {
+  std::int64_t sum = 0;
+  for (const ProgressRow& row : progress_snapshot()) sum += row.done;
+  return sum;
+}
+
+void sampler_loop(TelemetrySession& s) {
+  const double interval = std::max(1, s.opts.interval_ms);
+  double tick = interval;
+  if (s.opts.sampler) tick = std::min(tick, 5.0);
+  if (s.opts.watchdog_ms > 0)
+    tick = std::min(tick, std::max(1.0, s.opts.watchdog_ms / 4.0));
+
+  double last_hb = s.start_ms;
+  double last_advance = s.start_ms;
+  std::int64_t last_sum = progress_done_sum();
+  bool stall_fired = false;
+
+  std::unique_lock<std::mutex> lk(s.mu);
+  while (!s.stop) {
+    s.cv.wait_for(lk, std::chrono::duration<double, std::milli>(tick),
+                  [&] { return s.stop; });
+    if (s.stop) break;
+    lk.unlock();
+
+    if (s.opts.sampler) s.opts.sampler();
+    const double now = now_ms();
+
+    const std::int64_t sum = progress_done_sum();
+    if (sum != last_sum) {
+      last_sum = sum;
+      last_advance = now;
+      stall_fired = false;  // re-arm for the next episode
+    }
+    if (s.opts.watchdog_ms > 0 && !stall_fired &&
+        now - last_advance >= static_cast<double>(s.opts.watchdog_ms)) {
+      emit_record(s, now - s.start_ms, now - last_advance);
+      if (s.opts.on_stall) s.opts.on_stall();
+      stall_fired = true;
+    }
+    if (now - last_hb >= interval) {
+      emit_record(s, now - s.start_ms, -1.0);
+      if (s.opts.tty_progress) update_tty(s);
+      last_hb = now;
+    }
+
+    lk.lock();
+  }
+  lk.unlock();
+  emit_record(s, now_ms() - s.start_ms, -1.0);  // final state, always
+  clear_tty(s);
+}
+
+}  // namespace
+
+bool telemetry_start(const TelemetryOptions& opts) {
+  std::lock_guard<std::mutex> lk(g_session_mu);
+  if (g_session) return false;
+
+  auto s = std::make_unique<TelemetrySession>();
+  s->opts = opts;
+  if (!opts.heartbeat_path.empty()) {
+    if (opts.heartbeat_path == "-") {
+      s->stream = stderr;
+    } else {
+      std::error_code ec;
+      const auto parent =
+          std::filesystem::path(opts.heartbeat_path).parent_path();
+      if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+      s->stream = std::fopen(opts.heartbeat_path.c_str(), "w");
+      if (!s->stream) return false;
+      s->owns_stream = true;
+    }
+  }
+  g_heartbeats.store(0, std::memory_order_relaxed);
+  progress_enable();
+  s->start_ms = now_ms();
+  TelemetrySession& ref = *s;
+  s->thread = std::thread([&ref] { sampler_loop(ref); });
+  g_session = s.release();
+  return true;
+}
+
+void telemetry_stop() {
+  TelemetrySession* s;
+  {
+    std::lock_guard<std::mutex> lk(g_session_mu);
+    s = g_session;
+    g_session = nullptr;
+  }
+  if (!s) return;
+  {
+    std::lock_guard<std::mutex> lk(s->mu);
+    s->stop = true;
+  }
+  s->cv.notify_all();
+  s->thread.join();
+  if (s->owns_stream) std::fclose(s->stream);
+  progress_disable();
+  delete s;
+}
+
+bool telemetry_active() {
+  std::lock_guard<std::mutex> lk(g_session_mu);
+  return g_session != nullptr;
+}
+
+long telemetry_heartbeat_count() {
+  return g_heartbeats.load(std::memory_order_relaxed);
+}
+
+// -- crash flush -------------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_flush_done{false};
+/// Leaked on purpose: a signal handler must never race a destructor.
+std::function<void()>* g_flush_fn = nullptr;
+std::mutex g_flush_mu;
+
+void run_crash_flush() {
+  bool expected = false;
+  if (!g_flush_done.compare_exchange_strong(expected, true)) return;
+  std::function<void()> fn;
+  {
+    std::lock_guard<std::mutex> lk(g_flush_mu);
+    if (g_flush_fn) fn = *g_flush_fn;
+  }
+  if (fn) fn();
+}
+
+extern "C" void crash_flush_signal_handler(int sig) {
+  // Not async-signal-safe in the strict sense (the flushers allocate and
+  // take locks); acceptable for ABRT/INT/TERM and usually fine for a
+  // crash — never worse than silently losing the artifacts.
+  run_crash_flush();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_flush(std::function<void()> flush) {
+  {
+    std::lock_guard<std::mutex> lk(g_flush_mu);
+    if (!g_flush_fn) g_flush_fn = new std::function<void()>();
+    *g_flush_fn = std::move(flush);
+  }
+  g_flush_done.store(false, std::memory_order_relaxed);
+  static bool installed = [] {
+    std::atexit(run_crash_flush);
+    const int sigs[] = {SIGSEGV, SIGABRT, SIGFPE, SIGILL, SIGINT, SIGTERM,
+#ifdef SIGBUS
+                        SIGBUS,
+#endif
+    };
+    for (int sig : sigs) std::signal(sig, crash_flush_signal_handler);
+    return true;
+  }();
+  (void)installed;
+}
+
+void disarm_crash_flush() {
+  g_flush_done.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace tsyn::util

@@ -25,6 +25,17 @@
 //   --metrics FILE         write the metrics-registry JSON run report
 //                          (- for stdout; the human report moves to stderr
 //                          so stdout stays machine-parseable)
+//   --heartbeat FILE[:MS]  stream live JSONL heartbeats (progress, ETA,
+//                          metric snapshot) every MS ms (default 250;
+//                          - for stderr)
+//   --profile FILE         wall-clock sampling profiler over the live span
+//                          stacks; writes collapsed-stack (flamegraph)
+//                          text and folds a top-N self-time table into
+//                          report JSON/HTML (- for stdout)
+//   --progress             live single-line progress view on stderr
+//   --watchdog MS          emit a stall diagnostic (per-thread span
+//                          stacks, progress deltas) to the heartbeat
+//                          stream when no progress for MS ms
 //   --log-level LEVEL      error|warn|info|debug (default warn)
 // synth options:
 //   --scan MODE            none|mfvs|loopcut|boundary|interior (default none)
@@ -45,6 +56,7 @@
 //   --fault N/P/S          one fault: node N, pin P (-1 = output), stuck-at S
 //   --undetected           explain all undetected + aborted faults (default)
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -81,9 +93,11 @@
 #include "testability/behavior_analysis.h"
 #include "testability/loop_avoid.h"
 #include "testability/scan_select.h"
+#include "observe/profile.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 /// Writes `text` to `path`, with "-" meaning stdout (defined below main's
@@ -97,6 +111,10 @@ using namespace tsyn;
 /// Human-readable report stream. Normally stdout; redirected to stderr when
 /// --metrics - or --trace - claims stdout for machine-readable JSON.
 FILE* g_report = stdout;
+
+/// Set while --profile is active, so cmd_report can fold the top self-time
+/// table into the run report.
+observe::Profiler* g_profiler = nullptr;
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
@@ -146,7 +164,31 @@ struct Args {
   /// explain: one fault as "node/pin/sa" (empty = --undetected behavior).
   std::string fault;
   bool undetected = false;
+  // Live telemetry.
+  std::string heartbeat;       ///< JSONL stream path ("-" = stderr)
+  int heartbeat_ms = 250;      ///< from the :MS suffix of --heartbeat
+  std::string profile;         ///< collapsed-stack output path
+  bool progress = false;       ///< single-line TTY progress view
+  long watchdog_ms = 0;        ///< 0 = stall watchdog off
 };
+
+/// Splits a --heartbeat value "PATH[:MS]" into path and interval. The
+/// suffix is an interval only when nonempty and all digits, so plain
+/// paths containing ':' stay intact.
+void parse_heartbeat_value(const std::string& v, Args* a) {
+  const std::size_t colon = v.rfind(':');
+  if (colon != std::string::npos && colon + 1 < v.size()) {
+    const std::string suffix = v.substr(colon + 1);
+    if (std::all_of(suffix.begin(), suffix.end(),
+                    [](unsigned char c) { return std::isdigit(c); })) {
+      a->heartbeat = v.substr(0, colon);
+      a->heartbeat_ms = std::stoi(suffix);
+      if (a->heartbeat_ms < 1) usage("--heartbeat interval must be >= 1 ms");
+      return;
+    }
+  }
+  a->heartbeat = v;
+}
 
 Args parse_args(int argc, char** argv) {
   Args a;
@@ -196,6 +238,16 @@ Args parse_args(int argc, char** argv) {
     else if (opt == "--html") a.html = value();
     else if (opt == "--dot-rtl") a.dot_rtl = value();
     else if (opt == "--dot-cdfg") a.dot_cdfg = value();
+    else if (opt == "--heartbeat") parse_heartbeat_value(value(), &a);
+    else if (opt == "--profile") a.profile = value();
+    else if (opt == "--progress") {
+      if (has_inline) usage("--progress takes no value");
+      a.progress = true;
+    }
+    else if (opt == "--watchdog") {
+      a.watchdog_ms = std::stol(value());
+      if (a.watchdog_ms < 1) usage("--watchdog expects a window in ms");
+    }
     else if (opt == "--fault") a.fault = value();
     else if (opt == "--undetected") {
       if (has_inline) usage("--undetected takes no value");
@@ -575,6 +627,10 @@ int cmd_report(const Args& a) {
   r.scoap = observe::attribute_scoap(n, r.ledger, /*top_k=*/10);
   r.provenance = std::move(d.ed.provenance);
   r.attribution = observe::attribute_coverage(r.provenance, r.ledger);
+  if (g_profiler) {
+    r.profile_samples = g_profiler->samples();
+    r.profile_top = g_profiler->top_self(15);
+  }
   // Metrics last, so the attribution join's gauge/histogram are included.
   r.metrics_json = util::metrics().to_json();
 
@@ -777,12 +833,12 @@ bool write_output(const std::string& path, const std::string& text) {
 }
 
 int run_command(const Args& a) {
-  if (a.command == "synth") return cmd_synth(a);
-  if (a.command == "analyze") return cmd_analyze(a);
-  if (a.command == "bist") return cmd_bist(a);
-  if (a.command == "atpg") return cmd_atpg(a);
-  if (a.command == "report") return cmd_report(a);
-  if (a.command == "explain") return cmd_explain(a);
+  if (a.command == "synth") { tsyn::util::telemetry_set_phase("synth"); return cmd_synth(a); }
+  if (a.command == "analyze") { tsyn::util::telemetry_set_phase("analyze"); return cmd_analyze(a); }
+  if (a.command == "bist") { tsyn::util::telemetry_set_phase("bist"); return cmd_bist(a); }
+  if (a.command == "atpg") { tsyn::util::telemetry_set_phase("atpg"); return cmd_atpg(a); }
+  if (a.command == "report") { tsyn::util::telemetry_set_phase("report"); return cmd_report(a); }
+  if (a.command == "explain") { tsyn::util::telemetry_set_phase("explain"); return cmd_explain(a); }
   usage(("unknown command: " + a.command).c_str());
 }
 
@@ -796,22 +852,95 @@ int main(int argc, char** argv) {
     return 0;
   }
   // Two machine-readable outputs aimed at one path would silently
-  // clobber each other (the second write wins); refuse up front. "-" is
-  // also one path: stdout would interleave two JSON documents.
-  if (!a.trace.empty() && a.trace == a.metrics) {
-    std::fprintf(stderr,
-                 "error: --trace and --metrics point at the same output "
-                 "(%s); give them distinct paths\n",
-                 a.trace.c_str());
-    return 2;
+  // clobber each other (the second write wins); refuse up front, across
+  // every output flag uniformly. "-" is also one path: a stream would
+  // interleave two documents.
+  {
+    std::vector<std::pair<const char*, const std::string*>> outs = {
+        {"--trace", &a.trace},
+        {"--metrics", &a.metrics},
+        {"--heartbeat", &a.heartbeat},
+        {"--profile", &a.profile},
+    };
+    if (a.command == "synth") outs.push_back({"--verilog", &a.verilog});
+    if (a.command == "report") {
+      outs.push_back({"--out", &a.out});
+      outs.push_back({"--html", &a.html});
+      outs.push_back({"--dot-rtl", &a.dot_rtl});
+      outs.push_back({"--dot-cdfg", &a.dot_cdfg});
+    }
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (outs[i].second->empty()) continue;
+      for (std::size_t j = i + 1; j < outs.size(); ++j) {
+        if (*outs[i].second != *outs[j].second) continue;
+        std::fprintf(stderr,
+                     "error: %s and %s point at the same output (%s); give "
+                     "them distinct paths\n",
+                     outs[i].first, outs[j].first, outs[i].second->c_str());
+        return 2;
+      }
+    }
   }
   // '-' outputs claim stdout; the human report yields to stderr so the
   // stream a consumer pipes stays pure JSON.
-  if (a.trace == "-" || a.metrics == "-") g_report = stderr;
+  if (a.trace == "-" || a.metrics == "-" || a.profile == "-")
+    g_report = stderr;
   if (!a.trace.empty()) util::trace_enable();
+
+  // Live telemetry: heartbeat stream, sampling profiler, TTY progress,
+  // stall watchdog — all driven by one background sampler thread. The
+  // profiler has static storage so the crash-flush atexit pass (which runs
+  // after main's locals are gone) can still serialize it.
+  static observe::Profiler profiler;
+  const bool want_telemetry = !a.heartbeat.empty() || !a.profile.empty() ||
+                              a.progress || a.watchdog_ms > 0;
+  if (want_telemetry) {
+    util::TelemetryOptions topts;
+    topts.heartbeat_path = a.heartbeat;
+    topts.interval_ms = a.heartbeat_ms;
+    topts.watchdog_ms = a.watchdog_ms;
+    topts.tty_progress = a.progress;
+    if (!a.profile.empty()) {
+      util::trace_stacks_enable();
+      topts.sampler = [] { g_profiler->sample(); };
+      g_profiler = &profiler;
+    }
+    if (a.watchdog_ms > 0) util::trace_stacks_enable();  // stall stacks
+    if (!util::telemetry_start(topts)) {
+      std::fprintf(stderr, "error: cannot open heartbeat stream %s\n",
+                   a.heartbeat.c_str());
+      return 1;
+    }
+  }
+  // Make --trace/--metrics/--profile artifacts survive a crash, a watchdog
+  // abort, or an operator Ctrl-C: best-effort flush of whatever was
+  // collected so far. The normal shutdown path below disarms this.
+  if (!a.trace.empty() || !a.metrics.empty() || !a.profile.empty()) {
+    const std::string trace_path = a.trace, metrics_path = a.metrics,
+                      profile_path = a.profile;
+    util::install_crash_flush([trace_path, metrics_path, profile_path] {
+      if (!trace_path.empty()) write_output(trace_path, util::trace_to_json());
+      if (!metrics_path.empty())
+        write_output(metrics_path, util::metrics().to_json() + "\n");
+      if (!profile_path.empty() && g_profiler)
+        write_output(profile_path, g_profiler->collapsed());
+    });
+  }
 
   const int rc = run_command(a);
 
+  if (util::telemetry_active()) util::telemetry_stop();
+  if (!a.profile.empty()) {
+    if (write_output(a.profile, profiler.collapsed())) {
+      if (a.profile != "-")
+        std::fprintf(g_report, "profile   : %ld stack samples -> %s\n",
+                     static_cast<long>(profiler.samples()), a.profile.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write profile to %s\n",
+                   a.profile.c_str());
+      return 1;
+    }
+  }
   if (!a.trace.empty()) {
     if (write_output(a.trace, util::trace_to_json())) {
       if (a.trace != "-")
@@ -834,5 +963,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  util::disarm_crash_flush();
   return rc;
 }
