@@ -1,0 +1,191 @@
+// EXP-SWEEP — throughput of the campaign orchestrator's stage cache.
+//
+// The campaign orchestrator exists to make design x config sweeps cheap:
+// jobs that share a (design, schedule-config, scan, width) prefix should
+// share one parse, one schedule+binding, and one RTL->gate lowering. This
+// bench quantifies what that buys on a 3-design x 4-config grid (x 4 X-fill
+// seeds = 48 jobs sharing 12 pipeline prefixes):
+//
+//   cold  every job runs its own private StageCache — the cost a sweep
+//         would pay with no memoization (12 parses become 48, etc.);
+//   memo  all jobs share one StageCache — the orchestrator's actual shape.
+//
+// Reported per mode: wall time, jobs/sec, stage-compute counts, cache hit
+// rate; plus the memo/cold speedup. Results go to stdout and
+// BENCH_sweep.json (tracked per PR through the bench_diff gate, wall times
+// excluded with --no-time).
+#include "common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.h"
+#include "campaign/manifest.h"
+#include "campaign/sweep.h"
+#include "util/table.h"
+
+namespace tsyn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeedBase = 61713;
+
+std::string fmt(double v, int prec) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+campaign::Manifest grid_manifest() {
+  campaign::Manifest m;
+  m.designs = {"bench:fig1", "bench:tseng", "bench:dct4"};
+  m.configs = {{"a1m1", 1, 1, 0},
+               {"a2m1", 2, 1, 0},
+               {"a2m2", 2, 2, 0},
+               {"a3m2", 3, 2, 0}};
+  m.scans = {"full"};
+  m.widths = {2};
+  for (std::uint64_t s = 0; s < 4; ++s) m.seeds.push_back(kSeedBase + s);
+  return m;
+}
+
+struct ModeResult {
+  std::string mode;
+  std::int64_t jobs = 0;
+  double wall_ms = 0;
+  double jobs_per_sec = 0;
+  std::int64_t parse_runs = 0;   ///< stage computations actually executed
+  std::int64_t synth_runs = 0;
+  std::int64_t expand_runs = 0;
+  double hit_rate = 0;
+  double mean_coverage = 0;
+};
+
+ModeResult run_mode(const campaign::Manifest& m, bool shared_cache) {
+  const std::vector<campaign::JobSpec> grid = campaign::expand_grid(m);
+  ModeResult r;
+  r.mode = shared_cache ? "memo" : "cold";
+  r.jobs = static_cast<std::int64_t>(grid.size());
+
+  campaign::StageCache shared;
+  campaign::CacheStats cold_totals;
+  double cov_sum = 0;
+  const Clock::time_point t0 = Clock::now();
+  for (const campaign::JobSpec& spec : grid) {
+    std::string report;
+    if (shared_cache) {
+      const campaign::JobResult jr =
+          campaign::run_one_job(spec, m, shared, &report);
+      if (jr.status != "ok") {
+        std::fprintf(stderr, "job %s failed: %s\n", spec.id.c_str(),
+                     jr.error.c_str());
+        std::exit(1);
+      }
+      cov_sum += jr.coverage;
+    } else {
+      campaign::StageCache own;  // private cache: nothing is ever shared
+      const campaign::JobResult jr =
+          campaign::run_one_job(spec, m, own, &report);
+      if (jr.status != "ok") {
+        std::fprintf(stderr, "job %s failed: %s\n", spec.id.c_str(),
+                     jr.error.c_str());
+        std::exit(1);
+      }
+      cov_sum += jr.coverage;
+      const campaign::CacheStats s = own.stats();
+      cold_totals.parse_misses += s.parse_misses;
+      cold_totals.synth_misses += s.synth_misses;
+      cold_totals.expand_misses += s.expand_misses;
+    }
+  }
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  r.jobs_per_sec =
+      r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.jobs) / r.wall_ms : 0;
+  const campaign::CacheStats s = shared_cache ? shared.stats() : cold_totals;
+  r.parse_runs = s.parse_misses;
+  r.synth_runs = s.synth_misses;
+  r.expand_runs = s.expand_misses;
+  const std::int64_t lookups = s.hits() + s.misses();
+  r.hit_rate = lookups > 0
+                   ? static_cast<double>(s.hits()) /
+                         static_cast<double>(lookups)
+                   : 0;
+  r.mean_coverage = cov_sum / static_cast<double>(r.jobs);
+  return r;
+}
+
+void write_json(const std::vector<ModeResult>& rows, double speedup) {
+  FILE* f = std::fopen("BENCH_sweep.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_sweep.json\n");
+    return;
+  }
+  bench::write_json_preamble(f, kSeedBase);
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ModeResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"case\": \"%s\", \"jobs\": %lld, \"wall_ms\": %.1f, "
+                 "\"jobs_per_sec\": %.1f, \"parse_runs\": %lld, "
+                 "\"synth_runs\": %lld, \"expand_runs\": %lld, "
+                 "\"hit_rate\": %.4f, \"coverage\": %.4f}%s\n",
+                 r.mode.c_str(), static_cast<long long>(r.jobs), r.wall_ms,
+                 r.jobs_per_sec, static_cast<long long>(r.parse_runs),
+                 static_cast<long long>(r.synth_runs),
+                 static_cast<long long>(r.expand_runs), r.hit_rate,
+                 r.mean_coverage, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"memo_speedup\": %.2f,\n  ", speedup);
+  bench::write_metrics_field(f);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace tsyn
+
+int main() {
+  using namespace tsyn;
+  bench::print_header(
+      "EXP-SWEEP",
+      "Campaign stage cache: memoized vs cold job throughput on a\n"
+      "3-design x 4-config x 4-seed grid (48 jobs, 12 shared prefixes).");
+
+  const campaign::Manifest m = grid_manifest();
+  // Cold first so the memo pass cannot warm anything for it.
+  const ModeResult cold = run_mode(m, /*shared_cache=*/false);
+  const ModeResult memo = run_mode(m, /*shared_cache=*/true);
+  const double speedup = memo.wall_ms > 0 ? cold.wall_ms / memo.wall_ms : 0;
+
+  util::Table t({"mode", "jobs", "wall ms", "jobs/s", "parse", "synth",
+                 "expand", "hit rate", "coverage"});
+  for (const ModeResult& r : {cold, memo}) {
+    t.add_row({r.mode, std::to_string(r.jobs), fmt(r.wall_ms, 1),
+               fmt(r.jobs_per_sec, 1), std::to_string(r.parse_runs),
+               std::to_string(r.synth_runs), std::to_string(r.expand_runs),
+               fmt(r.hit_rate, 3), fmt(r.mean_coverage, 4)});
+  }
+  bench::print_table(t);
+  std::printf("memo speedup over cold: %.2fx\n", speedup);
+  std::printf(
+      "Shape check: memo must run exactly 3/12/12 parse/synth/expand\n"
+      "stages (one per shared prefix) vs the cold 48/48/48, at identical\n"
+      "coverage — memoization changes cost, never results.\n");
+
+  if (memo.parse_runs != 3 || memo.synth_runs != 12 ||
+      memo.expand_runs != 12 || cold.parse_runs != 48) {
+    std::fprintf(stderr, "stage-count shape check FAILED\n");
+    return 1;
+  }
+  if (memo.mean_coverage != cold.mean_coverage) {
+    std::fprintf(stderr, "coverage diverged between modes\n");
+    return 1;
+  }
+  write_json({cold, memo}, speedup);
+  std::printf("Wrote BENCH_sweep.json.\n");
+  return 0;
+}

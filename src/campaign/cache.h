@@ -1,0 +1,150 @@
+// Content-addressed stage cache: memoizes the shared prefixes of sweep
+// jobs so a 1000-job grid sharing 40 (design, schedule-config) pairs
+// lowers 40 netlists, not 1000.
+//
+// Three stages are cached, each keyed by a stable structural hash
+// (util::Fnv1a over a canonical field serialization, see sweep.cpp for
+// the key recipes):
+//
+//   parse   design spec/content          -> cdfg::Cdfg
+//   synth   parse key + alu/mul/steps    -> hls::Synthesis
+//   expand  synth key + scan + width     -> ExpandStage (netlist + faults)
+//
+// Concurrency contract: the first requester of a key computes; every
+// concurrent requester of the same key blocks on that computation's
+// shared_future instead of duplicating it, so stage-work counts are a
+// function of the grid, not of scheduling luck — the property the
+// acceptance tests assert. A computation that throws poisons its entry
+// (same key -> same exception), which is the right call for deterministic
+// inputs: retrying an unparsable design cannot succeed.
+//
+// Hit/miss totals are mirrored into the process metrics registry
+// ("campaign.cache.<stage>.hit|miss") and kept as per-cache atomics so one
+// sweep can report its own rates even after many sweeps in one process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cdfg/ir.h"
+#include "gatelevel/expand.h"
+#include "gatelevel/faults.h"
+#include "hls/synthesis.h"
+#include "util/metrics.h"
+
+namespace tsyn::campaign {
+
+/// One stage's hit/miss cell. The counters here are per-StageCache;
+/// MemoTable mirrors every increment into the global registry counters the
+/// heartbeat stream snapshots.
+struct StageCounters {
+  std::atomic<std::int64_t> hits{0};
+  std::atomic<std::int64_t> misses{0};
+};
+
+/// Point-in-time copy of a cache's counters (index/summary reporting).
+struct CacheStats {
+  std::int64_t parse_hits = 0, parse_misses = 0;
+  std::int64_t synth_hits = 0, synth_misses = 0;
+  std::int64_t expand_hits = 0, expand_misses = 0;
+  std::int64_t hits() const { return parse_hits + synth_hits + expand_hits; }
+  std::int64_t misses() const {
+    return parse_misses + synth_misses + expand_misses;
+  }
+};
+
+/// Generic single-computation memo table over 64-bit content keys.
+template <typename T>
+class MemoTable {
+ public:
+  MemoTable(StageCounters* local, util::Counter* hit, util::Counter* miss)
+      : local_(local), hit_(hit), miss_(miss) {}
+
+  /// Returns the cached value for `key`, computing it at most once across
+  /// all threads. `compute` runs outside the table lock.
+  std::shared_ptr<const T> get_or_compute(
+      std::uint64_t key,
+      const std::function<std::shared_ptr<const T>()>& compute) {
+    std::promise<std::shared_ptr<const T>> promise;
+    std::shared_future<std::shared_ptr<const T>> future;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto [it, inserted] = map_.try_emplace(key);
+      if (inserted) {
+        it->second = promise.get_future().share();
+        owner = true;
+      }
+      future = it->second;
+    }
+    if (owner) {
+      local_->misses.fetch_add(1, std::memory_order_relaxed);
+      miss_->add(1);
+      try {
+        promise.set_value(compute());
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    } else {
+      local_->hits.fetch_add(1, std::memory_order_relaxed);
+      hit_->add(1);
+    }
+    return future.get();  // rethrows the computer's exception, if any
+  }
+
+ private:
+  StageCounters* local_;
+  util::Counter* hit_;
+  util::Counter* miss_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_future<std::shared_ptr<const T>>>
+      map_;
+};
+
+/// The expansion stage's cached payload: the gate netlist (with its
+/// SimGraph pre-lowered — see StageCache::StageCache) and the collapsed
+/// fault universe every sharing job grades against.
+struct ExpandStage {
+  gl::ExpandedDesign design;
+  std::vector<gl::Fault> faults;
+};
+
+class StageCache {
+ public:
+  StageCache()
+      : parse(&parse_counters_, &util::metrics().counter("campaign.cache.parse.hit"),
+              &util::metrics().counter("campaign.cache.parse.miss")),
+        synth(&synth_counters_, &util::metrics().counter("campaign.cache.synth.hit"),
+              &util::metrics().counter("campaign.cache.synth.miss")),
+        expand(&expand_counters_,
+               &util::metrics().counter("campaign.cache.expand.hit"),
+               &util::metrics().counter("campaign.cache.expand.miss")) {}
+
+  MemoTable<cdfg::Cdfg> parse;
+  MemoTable<hls::Synthesis> synth;
+  MemoTable<ExpandStage> expand;
+
+  CacheStats stats() const {
+    CacheStats s;
+    s.parse_hits = parse_counters_.hits.load(std::memory_order_relaxed);
+    s.parse_misses = parse_counters_.misses.load(std::memory_order_relaxed);
+    s.synth_hits = synth_counters_.hits.load(std::memory_order_relaxed);
+    s.synth_misses = synth_counters_.misses.load(std::memory_order_relaxed);
+    s.expand_hits = expand_counters_.hits.load(std::memory_order_relaxed);
+    s.expand_misses = expand_counters_.misses.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  StageCounters parse_counters_;
+  StageCounters synth_counters_;
+  StageCounters expand_counters_;
+};
+
+}  // namespace tsyn::campaign

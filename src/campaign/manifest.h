@@ -1,0 +1,102 @@
+// Sweep manifests: the declarative input of the campaign orchestrator.
+//
+// A manifest names the axes of a design-space sweep — behaviors, FU
+// allocations, scan policies, datapath widths, X-fill seeds — and the
+// orchestrator expands their cross product into a deterministic job grid.
+// This is the batch-service shape the ROADMAP's "heavy traffic" item calls
+// for: one file describes thousands of configuration variants, and the
+// grid (ids, ordering, stage keys) is a pure function of the file, so two
+// runs of the same manifest agree on every job before any of them runs.
+//
+// Manifest JSON schema (schema 1):
+//   {
+//     "schema": 1,
+//     "designs": ["bench:diffeq", "path/to/file.cdfg", ...],   (required)
+//     "configs": [{"name": "a2m2", "alu": 2, "mul": 2, "steps": 0}, ...],
+//                                                              (required)
+//     "scan":    ["full" | "none" | "mfvs" | "loopcut" |
+//                 "boundary" | "interior", ...],     (default ["full"])
+//     "widths":  [4, 8, ...],                        (default [4])
+//     "seeds":   [61713, ...],                       (default [61713])
+//     "compact": "off" | "static" | "dynamic",       (default "static")
+//     "xfill":   "random" | "0" | "1" | "adjacent",  (default "random")
+//     "backtrack_limit": 10000,                      (comb PODEM budget)
+//     "seq_max_frames": 6,                           (sequential jobs)
+//     "seq_backtrack_limit": 1000,
+//     "seq_fault_cap": 0                             (0 = whole fault list)
+//   }
+//
+// Every grid point is design x config x scan x width x seed. Jobs whose
+// scan policy leaves state unscanned expand to a sequential netlist and
+// run time-frame-expansion ATPG under the seq_* budgets; fully scanned
+// (and feed-forward) jobs run the combinational compaction pipeline.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tsyn::campaign {
+
+/// Thrown on a structurally invalid manifest (wrong types, unknown
+/// values, duplicate names). JSON syntax errors propagate as
+/// util::JsonParseError with line/column context instead.
+class ManifestError : public std::runtime_error {
+ public:
+  explicit ManifestError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// One schedule/binding configuration axis value.
+struct FuConfig {
+  std::string name;  ///< unique label, becomes part of job ids
+  int alu = 2;
+  int mul = 2;
+  int steps = 0;  ///< >0 switches to time-constrained scheduling
+};
+
+struct Manifest {
+  std::vector<std::string> designs;  ///< "bench:NAME" or a .cdfg path
+  std::vector<FuConfig> configs;
+  std::vector<std::string> scans;  ///< scan policies (see header comment)
+  std::vector<int> widths;
+  std::vector<std::uint64_t> seeds;  ///< X-fill seeds (comb jobs)
+  std::string compact = "static";
+  std::string xfill = "random";
+  long backtrack_limit = 10000;
+  int seq_max_frames = 6;
+  long seq_backtrack_limit = 1000;
+  /// Sequential jobs target at most this many faults (0 = all). Time-frame
+  /// ATPG cost grows with both list size and depth; sweeps over unscanned
+  /// designs usually want a bounded, comparable slice.
+  long seq_fault_cap = 0;
+
+  /// Stable content hash over every field that defines the grid and the
+  /// per-job campaigns. Identifies "the same sweep" across runs — the
+  /// journal refuses to resume under a different manifest hash.
+  std::string content_hash() const;
+};
+
+/// Parses and validates manifest JSON. Throws util::JsonParseError (syntax,
+/// with line/column) or ManifestError (structure).
+Manifest parse_manifest(const std::string& text);
+
+/// One grid point, fully resolved.
+struct JobSpec {
+  std::string id;  ///< "<design>.<config>.<scan>.w<width>.s<seed>"
+  std::string design;
+  FuConfig config;
+  std::string scan;
+  int width = 4;
+  std::uint64_t seed = 0;
+};
+
+/// Expands the cross product, sorted by id. Ids are unique by construction
+/// (axis values are deduplicated and config names validated unique).
+std::vector<JobSpec> expand_grid(const Manifest& m);
+
+/// The id-safe stem of a design spec: "bench:diffeq" -> "diffeq",
+/// "data/my design.cdfg" -> "my_design" (non [A-Za-z0-9_-] mapped to '_').
+std::string design_stem(const std::string& design);
+
+}  // namespace tsyn::campaign

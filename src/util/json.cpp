@@ -1,5 +1,6 @@
 #include "util/json.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
@@ -32,7 +33,30 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& msg) const {
-    throw JsonParseError(msg, pos_);
+    // Resolve the byte offset into a line/column and pull the offending
+    // line as context, clipped around the error column so one pathological
+    // minified line cannot flood a terminal.
+    const std::size_t at = std::min(pos_, text_.size());
+    std::size_t line = 1, bol = 0;
+    for (std::size_t i = 0; i < at; ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        bol = i + 1;
+      }
+    }
+    const std::size_t column = at - bol + 1;
+    std::size_t eol = text_.find('\n', bol);
+    if (eol == std::string::npos) eol = text_.size();
+    constexpr std::size_t kMaxContext = 60;
+    std::size_t from = bol, to = eol;
+    if (at > from + kMaxContext / 2) from = at - kMaxContext / 2;
+    if (to > from + kMaxContext) to = from + kMaxContext;
+    std::string snippet = text_.substr(from, to - from);
+    for (char& c : snippet)  // tabs would misalign the caret
+      if (c == '\t') c = ' ';
+    const std::string context =
+        "  " + snippet + "\n  " + std::string(at - from, ' ') + "^";
+    throw JsonParseError(msg, pos_, line, column, context);
   }
 
   char peek() const {
@@ -55,13 +79,19 @@ class Parser {
   }
 
   void expect(char c) {
-    if (next() != c) fail(std::string("expected '") + c + "'");
+    if (next() != c) {
+      --pos_;  // point the error at the offending character, not past it
+      fail(std::string("expected '") + c + "'");
+    }
   }
 
   void literal(const char* word) {
+    const std::size_t start = pos_;
     for (const char* p = word; *p; ++p)
-      if (pos_ >= text_.size() || text_[pos_++] != *p)
+      if (pos_ >= text_.size() || text_[pos_++] != *p) {
+        pos_ = start;  // report the whole literal as invalid from its start
         fail(std::string("invalid literal (expected ") + word + ")");
+      }
   }
 
   Json value() {

@@ -17,16 +17,33 @@
 
 namespace tsyn::util {
 
-/// Thrown by Json::parse on malformed input; what() includes the offset.
+/// Thrown by Json::parse on malformed input. what() carries everything a
+/// human needs to fix the file — 1-based line and column plus a snippet of
+/// the offending line with a caret — so a typo in a hand-written manifest
+/// reads like a compiler diagnostic, not a bare byte offset:
+///
+///   expected ':' in object at line 4, column 12 (offset 61)
+///     "alu" 2,
+///          ^
 class JsonParseError : public std::runtime_error {
  public:
-  JsonParseError(const std::string& msg, std::size_t offset)
-      : std::runtime_error(msg + " at offset " + std::to_string(offset)),
-        offset_(offset) {}
+  JsonParseError(const std::string& msg, std::size_t offset, std::size_t line,
+                 std::size_t column, const std::string& context)
+      : std::runtime_error(msg + " at line " + std::to_string(line) +
+                           ", column " + std::to_string(column) +
+                           " (offset " + std::to_string(offset) + ")" +
+                           (context.empty() ? "" : "\n" + context)),
+        offset_(offset),
+        line_(line),
+        column_(column) {}
   std::size_t offset() const { return offset_; }
+  std::size_t line() const { return line_; }      ///< 1-based
+  std::size_t column() const { return column_; }  ///< 1-based
 
  private:
   std::size_t offset_;
+  std::size_t line_;
+  std::size_t column_;
 };
 
 /// One JSON value. A plain tagged struct rather than a class hierarchy:

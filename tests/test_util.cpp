@@ -179,6 +179,46 @@ TEST(ThreadPool, ThrowOnCallerThreadAlsoRecovers) {
   EXPECT_EQ(calls, 2);
 }
 
+TEST(ThreadPool, ReentrantRunDoesNotDeadlock) {
+  // A pool task that submits follow-on work to the same pool (the campaign
+  // orchestrator's shape: a sweep job runs engines that themselves call
+  // ThreadPool::shared().run). The caller always participates in its own
+  // batch, so the nested run completes even with every worker busy.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.run(4, 2, [&](int, int) {
+    pool.run(8, 2, [&](int, int) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPool, ReentrantRunOnSharedPool) {
+  // Same property on the process-wide pool the subsystems actually share,
+  // nested two levels deep.
+  std::atomic<int> leaves{0};
+  ThreadPool::shared().run(3, 4, [&](int, int) {
+    ThreadPool::shared().run(3, 4, [&](int, int) {
+      ThreadPool::shared().run(2, 2, [&](int, int) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 3 * 3 * 2);
+}
+
+TEST(ThreadPool, ReentrantThrowStillPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(2, 2,
+                        [&](int, int) {
+                          pool.run(4, 2, [&](int item, int) {
+                            if (item == 3) throw std::runtime_error("inner");
+                          });
+                        }),
+               std::runtime_error);
+  // And the pool still works afterwards.
+  std::atomic<int> done{0};
+  pool.run(16, 2, [&](int, int) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 16);
+}
+
 // ---- JSON reader ----
 
 TEST(Json, ParsesScalars) {
@@ -236,6 +276,71 @@ TEST(Json, MalformedInputThrowsWithOffset) {
   } catch (const JsonParseError& e) {
     EXPECT_GT(e.offset(), 0u);
     EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, ParseErrorCarriesLineAndColumn) {
+  // Error on line 3: "designs" value is not valid JSON.
+  try {
+    Json::parse("{\n  \"schema\": 1,\n  \"designs\": oops\n}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 14u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 14"), std::string::npos) << what;
+    // The context snippet shows the offending line with a caret under it.
+    EXPECT_NE(what.find("\"designs\": oops"), std::string::npos) << what;
+    EXPECT_NE(what.find('^'), std::string::npos) << what;
+  }
+}
+
+TEST(Json, ParseErrorOnFirstLine) {
+  try {
+    Json::parse("nope");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.column(), 1u);
+  }
+}
+
+TEST(Json, ParseErrorAtEndOfInput) {
+  // Truncated document: the error points one past the last character.
+  try {
+    Json::parse("{\"a\": [1,\n2,\n");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 1u);
+    EXPECT_EQ(e.offset(), 13u);
+  }
+}
+
+TEST(Json, ParseErrorContextClipsLongLines) {
+  // A very long single-line document must not dump the whole line into
+  // the message; the snippet is clipped around the error position.
+  std::string doc = "{\"key\": \"";
+  doc += std::string(500, 'x');
+  doc += "\", \"oops\": }";
+  try {
+    Json::parse(doc);
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    const std::string what = e.what();
+    EXPECT_LT(what.size(), 300u) << what;
+    EXPECT_NE(what.find("\"oops\": }"), std::string::npos) << what;
+  }
+}
+
+TEST(Json, ParseErrorColumnCountsTabsAsOne) {
+  try {
+    Json::parse("{\n\t\"a\": !\n}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 7u);  // tab is one column, like offsets
   }
 }
 

@@ -12,9 +12,18 @@
 //                                                     through the provenance
 //                                                     map: gate -> RTL
 //                                                     component -> CDFG op
+//   tsyn_cli sweep <manifest.json> [options]          campaign orchestrator:
+//                                                     run the manifest's
+//                                                     design x config grid
+//                                                     with stage memoization
+//                                                     (see docs/sweep.md)
 //   tsyn_cli list                                     list built-in benchmarks
 //
 // Options accept both `--opt value` and `--opt=value`.
+//
+// Exit codes (uniform across commands): 0 success, 1 runtime failure
+// (unreadable input, engine error, failed sweep jobs, baseline mismatch),
+// 2 usage error (unknown command/option/enum value, malformed flag).
 //
 // Common options:
 //   --alu N --mul N        FU allocation (default 2/2)
@@ -55,6 +64,16 @@
 // explain options (defaults to every undetected/aborted fault):
 //   --fault N/P/S          one fault: node N, pin P (-1 = output), stuck-at S
 //   --undetected           explain all undetected + aborted faults (default)
+// sweep options (see docs/sweep.md for the manifest schema):
+//   --out-dir DIR          results directory (default results/): per-job
+//                          reports, journal.jsonl, index.json, sweep_stats
+//   --threads N            job-level worker threads (default: pool width)
+//   --resume               consult an existing journal: skip verified
+//                          completed jobs, run only the remainder
+//   --max-jobs N           stop cleanly after N jobs (kill/resume testing)
+//   --baseline FILE        compare the final index.json against this
+//                          checked-in baseline (timing-stripped); exit 1
+//                          on any difference
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -66,6 +85,8 @@
 #include <string>
 
 #include "bist/bist_assign.h"
+#include "campaign/manifest.h"
+#include "campaign/sweep.h"
 #include "bist/sessions.h"
 #include "bist/share.h"
 #include "bist/test_registers.h"
@@ -119,8 +140,8 @@ observe::Profiler* g_profiler = nullptr;
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: tsyn_cli <synth|analyze|bist|atpg|report|explain|list> "
-               "<file.cdfg|bench:NAME> [options]\n"
+               "usage: tsyn_cli <synth|analyze|bist|atpg|report|explain|sweep"
+               "|list> <file.cdfg|bench:NAME|manifest.json> [options]\n"
                "run with no arguments for the option list in the source "
                "header.\n");
   std::exit(2);
@@ -134,7 +155,9 @@ cdfg::Cdfg load_behavior(const std::string& spec) {
     usage(("unknown benchmark: " + name).c_str());
   }
   std::ifstream in(spec);
-  if (!in) usage(("cannot open " + spec).c_str());
+  // A missing/unreadable file is a runtime failure (exit 1), not a usage
+  // error: the invocation was well-formed, the environment let it down.
+  if (!in) throw std::runtime_error("cannot open " + spec);
   std::stringstream buf;
   buf << in.rdbuf();
   return cdfg::parse_cdfg(buf.str());
@@ -170,7 +193,29 @@ struct Args {
   std::string profile;         ///< collapsed-stack output path
   bool progress = false;       ///< single-line TTY progress view
   long watchdog_ms = 0;        ///< 0 = stall watchdog off
+  // sweep.
+  std::string out_dir = "results";
+  int threads = 0;             ///< 0 = shared pool width
+  bool resume = false;
+  int max_jobs = 0;            ///< 0 = whole grid
+  std::string baseline;        ///< index.json baseline to gate against
 };
+
+/// Strict numeric option parsing: the whole value must be an integer.
+/// std::stoi alone would accept "4x" and abort the process (uncaught
+/// std::invalid_argument) on "x" — both are usage errors, exit 2.
+long int_arg(const std::string& opt, const std::string& v) {
+  std::size_t used = 0;
+  long n = 0;
+  try {
+    n = std::stol(v, &used);
+  } catch (const std::exception&) {
+    usage((opt + " expects an integer (got \"" + v + "\")").c_str());
+  }
+  if (used != v.size())
+    usage((opt + " expects an integer (got \"" + v + "\")").c_str());
+  return n;
+}
 
 /// Splits a --heartbeat value "PATH[:MS]" into path and interval. The
 /// suffix is an interval only when nonempty and all digits, so plain
@@ -182,7 +227,7 @@ void parse_heartbeat_value(const std::string& v, Args* a) {
     if (std::all_of(suffix.begin(), suffix.end(),
                     [](unsigned char c) { return std::isdigit(c); })) {
       a->heartbeat = v.substr(0, colon);
-      a->heartbeat_ms = std::stoi(suffix);
+      a->heartbeat_ms = static_cast<int>(int_arg("--heartbeat :MS", suffix));
       if (a->heartbeat_ms < 1) usage("--heartbeat interval must be >= 1 ms");
       return;
     }
@@ -219,9 +264,9 @@ Args parse_args(int argc, char** argv) {
       if (i + 1 >= argc) usage((opt + " needs a value").c_str());
       return argv[++i];
     };
-    if (opt == "--alu") a.alu = std::stoi(value());
-    else if (opt == "--mul") a.mul = std::stoi(value());
-    else if (opt == "--steps") a.steps = std::stoi(value());
+    if (opt == "--alu") a.alu = static_cast<int>(int_arg(opt, value()));
+    else if (opt == "--mul") a.mul = static_cast<int>(int_arg(opt, value()));
+    else if (opt == "--steps") a.steps = static_cast<int>(int_arg(opt, value()));
     else if (opt == "--scan") a.scan = value();
     else if (opt == "--loop-avoid") {
       if (has_inline) usage("--loop-avoid takes no value");
@@ -233,7 +278,7 @@ Args parse_args(int argc, char** argv) {
     else if (opt == "--metrics") a.metrics = value();
     else if (opt == "--compact") a.compact = value();
     else if (opt == "--xfill") a.xfill = value();
-    else if (opt == "--width") a.width = std::stoi(value());
+    else if (opt == "--width") a.width = static_cast<int>(int_arg(opt, value()));
     else if (opt == "--out") a.out = value();
     else if (opt == "--html") a.html = value();
     else if (opt == "--dot-rtl") a.dot_rtl = value();
@@ -245,10 +290,24 @@ Args parse_args(int argc, char** argv) {
       a.progress = true;
     }
     else if (opt == "--watchdog") {
-      a.watchdog_ms = std::stol(value());
+      a.watchdog_ms = int_arg(opt, value());
       if (a.watchdog_ms < 1) usage("--watchdog expects a window in ms");
     }
     else if (opt == "--fault") a.fault = value();
+    else if (opt == "--out-dir") a.out_dir = value();
+    else if (opt == "--threads") {
+      a.threads = static_cast<int>(int_arg(opt, value()));
+      if (a.threads < 0) usage("--threads must be >= 0");
+    }
+    else if (opt == "--resume") {
+      if (has_inline) usage("--resume takes no value");
+      a.resume = true;
+    }
+    else if (opt == "--max-jobs") {
+      a.max_jobs = static_cast<int>(int_arg(opt, value()));
+      if (a.max_jobs < 0) usage("--max-jobs must be >= 0");
+    }
+    else if (opt == "--baseline") a.baseline = value();
     else if (opt == "--undetected") {
       if (has_inline) usage("--undetected takes no value");
       a.undetected = true;
@@ -832,6 +891,81 @@ bool write_output(const std::string& path, const std::string& text) {
   return static_cast<bool>(out);
 }
 
+int cmd_sweep(const Args& a) {
+  std::ifstream in(a.behavior);
+  if (!in) throw std::runtime_error("cannot open manifest " + a.behavior);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const campaign::Manifest m = campaign::parse_manifest(buf.str());
+
+  campaign::SweepOptions opts;
+  opts.results_dir = a.out_dir;
+  opts.threads = a.threads;
+  opts.resume = a.resume;
+  opts.max_jobs = a.max_jobs;
+  const campaign::SweepSummary s = campaign::run_sweep(m, opts);
+
+  std::fprintf(g_report,
+               "sweep     : %lld jobs (%lld ran, %lld from journal, "
+               "%lld failed) in %.1f ms\n",
+               static_cast<long long>(s.total()),
+               static_cast<long long>(s.ran),
+               static_cast<long long>(s.journal_hits),
+               static_cast<long long>(s.failed), s.wall_ms);
+  std::fprintf(g_report,
+               "cache     : parse %lld/%lld, synth %lld/%lld, expand "
+               "%lld/%lld (hit/miss)\n",
+               static_cast<long long>(s.cache.parse_hits),
+               static_cast<long long>(s.cache.parse_misses),
+               static_cast<long long>(s.cache.synth_hits),
+               static_cast<long long>(s.cache.synth_misses),
+               static_cast<long long>(s.cache.expand_hits),
+               static_cast<long long>(s.cache.expand_misses));
+  int shown = 0;
+  for (const campaign::JobResult& r : s.jobs) {
+    if (r.status != "failed") continue;
+    if (++shown > 5) {
+      std::fprintf(g_report, "  ... and %lld more failed jobs\n",
+                   static_cast<long long>(s.failed - 5));
+      break;
+    }
+    std::fprintf(g_report, "  failed  : %s: %s\n", r.spec.id.c_str(),
+                 r.error.c_str());
+  }
+  if (!s.complete) {
+    std::fprintf(g_report,
+                 "index     : not written (--max-jobs stopped the run; "
+                 "finish with --resume)\n");
+    return 0;  // an early stop was requested, not a failure
+  }
+  std::fprintf(g_report, "index     : %s/index.json\n", a.out_dir.c_str());
+
+  if (!a.baseline.empty()) {
+    std::ifstream bin(a.baseline);
+    if (!bin) throw std::runtime_error("cannot open baseline " + a.baseline);
+    std::stringstream bbuf;
+    bbuf << bin.rdbuf();
+    const std::string got = campaign::strip_timing(campaign::index_to_json(s));
+    const std::string want = campaign::strip_timing(bbuf.str());
+    if (got != want) {
+      // Point at the first diverging line: with deterministic reports any
+      // divergence is a real behavior change, not noise.
+      std::istringstream ga(got), wa(want);
+      std::string gl, wl;
+      int line = 1;
+      while (std::getline(ga, gl) && std::getline(wa, wl) && gl == wl) ++line;
+      std::fprintf(stderr,
+                   "error: index.json diverges from baseline %s at line %d\n"
+                   "  baseline: %s\n  got     : %s\n",
+                   a.baseline.c_str(), line, wl.c_str(), gl.c_str());
+      return 1;
+    }
+    std::fprintf(g_report, "baseline  : match (%s, timing stripped)\n",
+                 a.baseline.c_str());
+  }
+  return s.failed > 0 ? 1 : 0;
+}
+
 int run_command(const Args& a) {
   if (a.command == "synth") { tsyn::util::telemetry_set_phase("synth"); return cmd_synth(a); }
   if (a.command == "analyze") { tsyn::util::telemetry_set_phase("analyze"); return cmd_analyze(a); }
@@ -839,6 +973,7 @@ int run_command(const Args& a) {
   if (a.command == "atpg") { tsyn::util::telemetry_set_phase("atpg"); return cmd_atpg(a); }
   if (a.command == "report") { tsyn::util::telemetry_set_phase("report"); return cmd_report(a); }
   if (a.command == "explain") { tsyn::util::telemetry_set_phase("explain"); return cmd_explain(a); }
+  if (a.command == "sweep") { tsyn::util::telemetry_set_phase("sweep"); return cmd_sweep(a); }
   usage(("unknown command: " + a.command).c_str());
 }
 
@@ -927,7 +1062,16 @@ int main(int argc, char** argv) {
     });
   }
 
-  const int rc = run_command(a);
+  // Uniform exit codes: every runtime failure — unreadable input, engine
+  // error, bad manifest — surfaces as one stderr line and exit 1. Usage
+  // errors exited 2 in parse_args; telemetry artifacts below still flush.
+  int rc = 0;
+  try {
+    rc = run_command(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
 
   if (util::telemetry_active()) util::telemetry_stop();
   if (!a.profile.empty()) {
