@@ -14,10 +14,20 @@
 // rate; plus the memo/cold speedup. Results go to stdout and
 // BENCH_sweep.json (tracked per PR through the bench_diff gate, wall times
 // excluded with --no-time).
+// A second section, "telemetry", prices the fleet-observability layer
+// itself: the same grid swept through run_sweep() with everything off vs
+// with the heartbeat stream, job rollup, and timeline recording on.
+// Paired alternating trials, medians reported; the overhead budget is
+// <= 2% and the on/off index bytes must be identical (telemetry may cost
+// time, never results).
 #include "common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +35,7 @@
 #include "campaign/manifest.h"
 #include "campaign/sweep.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace tsyn {
 namespace {
@@ -118,7 +129,86 @@ ModeResult run_mode(const campaign::Manifest& m, bool shared_cache) {
   return r;
 }
 
-void write_json(const std::vector<ModeResult>& rows, double speedup) {
+// -- telemetry overhead ------------------------------------------------------
+
+struct TelemetryResult {
+  double off_ms = 0;        ///< median sweep wall, telemetry off
+  double on_ms = 0;         ///< median sweep wall, heartbeat+timeline on
+  double overhead_pct = 0;  ///< (on - off) / off * 100
+  bool identical = false;   ///< on/off index bytes identical (timing-free)
+  long heartbeats = 0;      ///< lines emitted by the last "on" trial
+};
+
+/// One full run_sweep() over `m` into a throwaway dir; with `telemetry`,
+/// a live heartbeat session plus timeline export ride along. Returns the
+/// sweep wall time and the timing-stripped index bytes (the identity the
+/// on/off comparison checks).
+double sweep_once(const campaign::Manifest& m, bool telemetry,
+                  std::string* index_bytes) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (telemetry ? "tsyn_bench_sweep_on" : "tsyn_bench_sweep_off");
+  fs::remove_all(dir);
+  campaign::SweepOptions opts;
+  opts.results_dir = dir.string();
+  opts.threads = 1;  // serial: measure the layer, not scheduling luck
+  if (telemetry) {
+    util::TelemetryOptions topts;
+    topts.heartbeat_path = (dir.string() + "_hb.jsonl");
+    topts.interval_ms = 20;
+    util::telemetry_start(topts);
+    opts.timeline_path = (dir / "timeline.json").string();
+  }
+  const Clock::time_point t0 = Clock::now();
+  const campaign::SweepSummary s = campaign::run_sweep(m, opts);
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  if (telemetry) util::telemetry_stop();
+  if (s.failed != 0) {
+    std::fprintf(stderr, "telemetry trial sweep had failures\n");
+    std::exit(1);
+  }
+  {
+    std::ifstream in(dir / "index.json", std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *index_bytes = campaign::strip_timing(buf.str());
+  }
+  fs::remove_all(dir);
+  fs::remove(dir.string() + "_hb.jsonl");
+  return ms;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+TelemetryResult run_telemetry_overhead(const campaign::Manifest& m) {
+  constexpr int kTrials = 5;
+  TelemetryResult r;
+  r.identical = true;
+  std::vector<double> off, on;
+  std::string off_index, on_index;
+  // Warm-up pass so neither mode pays first-touch costs, then paired
+  // alternating trials so drift hits both modes equally.
+  sweep_once(m, false, &off_index);
+  for (int i = 0; i < kTrials; ++i) {
+    off.push_back(sweep_once(m, false, &off_index));
+    on.push_back(sweep_once(m, true, &on_index));
+    if (off_index != on_index || off_index.empty()) r.identical = false;
+  }
+  r.heartbeats = util::telemetry_heartbeat_count();
+  r.off_ms = median(off);
+  r.on_ms = median(on);
+  r.overhead_pct =
+      r.off_ms > 0 ? (r.on_ms - r.off_ms) / r.off_ms * 100.0 : 0;
+  return r;
+}
+
+void write_json(const std::vector<ModeResult>& rows, double speedup,
+                const TelemetryResult& tel) {
   FILE* f = std::fopen("BENCH_sweep.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_sweep.json\n");
@@ -139,7 +229,13 @@ void write_json(const std::vector<ModeResult>& rows, double speedup) {
                  static_cast<long long>(r.expand_runs), r.hit_rate,
                  r.mean_coverage, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"memo_speedup\": %.2f,\n  ", speedup);
+  std::fprintf(f, "  ],\n  \"memo_speedup\": %.2f,\n", speedup);
+  std::fprintf(f,
+               "  \"telemetry\": {\"off_wall_ms\": %.1f, \"on_wall_ms\": "
+               "%.1f, \"overhead_pct\": %.2f, \"identical\": %d, "
+               "\"heartbeats\": %ld},\n  ",
+               tel.off_ms, tel.on_ms, tel.overhead_pct,
+               tel.identical ? 1 : 0, tel.heartbeats);
   bench::write_metrics_field(f);
   std::fprintf(f, "\n}\n");
   std::fclose(f);
@@ -185,7 +281,23 @@ int main() {
     std::fprintf(stderr, "coverage diverged between modes\n");
     return 1;
   }
-  write_json({cold, memo}, speedup);
+
+  const TelemetryResult tel = run_telemetry_overhead(m);
+  std::printf(
+      "\nTelemetry overhead (heartbeat + job rollup + timeline, paired\n"
+      "medians over 5 alternating run_sweep trials):\n"
+      "  off %.1f ms, on %.1f ms -> %+.2f%% (budget <= 2%%, %s)\n"
+      "  heartbeats emitted: %ld; on/off index bytes identical: %s\n",
+      tel.off_ms, tel.on_ms, tel.overhead_pct,
+      tel.overhead_pct <= 2.0 ? "ok" : "OVER — likely machine noise",
+      tel.heartbeats, tel.identical ? "yes" : "NO");
+  if (!tel.identical) {
+    // Overhead over budget is timing noise; different *results* are a bug.
+    std::fprintf(stderr, "telemetry changed sweep results\n");
+    return 1;
+  }
+
+  write_json({cold, memo}, speedup, tel);
   std::printf("Wrote BENCH_sweep.json.\n");
   return 0;
 }

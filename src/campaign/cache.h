@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -45,16 +46,24 @@ namespace tsyn::campaign {
 struct StageCounters {
   std::atomic<std::int64_t> hits{0};
   std::atomic<std::int64_t> misses{0};
+  /// Hits that arrived while the owner was still computing — the requester
+  /// blocked on the shared_future instead of duplicating the work. A
+  /// subset of hits; it measures how much the coalescing actually saved
+  /// under contention (always 0 in a serial sweep).
+  std::atomic<std::int64_t> coalesced{0};
 };
 
 /// Point-in-time copy of a cache's counters (index/summary reporting).
 struct CacheStats {
-  std::int64_t parse_hits = 0, parse_misses = 0;
-  std::int64_t synth_hits = 0, synth_misses = 0;
-  std::int64_t expand_hits = 0, expand_misses = 0;
+  std::int64_t parse_hits = 0, parse_misses = 0, parse_coalesced = 0;
+  std::int64_t synth_hits = 0, synth_misses = 0, synth_coalesced = 0;
+  std::int64_t expand_hits = 0, expand_misses = 0, expand_coalesced = 0;
   std::int64_t hits() const { return parse_hits + synth_hits + expand_hits; }
   std::int64_t misses() const {
     return parse_misses + synth_misses + expand_misses;
+  }
+  std::int64_t coalesced() const {
+    return parse_coalesced + synth_coalesced + expand_coalesced;
   }
 };
 
@@ -62,14 +71,20 @@ struct CacheStats {
 template <typename T>
 class MemoTable {
  public:
-  MemoTable(StageCounters* local, util::Counter* hit, util::Counter* miss)
-      : local_(local), hit_(hit), miss_(miss) {}
+  MemoTable(StageCounters* local, util::Counter* hit, util::Counter* miss,
+            util::Counter* coalesce)
+      : local_(local), hit_(hit), miss_(miss), coalesce_(coalesce) {}
 
   /// Returns the cached value for `key`, computing it at most once across
-  /// all threads. `compute` runs outside the table lock.
+  /// all threads. `compute` runs outside the table lock. When `outcome` is
+  /// non-null it receives this call's classification — "miss" (computed
+  /// here), "hit" (already resident), or "coalesced" (blocked on another
+  /// thread's in-flight miss) — which is what the job timeline annotates
+  /// stage spans with.
   std::shared_ptr<const T> get_or_compute(
       std::uint64_t key,
-      const std::function<std::shared_ptr<const T>()>& compute) {
+      const std::function<std::shared_ptr<const T>()>& compute,
+      const char** outcome = nullptr) {
     std::promise<std::shared_ptr<const T>> promise;
     std::shared_future<std::shared_ptr<const T>> future;
     bool owner = false;
@@ -83,6 +98,7 @@ class MemoTable {
       future = it->second;
     }
     if (owner) {
+      if (outcome) *outcome = "miss";
       local_->misses.fetch_add(1, std::memory_order_relaxed);
       miss_->add(1);
       try {
@@ -93,6 +109,17 @@ class MemoTable {
     } else {
       local_->hits.fetch_add(1, std::memory_order_relaxed);
       hit_->add(1);
+      if (future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        // The owner is mid-computation: this requester is about to block
+        // on it rather than recompute — the coalescing win the timeline
+        // and sweep_stats attribute contention to.
+        if (outcome) *outcome = "coalesced";
+        local_->coalesced.fetch_add(1, std::memory_order_relaxed);
+        coalesce_->add(1);
+      } else {
+        if (outcome) *outcome = "hit";
+      }
     }
     return future.get();  // rethrows the computer's exception, if any
   }
@@ -101,6 +128,7 @@ class MemoTable {
   StageCounters* local_;
   util::Counter* hit_;
   util::Counter* miss_;
+  util::Counter* coalesce_;
   std::mutex mu_;
   std::unordered_map<std::uint64_t,
                      std::shared_future<std::shared_ptr<const T>>>
@@ -119,12 +147,15 @@ class StageCache {
  public:
   StageCache()
       : parse(&parse_counters_, &util::metrics().counter("campaign.cache.parse.hit"),
-              &util::metrics().counter("campaign.cache.parse.miss")),
+              &util::metrics().counter("campaign.cache.parse.miss"),
+              &util::metrics().counter("campaign.cache.parse.coalesce")),
         synth(&synth_counters_, &util::metrics().counter("campaign.cache.synth.hit"),
-              &util::metrics().counter("campaign.cache.synth.miss")),
+              &util::metrics().counter("campaign.cache.synth.miss"),
+              &util::metrics().counter("campaign.cache.synth.coalesce")),
         expand(&expand_counters_,
                &util::metrics().counter("campaign.cache.expand.hit"),
-               &util::metrics().counter("campaign.cache.expand.miss")) {}
+               &util::metrics().counter("campaign.cache.expand.miss"),
+               &util::metrics().counter("campaign.cache.expand.coalesce")) {}
 
   MemoTable<cdfg::Cdfg> parse;
   MemoTable<hls::Synthesis> synth;
@@ -138,6 +169,12 @@ class StageCache {
     s.synth_misses = synth_counters_.misses.load(std::memory_order_relaxed);
     s.expand_hits = expand_counters_.hits.load(std::memory_order_relaxed);
     s.expand_misses = expand_counters_.misses.load(std::memory_order_relaxed);
+    s.parse_coalesced =
+        parse_counters_.coalesced.load(std::memory_order_relaxed);
+    s.synth_coalesced =
+        synth_counters_.coalesced.load(std::memory_order_relaxed);
+    s.expand_coalesced =
+        expand_counters_.coalesced.load(std::memory_order_relaxed);
     return s;
   }
 

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "campaign/timeline.h"
 #include "cdfg/benchmarks.h"
 #include "cdfg/parser.h"
 #include "compaction/compaction.h"
@@ -18,11 +19,13 @@
 #include "gatelevel/faultsim.h"
 #include "gatelevel/simgraph.h"
 #include "hls/synthesis.h"
+#include "observe/history.h"
 #include "observe/report.h"
 #include "testability/scan_select.h"
 #include "util/hash.h"
 #include "util/json.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -178,7 +181,34 @@ struct JournalEntry {
   double coverage = 0, efficiency = 0, wall_ms = 0;
 };
 
-std::string journal_line(const JobResult& r) {
+/// Failure diagnostics for the journal: the process metrics snapshot and
+/// the last heartbeat line at the moment the failure was recorded. Pure
+/// triage data — read_journal ignores unknown keys, so resume semantics
+/// (and the journal-restore path) are untouched by its presence.
+std::string failure_diagnostics_json() {
+  const util::MetricsSnapshot snap = util::metrics().snapshot();
+  std::ostringstream os;
+  os << ",\"diag\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":" << v;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":" << fmt_exact(v);
+    first = false;
+  }
+  os << "},\"heartbeat\":\"" << json_escape(util::telemetry_last_line())
+     << "\"}";
+  return os.str();
+}
+
+/// `extra` is a pre-rendered ",\"key\":..." suffix (failure diagnostics);
+/// empty for ok jobs so the common record shape is unchanged.
+std::string journal_line(const JobResult& r, const std::string& extra = "") {
   std::ostringstream os;
   os << "{\"type\":\"job\",\"job\":\"" << json_escape(r.spec.id)
      << "\",\"spec\":\"" << r.result_spec_hash
@@ -188,7 +218,7 @@ std::string journal_line(const JobResult& r) {
      << ",\"coverage\":" << fmt_exact(r.coverage)
      << ",\"efficiency\":" << fmt_exact(r.efficiency)
      << ",\"wall_ms\":" << fmt_exact(r.wall_ms) << ",\"error\":\""
-     << json_escape(r.error) << "\"}\n";
+     << json_escape(r.error) << "\"" << extra << "}\n";
   return os.str();
 }
 
@@ -256,18 +286,27 @@ JournalState read_journal(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 JobResult run_one_job(const JobSpec& spec, const Manifest& m,
-                      StageCache& cache, std::string* report_json) {
+                      StageCache& cache, std::string* report_json,
+                      std::vector<StageSpan>* stages) {
   JobResult r;
   r.spec = spec;
+  const Clock::time_point jt0 = Clock::now();
+  const char* outcome = "none";
+  auto record_stage = [&](const char* name, double t0_ms) {
+    if (stages) stages->push_back({name, t0_ms, ms_since(jt0), outcome});
+  };
   const std::string token = design_token(spec.design);
   r.result_spec_hash = job_spec_hash(spec, m, token);
   try {
     TSYN_SPAN("sweep.job");
     const std::uint64_t pk = parse_key(spec, token);
+    double st0 = ms_since(jt0);
     const auto g = cache.parse.get_or_compute(
-        pk, [&] { return load_design(spec, token); });
+        pk, [&] { return load_design(spec, token); }, &outcome);
+    record_stage("parse", st0);
 
     const std::uint64_t sk = synth_key(pk, spec.config);
+    st0 = ms_since(jt0);
     const auto syn = cache.synth.get_or_compute(sk, [&] {
       TSYN_SPAN("sweep.stage.synth");
       hls::SynthesisOptions opts;
@@ -276,9 +315,11 @@ JobResult run_one_job(const JobSpec& spec, const Manifest& m,
                          {cdfg::FuType::kMultiplier, spec.config.mul}};
       opts.num_steps = spec.config.steps;
       return std::make_shared<const hls::Synthesis>(hls::synthesize(*g, opts));
-    });
+    }, &outcome);
+    record_stage("synth", st0);
 
     const std::uint64_t ek = expand_key(sk, spec.scan, spec.width);
+    st0 = ms_since(jt0);
     const auto ex = cache.expand.get_or_compute(ek, [&] {
       TSYN_SPAN("sweep.stage.expand");
       rtl::Datapath dp = syn->rtl.datapath;
@@ -302,7 +343,10 @@ JobResult run_one_job(const JobSpec& spec, const Manifest& m,
       // job that shares this netlist from here on only reads it.
       gl::SimGraph::of(stage->design.netlist);
       return stage;
-    });
+    }, &outcome);
+    record_stage("expand", st0);
+    outcome = "none";  // atpg has no cache in front of it
+    st0 = ms_since(jt0);
 
     const gl::Netlist& n = ex->design.netlist;
     observe::RunReport rep;
@@ -348,6 +392,7 @@ JobResult run_one_job(const JobSpec& spec, const Manifest& m,
       // is a compaction concept and stays 0 rather than an approximation.
     }
 
+    record_stage("atpg", st0);
     *report_json = observe::report_to_json(rep);
     r.gates = rep.gates;
     r.faults = rep.faults;
@@ -476,6 +521,7 @@ SweepSummary run_sweep(const Manifest& m, const SweepOptions& opts) {
   }
 
   util::telemetry_set_phase("sweep");
+  util::telemetry_jobs_reset();  // heartbeat job counts are per-sweep
   static util::Progress& jobs_progress = util::progress("sweep.jobs");
   jobs_progress.add_total(static_cast<std::int64_t>(pending.size()));
   util::logf(util::LogLevel::kInfo, "sweep",
@@ -484,15 +530,21 @@ SweepSummary run_sweep(const Manifest& m, const SweepOptions& opts) {
 
   StageCache cache;
   std::mutex io_mu;
+  std::vector<JobSpan> timeline;
+  const bool want_timeline = !opts.timeline_path.empty();
   util::ThreadPool& pool = util::ThreadPool::shared();
   const int threads =
       opts.threads > 0 ? opts.threads : pool.max_parallelism();
-  pool.run(static_cast<int>(pending.size()), threads, [&](int k, int) {
+  pool.run(static_cast<int>(pending.size()), threads, [&](int k, int slot) {
     const int i = pending[static_cast<std::size_t>(k)];
     const JobSpec& spec = grid[static_cast<std::size_t>(i)];
+    util::telemetry_job_begin(spec.id);
+    const double sweep_t0_ms = ms_since(t0);
     const Clock::time_point jt0 = Clock::now();
     std::string report;
-    JobResult r = run_one_job(spec, m, cache, &report);
+    std::vector<StageSpan> stages;
+    JobResult r = run_one_job(spec, m, cache, &report,
+                              want_timeline ? &stages : nullptr);
     r.wall_ms = ms_since(jt0);
     const std::string path = (dir / (spec.id + ".json")).string();
     if (!write_file(path, report)) {
@@ -501,11 +553,29 @@ SweepSummary run_sweep(const Manifest& m, const SweepOptions& opts) {
       r.status = "failed";
       r.error = "cannot write " + path;
     }
+    util::telemetry_job_end(spec.id, r.status == "failed");
+    // Snapshot diagnostics outside the io lock; only failed records pay.
+    const std::string diag =
+        r.status == "failed" ? failure_diagnostics_json() : std::string();
     {
       std::lock_guard<std::mutex> lk(io_mu);
-      const std::string line = journal_line(r);
+      const std::string line = journal_line(r, diag);
       std::fwrite(line.data(), 1, line.size(), jf);
       std::fflush(jf);
+      if (want_timeline) {
+        JobSpan span;
+        span.id = spec.id;
+        span.slot = slot;
+        span.t0_ms = sweep_t0_ms;
+        span.t1_ms = sweep_t0_ms + r.wall_ms;
+        span.status = r.status;
+        span.stages = std::move(stages);
+        for (StageSpan& st : span.stages) {  // job-relative -> sweep-relative
+          st.t0_ms += sweep_t0_ms;
+          st.t1_ms += sweep_t0_ms;
+        }
+        timeline.push_back(std::move(span));
+      }
       summary.jobs[static_cast<std::size_t>(i)] = std::move(r);
     }
     util::logf(util::LogLevel::kInfo, "sweep", "job %s: %s cov=%.2f%%",
@@ -521,6 +591,56 @@ SweepSummary run_sweep(const Manifest& m, const SweepOptions& opts) {
   for (const JobResult& r : summary.jobs)
     if (r.status == "failed") ++summary.failed;
   summary.wall_ms = ms_since(t0);
+
+  if (want_timeline) {
+    const fs::path tp(opts.timeline_path);
+    if (tp.has_parent_path()) fs::create_directories(tp.parent_path(), ec);
+    if (!write_file(opts.timeline_path, timeline_to_json(timeline)))
+      throw SweepError("cannot write timeline " + opts.timeline_path);
+  }
+
+  if (summary.complete && !opts.history_dir.empty()) {
+    observe::HistoryRun hr;
+    hr.manifest = summary.manifest_hash;
+    hr.source = "sweep:" + opts.results_dir;
+    hr.wall_ms = summary.wall_ms;
+    const std::int64_t memo_hits = summary.journal_hits + summary.cache.hits();
+    const std::int64_t lookups = memo_hits + summary.cache.misses();
+    hr.memo_hit_rate = lookups > 0 ? static_cast<double>(memo_hits) /
+                                         static_cast<double>(lookups)
+                                   : 1.0;
+    hr.entries.reserve(summary.jobs.size());
+    for (const JobResult& r : summary.jobs) {
+      observe::HistoryEntry e;
+      e.job = r.spec.id;
+      e.design = r.spec.design;
+      e.config = r.spec.config.name;
+      e.scan = r.spec.scan;
+      e.width = r.spec.width;
+      e.seed = r.spec.seed;
+      e.status = r.status;
+      e.error = r.error;
+      e.gates = r.gates;
+      e.faults = r.faults;
+      e.patterns = r.patterns;
+      e.cubes = r.cubes;
+      e.coverage = r.coverage;
+      e.efficiency = r.efficiency;
+      e.wall_ms = r.wall_ms;
+      hr.entries.push_back(std::move(e));
+    }
+    try {
+      const observe::IngestResult ing =
+          observe::history_ingest(opts.history_dir, hr);
+      summary.history_run_id = ing.run_id;
+      summary.history_added = ing.added;
+      summary.history_runs_total = ing.runs_total;
+      summary.history_outliers_json = observe::outliers_to_json(
+          observe::history_outliers(observe::history_load(opts.history_dir)));
+    } catch (const observe::HistoryError& e) {
+      throw SweepError(std::string("history ingest failed: ") + e.what());
+    }
+  }
 
   if (summary.complete) {
     if (!write_file((dir / "index.json").string(), index_to_json(summary)))
@@ -619,12 +739,22 @@ std::string sweep_stats_to_json(const SweepSummary& s) {
      << ", \"misses\": " << c.synth_misses << "}, "
      << "\"expand\": {\"hits\": " << c.expand_hits
      << ", \"misses\": " << c.expand_misses << "}},\n"
+     << "  \"coalesced\": {\"parse\": " << c.parse_coalesced
+     << ", \"synth\": " << c.synth_coalesced
+     << ", \"expand\": " << c.expand_coalesced << "},\n"
      << "  \"memo_hit_rate\": "
      << fmt_double(lookups > 0
                        ? static_cast<double>(memo_hits) /
                              static_cast<double>(lookups)
-                       : 1.0)
-     << "\n}\n";
+                       : 1.0);
+  if (!s.history_run_id.empty()) {
+    os << ",\n  \"history\": {\"run\": \"" << s.history_run_id
+       << "\", \"added\": " << (s.history_added ? "true" : "false")
+       << ", \"runs_total\": " << s.history_runs_total << ", \"outliers\": "
+       << (s.history_outliers_json.empty() ? "[]" : s.history_outliers_json)
+       << "}";
+  }
+  os << "\n}\n";
   return os.str();
 }
 

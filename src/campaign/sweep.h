@@ -35,6 +35,7 @@
 
 #include "campaign/cache.h"
 #include "campaign/manifest.h"
+#include "campaign/timeline.h"
 
 namespace tsyn::campaign {
 
@@ -52,6 +53,17 @@ struct SweepOptions {
   /// 0 = run the whole grid. This is the kill-and-resume test hook: the
   /// index is only written when the grid actually completed.
   int max_jobs = 0;
+  /// Non-empty: export a Chrome trace_event job timeline here (one track
+  /// per pool worker slot, one span per executed job with stage
+  /// sub-spans). Run-varying, like sweep_stats.json; written even for an
+  /// incomplete (max_jobs-stopped) run so partial runs stay inspectable.
+  std::string timeline_path;
+  /// Non-empty: on grid completion, ingest this sweep's results into the
+  /// persistent run-history store at this directory (observe/history.h)
+  /// and surface the store's verdicts in sweep_stats.json's "history"
+  /// block. Values are ingested at journal (%.17g) precision, so history
+  /// queries reproduce sweep numbers exactly.
+  std::string history_dir;
 };
 
 /// One grid point's outcome. `status` is "ok" or "failed"; failed jobs
@@ -82,6 +94,14 @@ struct SweepSummary {
   double wall_ms = 0.0;
   /// False when max_jobs stopped the run early; the index is not written.
   bool complete = true;
+  /// Filled when SweepOptions::history_dir was set and the grid completed:
+  /// the ingested run's content id, whether it was new to the store, the
+  /// store's run count, and the store's current outlier verdicts (compact
+  /// JSON array) — all echoed into sweep_stats.json's "history" block.
+  std::string history_run_id;
+  bool history_added = false;
+  std::int64_t history_runs_total = 0;
+  std::string history_outliers_json;
 
   std::int64_t total() const {
     return static_cast<std::int64_t>(jobs.size());
@@ -115,8 +135,12 @@ std::string sweep_stats_to_json(const SweepSummary& s);
 
 /// Runs one job against a caller-provided cache, no files involved.
 /// Exposed for tests and the bench; run_sweep wraps this with the journal
-/// and report plumbing. Returns the report JSON via `report_json`.
+/// and report plumbing. Returns the report JSON via `report_json`. When
+/// `stages` is non-null, each pipeline stage appends a StageSpan timed
+/// relative to the job start and annotated with its cache outcome
+/// ("miss"/"hit"/"coalesced"; "none" for the uncached atpg stage).
 JobResult run_one_job(const JobSpec& spec, const Manifest& m,
-                      StageCache& cache, std::string* report_json);
+                      StageCache& cache, std::string* report_json,
+                      std::vector<StageSpan>* stages = nullptr);
 
 }  // namespace tsyn::campaign

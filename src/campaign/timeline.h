@@ -1,0 +1,50 @@
+// Job timeline: the sweep's scheduling record, exported as Chrome
+// trace_event JSON (chrome://tracing, Perfetto).
+//
+// The orchestrator's own trace spans (util/trace.h) answer "where did one
+// job's time go"; the timeline answers the fleet question — where did the
+// *sweep's* wall-clock go: scheduling gaps, cache-miss serialization, or
+// one straggler job pinning a worker while the rest of the pool drains.
+// One track (tid) per pool worker slot, one "X" span per job carrying its
+// status, and one sub-span per pipeline stage annotated with whether the
+// stage was computed here ("miss"), satisfied instantly ("hit"), or
+// blocked on another job's in-flight computation ("coalesced").
+//
+// Timestamps are milliseconds since the sweep started (microseconds in the
+// exported JSON, per the trace_event spec) — monotonic within one run and
+// deliberately not wall-clock dates, matching the repo's timestamp-free
+// artifact rule. The timeline is a run-varying artifact like
+// sweep_stats.json, never part of the deterministic index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsyn::campaign {
+
+/// One pipeline stage inside a job span. `cache` is "hit", "miss",
+/// "coalesced" (blocked on another thread's miss), or "none" for stages
+/// that have no cache (atpg).
+struct StageSpan {
+  std::string name;  ///< "parse" | "synth" | "expand" | "atpg"
+  double t0_ms = 0;  ///< relative to the *job* start when recorded by
+  double t1_ms = 0;  ///<   run_one_job; run_sweep rebases to sweep time
+  std::string cache;
+};
+
+/// One job's occupancy of one worker slot.
+struct JobSpan {
+  std::string id;      ///< grid job id
+  int slot = 0;        ///< pool worker slot == timeline track
+  double t0_ms = 0;    ///< sweep-relative
+  double t1_ms = 0;
+  std::string status;  ///< "ok" | "failed"
+  std::vector<StageSpan> stages;
+};
+
+/// Renders the Chrome trace_event document: thread_name metadata per slot,
+/// job spans, stage sub-spans. Spans are emitted sorted by (slot, t0, id)
+/// so the bytes are a function of the recorded set, not of append order.
+std::string timeline_to_json(const std::vector<JobSpan>& jobs);
+
+}  // namespace tsyn::campaign

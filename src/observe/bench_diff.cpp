@@ -275,4 +275,21 @@ BenchDiffResult diff_bench_json(const Json& baseline, const Json& fresh,
   return out;
 }
 
+std::string diff_result_to_text(const BenchDiffResult& res, bool quiet,
+                                const std::string& label) {
+  std::string out;
+  if (!res.schema_ok) {
+    out += "bench_diff: " + res.schema_error + "\n";
+    return out;
+  }
+  for (const std::string& r : res.regressions) out += "FAIL " + r + "\n";
+  if (!quiet)
+    for (const std::string& n : res.notes) out += "note " + n + "\n";
+  out += "bench_diff: " + std::to_string(res.regressions.size()) +
+         " regression(s), " + std::to_string(res.notes.size()) + " note(s)";
+  if (!label.empty()) out += " [" + label + "]";
+  out += "\n";
+  return out;
+}
+
 }  // namespace tsyn::observe

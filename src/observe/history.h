@@ -1,0 +1,177 @@
+// Persistent cross-run history: the fleet's memory.
+//
+// Every other artifact in the repo describes one run — a report, an
+// index.json, a BENCH baseline. The history store is the layer above:
+// an append-only, content-hashed record of *many* runs of the same (or
+// different) campaign grids, from which trends, regressions, and
+// anomalies are computed after the fact. It is what turns "this sweep
+// produced these numbers" into "this sweep produced numbers that drifted
+// from the last eight runs".
+//
+// Layout under a history directory:
+//
+//   store.jsonl   append-only ingest log, flushed per record: one
+//                 {"type":"run"} header per ingested run followed by its
+//                 {"type":"entry"} rows. Chronological; re-ingesting a
+//                 byte-identical run is a no-op (dedup by run id).
+//   index.json    derived canonical view, rebuilt on every ingest: runs
+//                 sorted by run id, entries sorted by job id, doubles at
+//                 %.17g. A pure function of the *set* of ingested runs —
+//                 ingesting the same runs in any order yields
+//                 byte-identical bytes (the determinism contract
+//                 tests/test_history.cpp asserts).
+//
+// A run's id is the FNV-1a hash of its manifest hash plus every entry
+// (sorted by job, wall_ms included): two executions of the same manifest
+// are distinct runs (their timings differ), while re-ingesting literally
+// identical results deduplicates. There are deliberately no timestamps —
+// "canonical run order" means sorted by run id, and the store order in
+// store.jsonl preserves ingest chronology for humans. All cross-run
+// analyses (trend, diff, outliers) use canonical order so their verdicts
+// are ingestion-order- and thread-count-invariant.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tsyn::observe {
+
+/// Orchestration-level store failure (unreadable dir, corrupt index,
+/// unknown run ref). Query results are data, not exceptions.
+class HistoryError : public std::runtime_error {
+ public:
+  explicit HistoryError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// One job outcome inside one run — the grid key (design, config, scan,
+/// width, seed) plus the measured numbers, mirroring a sweep index row.
+struct HistoryEntry {
+  std::string job;  ///< grid job id, unique within a run
+  std::string design, config, scan;
+  int width = 0;
+  std::uint64_t seed = 0;
+  std::string status = "ok";  ///< "ok" | "failed"
+  std::string error;
+  std::int64_t gates = 0, faults = 0, patterns = 0, cubes = 0;
+  double coverage = 0, efficiency = 0, wall_ms = 0;
+};
+
+struct HistoryRun {
+  std::string run_id;    ///< content hash; filled by ingest/load
+  std::string manifest;  ///< manifest content hash (or a source tag)
+  std::string source;    ///< free-form label, store.jsonl only (unhashed)
+  double wall_ms = 0;          ///< sweep wall time; 0 = unknown
+  double memo_hit_rate = -1;   ///< cache economy; < 0 = unknown
+  std::vector<HistoryEntry> entries;
+};
+
+/// The loaded store. `runs` is store (ingest) order; analyses re-sort by
+/// run id via canonical_order().
+struct History {
+  std::vector<HistoryRun> runs;
+};
+
+/// Content identity of a run: manifest + every entry, entries sorted by
+/// job id first, so the id is independent of how the caller ordered them.
+std::string history_run_id(const HistoryRun& r);
+
+struct IngestResult {
+  std::string run_id;
+  bool added = false;  ///< false: identical run was already in the store
+  std::int64_t runs_total = 0;
+  std::int64_t entries = 0;  ///< entries in the ingested run
+};
+
+/// Appends `run` to DIR/store.jsonl (creating the directory) unless an
+/// identical run id is already present, then rebuilds DIR/index.json.
+IngestResult history_ingest(const std::string& dir, const HistoryRun& run);
+
+/// Loads DIR/store.jsonl. A missing store is an error; a torn trailing
+/// record (kill mid-ingest) is dropped with its partial run.
+History history_load(const std::string& dir);
+
+/// The canonical derived index (see file header for the determinism
+/// contract).
+std::string history_index_json(const History& h);
+
+/// Indices into h.runs, sorted by run id — the canonical run order every
+/// cross-run analysis uses.
+std::vector<std::size_t> history_canonical_order(const History& h);
+
+/// Resolves a run reference: "latest" / "prev" (canonical order), a
+/// 1-based canonical ordinal, or a unique run-id prefix. Returns nullptr
+/// and sets *err on failure.
+const HistoryRun* history_resolve(const History& h, const std::string& ref,
+                                  std::string* err);
+
+/// A run rendered as a schema-2 bench document (rows keyed "case",
+/// per-row "detected" 0/1 so an ok->failed flip is a quality regression),
+/// ready for observe::diff_bench_json. "seed" is pinned to 0 on both
+/// sides so cross-manifest diffs compare instead of hard-failing.
+std::string history_run_to_bench_json(const HistoryRun& r);
+
+// -- trend -------------------------------------------------------------------
+
+struct TrendPoint {
+  std::string run_id;
+  std::string status;
+  double coverage = 0, efficiency = 0, wall_ms = 0;
+  std::int64_t patterns = 0;
+};
+
+/// One job key's series across runs, in canonical run order. Runs that
+/// lack the key contribute no point.
+struct TrendSeries {
+  std::string job;
+  std::vector<TrendPoint> points;
+};
+
+/// Every key's series (sorted by job id), optionally filtered to keys
+/// containing `filter`.
+std::vector<TrendSeries> history_trend(const History& h,
+                                       const std::string& filter = "");
+
+// -- outliers ----------------------------------------------------------------
+
+/// One anomalous measurement, flagged by robust z-score
+/// (z = 0.6745 * (x - median) / MAD).
+struct HistoryOutlier {
+  std::string job;
+  std::string metric;  ///< "wall_ms" | "coverage" | "patterns"
+  std::string scope;   ///< "peers" (within-run) | "runs" (cross-run)
+  std::string run_id;
+  double value = 0, median = 0, mad = 0, z = 0;
+  /// Deterministic-metric anomalies (coverage, patterns) gate; timing
+  /// anomalies are informational, mirroring bench_diff's time class.
+  bool gating = false;
+};
+
+struct OutlierOptions {
+  double z_threshold = 3.5;  ///< standard robust-outlier cut
+  int last_n = 8;            ///< cross-run window, canonical order
+  int min_points = 4;        ///< below this, MAD is meaningless: skip
+};
+
+/// Peers scope: within each run, each job's wall_ms against same-design
+/// peers (straggler detection). Runs scope: each key's coverage /
+/// patterns / wall_ms across the last_n canonical runs. Output is sorted
+/// (gating first, then |z| descending, then job/metric) and invariant to
+/// ingestion order and to the thread count of the producing sweeps
+/// (gating metrics are deterministic per job).
+std::vector<HistoryOutlier> history_outliers(const History& h,
+                                             const OutlierOptions& opts = {});
+
+/// Compact JSON array of outlier records — embedded in sweep_stats.json's
+/// "history" block and behind `history outliers --json`.
+std::string outliers_to_json(const std::vector<HistoryOutlier>& outliers);
+
+// -- dashboard ---------------------------------------------------------------
+
+/// Self-contained HTML fleet dashboard (no scripts, no external refs):
+/// per-key coverage/runtime sparklines, latest-vs-previous regression
+/// table, cache-economy panel, straggler panel.
+std::string history_to_html(const History& h);
+
+}  // namespace tsyn::observe

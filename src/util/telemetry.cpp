@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "util/trace.h"
@@ -113,6 +114,57 @@ const char* telemetry_phase() {
 
 namespace {
 
+/// The fleet job rollup. One mutex is fine at job granularity (a sweep
+/// touches this twice per job); the sampler thread snapshots it per line.
+struct JobsRegistry {
+  std::mutex mu;
+  std::int64_t started = 0, done = 0, failed = 0;
+  std::multiset<std::string> running;
+};
+
+JobsRegistry& jobs_registry() {
+  static JobsRegistry* r = new JobsRegistry();  // never dtor'd
+  return *r;
+}
+
+}  // namespace
+
+void telemetry_job_begin(const std::string& label) {
+  JobsRegistry& r = jobs_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  ++r.started;
+  r.running.insert(label);
+}
+
+void telemetry_job_end(const std::string& label, bool failed) {
+  JobsRegistry& r = jobs_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  ++r.done;
+  if (failed) ++r.failed;
+  const auto it = r.running.find(label);
+  if (it != r.running.end()) r.running.erase(it);
+}
+
+JobsSnapshot telemetry_jobs_snapshot() {
+  JobsRegistry& r = jobs_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  JobsSnapshot s;
+  s.started = r.started;
+  s.done = r.done;
+  s.failed = r.failed;
+  s.running.assign(r.running.begin(), r.running.end());  // multiset: sorted
+  return s;
+}
+
+void telemetry_jobs_reset() {
+  JobsRegistry& r = jobs_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.started = r.done = r.failed = 0;
+  r.running.clear();
+}
+
+namespace {
+
 /// Per-progress-row rate tracking between heartbeats.
 struct RowState {
   std::int64_t last_done = 0;
@@ -137,6 +189,10 @@ struct TelemetrySession {
 TelemetrySession* g_session = nullptr;  // guarded by g_session_mu
 std::mutex g_session_mu;
 std::atomic<long> g_heartbeats{0};
+
+/// Most recent emitted line (newline stripped), for telemetry_last_line().
+std::string* g_last_line = new std::string();  // leaked: crash-flush safe
+std::mutex g_last_line_mu;
 
 /// One heartbeat/stall line. `stalled_ms` < 0 means a plain heartbeat.
 void emit_record(TelemetrySession& s, double t_ms, double stalled_ms) {
@@ -194,6 +250,28 @@ void emit_record(TelemetrySession& s, double t_ms, double stalled_ms) {
     if (!stall) st.last_done = row.done;
   }
   line += ']';
+  const JobsSnapshot jobs = telemetry_jobs_snapshot();
+  if (jobs.started > 0) {
+    // Fleet rollup: only present once an orchestrator registered jobs, so
+    // single-job heartbeat streams keep their original shape.
+    line += ",\"jobs\":{\"started\":";
+    line += std::to_string(jobs.started);
+    line += ",\"done\":";
+    line += std::to_string(jobs.done);
+    line += ",\"failed\":";
+    line += std::to_string(jobs.failed);
+    line += ",\"running\":[";
+    const std::size_t shown = std::min(jobs.running.size(), kJobsRunningCap);
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i) line += ',';
+      line += '"';
+      append_json_escaped(line, jobs.running[i]);
+      line += '"';
+    }
+    line += "],\"in_flight\":";
+    line += std::to_string(jobs.running.size());
+    line += '}';
+  }
   if (stall) {
     line += ",\"stacks\":[";
     bool first_stack = true;
@@ -241,6 +319,10 @@ void emit_record(TelemetrySession& s, double t_ms, double stalled_ms) {
     ++s.seq;
   }
   ++g_heartbeats;
+  {
+    std::lock_guard<std::mutex> lk(g_last_line_mu);
+    g_last_line->assign(line.data(), line.size() - 1);  // strip the '\n'
+  }
   if (s.stream) {
     std::fwrite(line.data(), 1, line.size(), s.stream);
     std::fflush(s.stream);  // each line must survive a crash
@@ -358,6 +440,10 @@ bool telemetry_start(const TelemetryOptions& opts) {
     }
   }
   g_heartbeats.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> llk(g_last_line_mu);
+    g_last_line->clear();  // lines are per-session, like the counter
+  }
   progress_enable();
   s->start_ms = now_ms();
   TelemetrySession& ref = *s;
@@ -392,6 +478,11 @@ bool telemetry_active() {
 
 long telemetry_heartbeat_count() {
   return g_heartbeats.load(std::memory_order_relaxed);
+}
+
+std::string telemetry_last_line() {
+  std::lock_guard<std::mutex> lk(g_last_line_mu);
+  return *g_last_line;
 }
 
 // -- crash flush -------------------------------------------------------------

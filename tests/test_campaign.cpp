@@ -6,13 +6,17 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 
 #include "campaign/cache.h"
 #include "campaign/manifest.h"
 #include "campaign/sweep.h"
+#include "observe/bench_diff.h"
+#include "observe/history.h"
 #include "util/hash.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace tsyn::campaign {
@@ -379,6 +383,186 @@ TEST(Sweep, RefusesClobberAndForeignJournals) {
   fresh.results_dir = scratch("guard_empty").string();
   fresh.resume = true;
   EXPECT_THROW(run_sweep(m, fresh), SweepError);
+}
+
+TEST(Sweep, TimelineReconcilesWithTheJournal) {
+  Manifest m = economy_manifest();
+  m.seeds.resize(3);  // 12 jobs
+  const fs::path dir = scratch("timeline");
+  SweepOptions opts;
+  opts.results_dir = dir.string();
+  opts.timeline_path = (dir / "timeline.json").string();
+  opts.threads = 2;
+  const SweepSummary s = run_sweep(m, opts);
+  ASSERT_TRUE(s.complete);
+  ASSERT_EQ(s.failed, 0);
+
+  const util::Json doc = util::Json::parse(slurp(dir / "timeline.json"));
+  const util::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Every executed job has exactly one "job" span; each stage sub-span
+  // nests inside its job's [t0, t1] on the same track and carries a cache
+  // annotation; tracks never exceed the requested thread count.
+  std::map<std::string, const util::Json*> job_spans;
+  std::int64_t stage_spans = 0;
+  for (const util::Json& ev : events->arr) {
+    const util::Json* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str != "X") continue;
+    const util::Json* cat = ev.find("cat");
+    ASSERT_NE(cat, nullptr);
+    const int tid = static_cast<int>(ev.find("tid")->number);
+    EXPECT_GE(tid, 0);
+    EXPECT_LT(tid, 2);
+    if (cat->str == "job") {
+      const std::string& id = ev.find("name")->str;
+      EXPECT_TRUE(job_spans.emplace(id, &ev).second)
+          << "duplicate job span " << id;
+      EXPECT_EQ(ev.find("args")->find("status")->str, "ok");
+    } else {
+      ASSERT_EQ(cat->str, "stage");
+      ++stage_spans;
+      const std::string& stage = ev.find("name")->str;
+      EXPECT_TRUE(stage == "parse" || stage == "synth" ||
+                  stage == "expand" || stage == "atpg")
+          << stage;
+      const std::string& cache = ev.find("args")->find("cache")->str;
+      if (stage == "atpg")
+        EXPECT_EQ(cache, "none");
+      else
+        EXPECT_TRUE(cache == "hit" || cache == "miss" || cache == "coalesced")
+            << stage << ": " << cache;
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(job_spans.size()), s.ran);
+  EXPECT_EQ(stage_spans, s.ran * 4);  // parse, synth, expand, atpg per job
+  for (const JobResult& r : s.jobs) {
+    if (r.from_journal) continue;
+    EXPECT_TRUE(job_spans.count(r.spec.id)) << r.spec.id;
+  }
+
+  // Stage spans fit inside their job span (matched by track + overlap).
+  for (const util::Json& ev : events->arr) {
+    const util::Json* cat = ev.find("cat");
+    if (!cat || cat->str != "stage") continue;
+    const double ts = ev.find("ts")->number;
+    const double dur = ev.find("dur")->number;
+    const int tid = static_cast<int>(ev.find("tid")->number);
+    bool contained = false;
+    for (const auto& [id, job] : job_spans) {
+      if (static_cast<int>(job->find("tid")->number) != tid) continue;
+      const double jts = job->find("ts")->number;
+      const double jdur = job->find("dur")->number;
+      // One-decimal µs rounding can push a boundary by 0.1.
+      if (ts >= jts - 0.1 && ts + dur <= jts + jdur + 0.2) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << ev.find("name")->str << " span at ts=" << ts;
+  }
+}
+
+TEST(Sweep, HistoryIngestReproducesSweepNumbersExactly) {
+  Manifest m = economy_manifest();
+  m.seeds.resize(2);  // 8 jobs
+  const fs::path dir = scratch("hist");
+  const fs::path store = dir / "history";
+  SweepOptions opts;
+  opts.results_dir = (dir / "run1").string();
+  opts.history_dir = store.string();
+  const SweepSummary s = run_sweep(m, opts);
+  ASSERT_TRUE(s.complete);
+  EXPECT_TRUE(s.history_added);
+  EXPECT_EQ(s.history_runs_total, 1);
+  ASSERT_FALSE(s.history_run_id.empty());
+
+  // The store reproduces the sweep's numbers exactly (%.17g round-trip).
+  const observe::History h = observe::history_load(store.string());
+  ASSERT_EQ(h.runs.size(), 1u);
+  const observe::HistoryRun& run = h.runs[0];
+  EXPECT_EQ(run.run_id, s.history_run_id);
+  EXPECT_EQ(run.manifest, s.manifest_hash);
+  ASSERT_EQ(run.entries.size(), s.jobs.size());
+  for (std::size_t i = 0; i < s.jobs.size(); ++i) {
+    const JobResult& r = s.jobs[i];
+    const observe::HistoryEntry& e = run.entries[i];
+    EXPECT_EQ(e.job, r.spec.id);
+    EXPECT_EQ(e.coverage, r.coverage) << e.job;
+    EXPECT_EQ(e.efficiency, r.efficiency) << e.job;
+    EXPECT_EQ(e.patterns, r.patterns) << e.job;
+    EXPECT_EQ(e.wall_ms, r.wall_ms) << e.job;
+  }
+
+  // sweep_stats.json carries the history block.
+  const std::string stats = slurp(dir / "run1" / "sweep_stats.json");
+  EXPECT_NE(stats.find("\"history\""), std::string::npos);
+  EXPECT_NE(stats.find(s.history_run_id), std::string::npos);
+
+  // A second execution of the same grid is a distinct run (timings
+  // differ), and the deterministic metrics diff clean across the two.
+  SweepOptions again = opts;
+  again.results_dir = (dir / "run2").string();
+  const SweepSummary s2 = run_sweep(m, again);
+  ASSERT_TRUE(s2.complete);
+  EXPECT_TRUE(s2.history_added);
+  EXPECT_EQ(s2.history_runs_total, 2);
+  EXPECT_NE(s2.history_run_id, s.history_run_id);
+
+  const observe::History h2 = observe::history_load(store.string());
+  std::string err;
+  const observe::HistoryRun* a = observe::history_resolve(h2, "prev", &err);
+  const observe::HistoryRun* b = observe::history_resolve(h2, "latest", &err);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  observe::BenchDiffOptions dopts;
+  dopts.check_time = false;
+  const observe::BenchDiffResult diff = observe::diff_bench_json(
+      util::Json::parse(observe::history_run_to_bench_json(*a)),
+      util::Json::parse(observe::history_run_to_bench_json(*b)), dopts);
+  EXPECT_TRUE(diff.ok()) << observe::diff_result_to_text(diff, false, "");
+}
+
+TEST(Sweep, FailedJournalRecordCarriesDiagnostics) {
+  Manifest m = parse_manifest(R"({
+    "schema": 1,
+    "designs": ["/nonexistent/broken.cdfg"],
+    "configs": [{"name": "a1m1", "alu": 1, "mul": 1}],
+    "scan": ["full"],
+    "widths": [2],
+    "seeds": [7]
+  })");
+  const fs::path dir = scratch("faildiag");
+  SweepOptions opts;
+  opts.results_dir = dir.string();
+  const SweepSummary s = run_sweep(m, opts);
+  EXPECT_EQ(s.failed, 1);
+  const std::string journal = slurp(dir / "journal.jsonl");
+  // The failure record embeds a metrics snapshot and the last heartbeat
+  // line, so a dead job's context survives in the journal.
+  EXPECT_NE(journal.find("\"diag\""), std::string::npos) << journal;
+  EXPECT_NE(journal.find("\"counters\""), std::string::npos);
+  EXPECT_NE(journal.find("\"heartbeat\""), std::string::npos);
+  // Successful runs stay diag-free (the happy path pays nothing).
+  const fs::path ok_dir = scratch("okdiag");
+  SweepOptions ok;
+  ok.results_dir = ok_dir.string();
+  run_sweep(tiny_manifest(), ok);
+  EXPECT_EQ(slurp(ok_dir / "journal.jsonl").find("\"diag\""),
+            std::string::npos);
+}
+
+TEST(StageCache, GetOrComputeReportsOutcome) {
+  StageCache cache;
+  const char* outcome = nullptr;
+  auto make = [] { return std::make_shared<const cdfg::Cdfg>(); };
+  cache.parse.get_or_compute(42, make, &outcome);
+  EXPECT_STREQ(outcome, "miss");
+  cache.parse.get_or_compute(42, make, &outcome);
+  EXPECT_STREQ(outcome, "hit");
+  EXPECT_EQ(cache.stats().parse_hits, 1);
 }
 
 TEST(Sweep, StripTimingZeroesOnlyWallMs) {

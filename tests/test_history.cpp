@@ -1,0 +1,375 @@
+// Run-history store tests: the determinism contract (ingestion-order-
+// invariant canonical index bytes, invariant outlier verdicts), content-id
+// semantics, self-healing load, run resolution, trend/diff/outlier
+// analyses, and the self-contained HTML dashboard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "observe/bench_diff.h"
+#include "observe/history.h"
+#include "util/json.h"
+
+namespace tsyn::observe {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+fs::path scratch(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("history_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+HistoryEntry entry(const std::string& job, double coverage,
+                   std::int64_t patterns, double wall_ms,
+                   const std::string& design = "bench:fig1") {
+  HistoryEntry e;
+  e.job = job;
+  e.design = design;
+  e.config = "a1m1";
+  e.scan = "full";
+  e.width = 2;
+  e.seed = 7;
+  e.gates = 36;
+  e.faults = 304;
+  e.cubes = 7;
+  e.coverage = coverage;
+  e.efficiency = coverage;
+  e.patterns = patterns;
+  e.wall_ms = wall_ms;
+  return e;
+}
+
+/// A grid-shaped run: `n` jobs, per-job coverage/patterns/wall defaults
+/// tweakable via the entries the caller edits afterwards. `wall` seeds the
+/// run-level wall time, which feeds the content id — distinct walls model
+/// distinct executions of the same manifest.
+HistoryRun make_run(double wall, int n = 4) {
+  HistoryRun r;
+  r.manifest = "2a885d23b30870ac";
+  r.source = "test";
+  r.wall_ms = wall;
+  r.memo_hit_rate = 0.5;
+  for (int i = 0; i < n; ++i)
+    r.entries.push_back(
+        entry("job" + std::to_string(i), 0.95, 16 + i, 1.0 + i));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Content identity
+// ---------------------------------------------------------------------------
+
+TEST(HistoryRunId, IndependentOfEntryOrder) {
+  HistoryRun a = make_run(10.0);
+  HistoryRun b = a;
+  std::reverse(b.entries.begin(), b.entries.end());
+  EXPECT_EQ(history_run_id(a), history_run_id(b));
+}
+
+TEST(HistoryRunId, DistinguishesReexecutions) {
+  // Same manifest, same results, different wall time: a genuinely new
+  // execution must get a new id (CI needs two ingests to diff).
+  EXPECT_NE(history_run_id(make_run(10.0)), history_run_id(make_run(11.0)));
+}
+
+TEST(HistoryRunId, SensitiveToResults) {
+  HistoryRun a = make_run(10.0);
+  HistoryRun b = a;
+  b.entries[2].coverage = 0.80;
+  EXPECT_NE(history_run_id(a), history_run_id(b));
+  HistoryRun c = a;
+  c.source = "a different label";  // source is a store-only label, unhashed
+  EXPECT_EQ(history_run_id(a), history_run_id(c));
+}
+
+// ---------------------------------------------------------------------------
+// Ingest + canonical index determinism
+// ---------------------------------------------------------------------------
+
+TEST(HistoryStore, IngestIsIdempotent) {
+  const fs::path dir = scratch("idempotent");
+  const HistoryRun r = make_run(10.0);
+  const IngestResult first = history_ingest(dir.string(), r);
+  EXPECT_TRUE(first.added);
+  EXPECT_EQ(first.runs_total, 1);
+  EXPECT_EQ(first.entries, 4);
+  const std::string index_bytes = slurp(dir / "index.json");
+  const IngestResult again = history_ingest(dir.string(), r);
+  EXPECT_FALSE(again.added);
+  EXPECT_EQ(again.runs_total, 1);
+  EXPECT_EQ(again.run_id, first.run_id);
+  EXPECT_EQ(slurp(dir / "index.json"), index_bytes);
+}
+
+TEST(HistoryStore, IndexBytesAreIngestionOrderInvariant) {
+  // The determinism contract: the canonical index is a pure function of
+  // the *set* of ingested runs. Three runs, two ingestion orders, one
+  // byte-identical index.json.
+  HistoryRun r1 = make_run(10.0);
+  HistoryRun r2 = make_run(20.0);
+  HistoryRun r3 = make_run(30.0);
+  r3.entries[1].coverage = 0.91;
+
+  const fs::path fwd = scratch("order_fwd");
+  for (const HistoryRun* r : {&r1, &r2, &r3}) history_ingest(fwd.string(), *r);
+  const fs::path rev = scratch("order_rev");
+  for (const HistoryRun* r : {&r3, &r2, &r1}) history_ingest(rev.string(), *r);
+
+  const std::string fwd_bytes = slurp(fwd / "index.json");
+  EXPECT_FALSE(fwd_bytes.empty());
+  EXPECT_EQ(fwd_bytes, slurp(rev / "index.json"));
+
+  // The in-memory canonical rendering agrees with the on-disk artifact.
+  EXPECT_EQ(history_index_json(history_load(fwd.string())), fwd_bytes);
+  EXPECT_EQ(history_index_json(history_load(rev.string())), fwd_bytes);
+}
+
+TEST(HistoryStore, LoadDropsTornTrailingRecords) {
+  const fs::path dir = scratch("torn");
+  history_ingest(dir.string(), make_run(10.0));
+  const std::string good = slurp(dir / "index.json");
+  {
+    // A kill mid-append: a complete header for a second run but only one
+    // of its entries, then a torn half-line. The partial run must not
+    // surface; the first run must be untouched.
+    std::ofstream app(dir / "store.jsonl", std::ios::app | std::ios::binary);
+    app << "{\"type\":\"run\",\"run\":\"deadbeefdeadbeef\",\"manifest\":\"m\","
+           "\"source\":\"t\",\"jobs\":4,\"wall_ms\":1,\"memo_hit_rate\":0.5}"
+           "\n";
+    app << "{\"type\":\"entry\",\"run\":\"deadbeefdeadbeef\",\"job\":\"job0\","
+           "\"design\":\"d\",\"config\":\"c\",\"scan\":\"full\",\"width\":2,"
+           "\"seed\":7,\"status\":\"ok\",\"gates\":1,\"faults\":2,"
+           "\"patterns\":3,\"cubes\":4,\"coverage\":0.5,\"efficiency\":0.5,"
+           "\"wall_ms\":1,\"error\":\"\"}\n";
+    app << "{\"type\":\"entry\",\"run\":\"deadbeefdead";  // torn mid-write
+  }
+  const History h = history_load(dir.string());
+  ASSERT_EQ(h.runs.size(), 1u);
+  EXPECT_EQ(history_index_json(h), good);
+  // Ingesting after the tear self-heals (terminates the torn line first).
+  const IngestResult res = history_ingest(dir.string(), make_run(20.0));
+  EXPECT_TRUE(res.added);
+  EXPECT_EQ(history_load(dir.string()).runs.size(), 2u);
+}
+
+TEST(HistoryStore, LoadRejectsMissingStore) {
+  EXPECT_THROW(history_load(scratch("missing").string()), HistoryError);
+}
+
+// ---------------------------------------------------------------------------
+// Run resolution
+// ---------------------------------------------------------------------------
+
+TEST(HistoryResolve, RefGrammar) {
+  const fs::path dir = scratch("resolve");
+  history_ingest(dir.string(), make_run(10.0));
+  history_ingest(dir.string(), make_run(20.0));
+  const History h = history_load(dir.string());
+  const std::vector<std::size_t> order = history_canonical_order(h);
+  ASSERT_EQ(order.size(), 2u);
+
+  std::string err;
+  const HistoryRun* latest = history_resolve(h, "latest", &err);
+  ASSERT_NE(latest, nullptr) << err;
+  EXPECT_EQ(latest->run_id, h.runs[order[1]].run_id);
+  const HistoryRun* prev = history_resolve(h, "prev", &err);
+  ASSERT_NE(prev, nullptr) << err;
+  EXPECT_EQ(prev->run_id, h.runs[order[0]].run_id);
+  // 1-based canonical ordinal, and a unique id prefix.
+  EXPECT_EQ(history_resolve(h, "1", &err), prev);
+  EXPECT_EQ(history_resolve(h, "2", &err), latest);
+  EXPECT_EQ(history_resolve(h, latest->run_id.substr(0, 6), &err), latest);
+  EXPECT_EQ(history_resolve(h, "zzzz", &err), nullptr);
+  EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Trend
+// ---------------------------------------------------------------------------
+
+TEST(HistoryTrend, SeriesFollowCanonicalOrderAndFilter) {
+  const fs::path fwd = scratch("trend_fwd");
+  const fs::path rev = scratch("trend_rev");
+  HistoryRun r1 = make_run(10.0);
+  HistoryRun r2 = make_run(20.0);
+  r2.entries[0].coverage = 0.42;
+  for (const HistoryRun* r : {&r1, &r2}) history_ingest(fwd.string(), *r);
+  for (const HistoryRun* r : {&r2, &r1}) history_ingest(rev.string(), *r);
+
+  const std::vector<TrendSeries> a = history_trend(history_load(fwd.string()));
+  const std::vector<TrendSeries> b = history_trend(history_load(rev.string()));
+  ASSERT_EQ(a.size(), 4u);
+  // Ingestion order must not change any series (same runs, same points).
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job, b[i].job);
+    ASSERT_EQ(a[i].points.size(), b[i].points.size());
+    for (std::size_t j = 0; j < a[i].points.size(); ++j) {
+      EXPECT_EQ(a[i].points[j].run_id, b[i].points[j].run_id);
+      EXPECT_EQ(a[i].points[j].coverage, b[i].points[j].coverage);
+    }
+  }
+  const std::vector<TrendSeries> filtered =
+      history_trend(history_load(fwd.string()), "job2");
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].job, "job2");
+  EXPECT_EQ(filtered[0].points.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Outliers
+// ---------------------------------------------------------------------------
+
+TEST(HistoryOutliers, DeterministicMetricChangeGatesWithInfZ) {
+  // Five executions; the fifth drops one job's coverage. MAD over the
+  // window is zero, so the robust z is the categorical-change sentinel
+  // and the verdict gates.
+  const fs::path dir = scratch("outlier_cov");
+  for (int i = 0; i < 4; ++i)
+    history_ingest(dir.string(), make_run(10.0 + i));
+  HistoryRun bad = make_run(50.0);
+  bad.entries[1].coverage = 0.80;
+  history_ingest(dir.string(), bad);
+
+  const std::vector<HistoryOutlier> found =
+      history_outliers(history_load(dir.string()));
+  bool flagged = false;
+  for (const HistoryOutlier& o : found) {
+    if (o.job == "job1" && o.metric == "coverage") {
+      flagged = true;
+      EXPECT_TRUE(o.gating);
+      EXPECT_EQ(o.value, 0.80);
+      EXPECT_EQ(o.median, 0.95);
+      EXPECT_GE(o.z, 1e6);  // MAD==0 sentinel: categorically anomalous
+    }
+    EXPECT_NE(o.metric, "wall_ms") << "steady walls must not be flagged";
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(HistoryOutliers, VerdictsAreIngestionOrderInvariant) {
+  std::vector<HistoryRun> runs;
+  for (int i = 0; i < 5; ++i) runs.push_back(make_run(10.0 + i));
+  runs[4].entries[2].patterns = 900;  // pattern-count blowup in one run
+
+  const fs::path fwd = scratch("outlier_fwd");
+  const fs::path rev = scratch("outlier_rev");
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    history_ingest(fwd.string(), runs[i]);
+  for (std::size_t i = runs.size(); i-- > 0;)
+    history_ingest(rev.string(), runs[i]);
+
+  const std::string a =
+      outliers_to_json(history_outliers(history_load(fwd.string())));
+  const std::string b =
+      outliers_to_json(history_outliers(history_load(rev.string())));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"patterns\""), std::string::npos);
+  EXPECT_NE(a.find("\"gating\": true"), std::string::npos);
+}
+
+TEST(HistoryOutliers, StragglerIsInformationalOnly) {
+  // Within-run peers scope: one job 30x slower than its same-design peers
+  // is flagged, but timing never gates (mirrors bench_diff's time class).
+  const fs::path dir = scratch("straggler");
+  HistoryRun r = make_run(10.0, 6);
+  for (auto& e : r.entries) e.wall_ms = 1.0;
+  r.entries[3].wall_ms = 30.0;
+  history_ingest(dir.string(), r);
+
+  const std::vector<HistoryOutlier> found =
+      history_outliers(history_load(dir.string()));
+  ASSERT_FALSE(found.empty());
+  bool straggler = false;
+  for (const HistoryOutlier& o : found) {
+    EXPECT_FALSE(o.gating);
+    if (o.job == "job3" && o.scope == "peers") straggler = true;
+  }
+  EXPECT_TRUE(straggler);
+}
+
+TEST(HistoryOutliers, SmallGroupsAreSkipped) {
+  // Below min_points the MAD is meaningless; nothing may be flagged.
+  const fs::path dir = scratch("small");
+  HistoryRun r = make_run(10.0, 2);
+  r.entries[1].wall_ms = 100.0;
+  history_ingest(dir.string(), r);
+  EXPECT_TRUE(history_outliers(history_load(dir.string())).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Diff via bench_diff
+// ---------------------------------------------------------------------------
+
+TEST(HistoryDiff, CoverageDropAndStatusFlipGate) {
+  HistoryRun base = make_run(10.0);
+  HistoryRun fresh = make_run(20.0);
+  fresh.entries[0].coverage = 0.50;      // quality drop -> regression
+  fresh.entries[2].status = "failed";    // ok -> failed -> detected 0
+  fresh.entries[2].error = "boom";
+
+  const util::Json b = util::Json::parse(history_run_to_bench_json(base));
+  const util::Json f = util::Json::parse(history_run_to_bench_json(fresh));
+  BenchDiffOptions opts;
+  opts.check_time = false;
+  const BenchDiffResult res = diff_bench_json(b, f, opts);
+  EXPECT_TRUE(res.schema_ok);
+  ASSERT_FALSE(res.regressions.empty());
+  const std::string all = diff_result_to_text(res, false, "base vs fresh");
+  EXPECT_NE(all.find("coverage"), std::string::npos) << all;
+  EXPECT_NE(all.find("detected"), std::string::npos) << all;
+
+  // The reverse direction (fresh -> base) is an improvement: no gate.
+  const BenchDiffResult up = diff_bench_json(f, b, opts);
+  EXPECT_TRUE(up.ok()) << diff_result_to_text(up, false, "");
+}
+
+TEST(HistoryDiff, IdenticalRunsAreClean) {
+  const HistoryRun r = make_run(10.0);
+  const util::Json j = util::Json::parse(history_run_to_bench_json(r));
+  const BenchDiffResult res = diff_bench_json(j, j);
+  EXPECT_TRUE(res.ok());
+  EXPECT_TRUE(res.notes.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Dashboard
+// ---------------------------------------------------------------------------
+
+TEST(HistoryHtml, SelfContainedAndComplete) {
+  const fs::path dir = scratch("html");
+  history_ingest(dir.string(), make_run(10.0));
+  HistoryRun r2 = make_run(20.0);
+  r2.entries[1].coverage = 0.80;
+  history_ingest(dir.string(), r2);
+
+  const std::string html = history_to_html(history_load(dir.string()));
+  // Strictly self-contained: no scripts, no external references.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  // Every panel renders: trends, regression table, outliers, cache
+  // economy, stragglers — and every job key appears.
+  for (const char* needle :
+       {"Trends per key", "Latest vs previous run", "Outliers",
+        "Cache economy per run", "Stragglers", "job0", "job3", "<svg",
+        "<polyline"})
+    EXPECT_NE(html.find(needle), std::string::npos) << needle;
+}
+
+}  // namespace
+}  // namespace tsyn::observe

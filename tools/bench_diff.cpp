@@ -98,13 +98,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_diff: %s\n", res.schema_error.c_str());
     return 2;
   }
-  for (const std::string& r : res.regressions)
-    std::fprintf(stderr, "FAIL %s\n", r.c_str());
-  if (!quiet)
-    for (const std::string& n : res.notes)
-      std::fprintf(stdout, "note %s\n", n.c_str());
-  std::fprintf(stdout, "bench_diff: %zu regression(s), %zu note(s) [%s vs %s]\n",
-               res.regressions.size(), res.notes.size(), base_path.c_str(),
-               fresh_path.c_str());
+  const std::string text = tsyn::observe::diff_result_to_text(
+      res, quiet, base_path + " vs " + fresh_path);
+  std::fputs(text.c_str(), res.regressions.empty() ? stdout : stderr);
   return res.regressions.empty() ? 0 : 1;
 }

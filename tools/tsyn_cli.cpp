@@ -17,6 +17,11 @@
 //                                                     design x config grid
 //                                                     with stage memoization
 //                                                     (see docs/sweep.md)
+//   tsyn_cli history <dir> [cmd] [options]            persistent cross-run
+//                                                     history store: trend /
+//                                                     diff / outliers /
+//                                                     ingest / HTML dashboard
+//                                                     (see docs/history.md)
 //   tsyn_cli list                                     list built-in benchmarks
 //
 // Options accept both `--opt value` and `--opt=value`.
@@ -74,6 +79,24 @@
 //   --baseline FILE        compare the final index.json against this
 //                          checked-in baseline (timing-stripped); exit 1
 //                          on any difference
+//   --timeline FILE        export a Chrome trace_event job timeline (one
+//                          track per pool worker slot, one span per job
+//                          with stage sub-spans + cache annotations)
+//   --history DIR          on completion, ingest this sweep into the
+//                          persistent run-history store at DIR and echo
+//                          its verdicts into sweep_stats.json
+// history subcommands (DIR is the store directory; see docs/history.md):
+//   trend                  every key's series across runs (--key SUBSTR to
+//                          filter, --json for machine output)
+//   diff [BASE [NEW]]      bench_diff two runs ("prev" vs "latest" by
+//                          default; refs: latest|prev|ordinal|id prefix);
+//                          exit 1 on regression
+//   outliers               robust-MAD anomaly scan (--last N window,
+//                          --json, --gate = exit 1 on gating outliers)
+//   ingest FILE            add a sweep index.json or a schema-1 run report
+//                          to the store
+//   --html FILE            render the fleet dashboard (any subcommand, or
+//                          alone)
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -103,6 +126,8 @@
 #include "gatelevel/faultsim.h"
 #include "gatelevel/scoap.h"
 #include "hls/synthesis.h"
+#include "observe/bench_diff.h"
+#include "observe/history.h"
 #include "observe/ledger.h"
 #include "observe/provenance.h"
 #include "observe/report.h"
@@ -115,6 +140,7 @@
 #include "testability/loop_avoid.h"
 #include "testability/scan_select.h"
 #include "observe/profile.h"
+#include "util/json.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -141,7 +167,8 @@ observe::Profiler* g_profiler = nullptr;
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
                "usage: tsyn_cli <synth|analyze|bist|atpg|report|explain|sweep"
-               "|list> <file.cdfg|bench:NAME|manifest.json> [options]\n"
+               "|history|list> <file.cdfg|bench:NAME|manifest.json|store-dir> "
+               "[options]\n"
                "run with no arguments for the option list in the source "
                "header.\n");
   std::exit(2);
@@ -199,6 +226,15 @@ struct Args {
   bool resume = false;
   int max_jobs = 0;            ///< 0 = whole grid
   std::string baseline;        ///< index.json baseline to gate against
+  std::string timeline;        ///< Chrome trace_event job timeline path
+  std::string history;         ///< run-history store dir to ingest into
+  // history command.
+  std::vector<std::string> extras;  ///< positionals after DIR (subcommand...)
+  std::string key_filter;      ///< --key: trend series substring filter
+  int last_n = 0;              ///< --last: outlier cross-run window (0 = default)
+  bool json_out = false;       ///< --json: machine output for trend/outliers
+  bool gate = false;           ///< --gate: exit 1 on gating outliers
+  bool no_time = false;        ///< --no-time: skip wall_ms in history diff
 };
 
 /// Strict numeric option parsing: the whole value must be an integer.
@@ -251,6 +287,12 @@ Args parse_args(int argc, char** argv) {
   a.behavior = argv[2];
   for (int i = 3; i < argc; ++i) {
     std::string opt = argv[i];
+    // `history` is the one command with trailing positionals (subcommand
+    // plus its arguments); everything else treats bare words as typos.
+    if (a.command == "history" && (opt.empty() || opt[0] != '-')) {
+      a.extras.push_back(opt);
+      continue;
+    }
     // `--opt=value` is equivalent to `--opt value`.
     std::string inline_value;
     bool has_inline = false;
@@ -308,6 +350,25 @@ Args parse_args(int argc, char** argv) {
       if (a.max_jobs < 0) usage("--max-jobs must be >= 0");
     }
     else if (opt == "--baseline") a.baseline = value();
+    else if (opt == "--timeline") a.timeline = value();
+    else if (opt == "--history") a.history = value();
+    else if (opt == "--key") a.key_filter = value();
+    else if (opt == "--last") {
+      a.last_n = static_cast<int>(int_arg(opt, value()));
+      if (a.last_n < 1) usage("--last must be >= 1");
+    }
+    else if (opt == "--json") {
+      if (has_inline) usage("--json takes no value");
+      a.json_out = true;
+    }
+    else if (opt == "--gate") {
+      if (has_inline) usage("--gate takes no value");
+      a.gate = true;
+    }
+    else if (opt == "--no-time") {
+      if (has_inline) usage("--no-time takes no value");
+      a.no_time = true;
+    }
     else if (opt == "--undetected") {
       if (has_inline) usage("--undetected takes no value");
       a.undetected = true;
@@ -871,6 +932,17 @@ int cmd_explain(const Args& a) {
 
 }  // namespace
 
+/// Best-effort creation of `path`'s missing parent directories, shared by
+/// every file-writing output flag (--trace, --timeline, ...). The open
+/// that follows reports the real failure if this did not help.
+void ensure_parent_dirs(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+}
+
 /// Writes `text` to `path`, with "-" meaning stdout. Missing parent
 /// directories are created, so `--trace out/run/trace.json` works on a
 /// fresh checkout. Returns success.
@@ -879,16 +951,31 @@ bool write_output(const std::string& path, const std::string& text) {
     std::fwrite(text.data(), 1, text.size(), stdout);
     return true;
   }
-  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
-  if (!parent.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(parent, ec);  // best effort; the
-    // open below reports the real failure if this did not help
-  }
+  ensure_parent_dirs(path);
   std::ofstream out(path);
   if (!out) return false;
   out << text;
   return static_cast<bool>(out);
+}
+
+/// Refuses two output flags aimed at one path — the second write would
+/// silently win. Prints the offending pair and returns false. Shared by
+/// every command's output-flag set (sweep's --timeline/--history and
+/// history's --html included).
+bool reject_output_collisions(
+    const std::vector<std::pair<const char*, const std::string*>>& outs) {
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (outs[i].second->empty()) continue;
+    for (std::size_t j = i + 1; j < outs.size(); ++j) {
+      if (*outs[i].second != *outs[j].second) continue;
+      std::fprintf(stderr,
+                   "error: %s and %s point at the same output (%s); give "
+                   "them distinct paths\n",
+                   outs[i].first, outs[j].first, outs[i].second->c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 int cmd_sweep(const Args& a) {
@@ -903,6 +990,10 @@ int cmd_sweep(const Args& a) {
   opts.threads = a.threads;
   opts.resume = a.resume;
   opts.max_jobs = a.max_jobs;
+  opts.timeline_path = a.timeline;
+  opts.history_dir = a.history;
+  if (!a.timeline.empty()) ensure_parent_dirs(a.timeline);
+  if (!a.history.empty()) ensure_parent_dirs(a.history + "/store.jsonl");
   const campaign::SweepSummary s = campaign::run_sweep(m, opts);
 
   std::fprintf(g_report,
@@ -932,6 +1023,8 @@ int cmd_sweep(const Args& a) {
     std::fprintf(g_report, "  failed  : %s: %s\n", r.spec.id.c_str(),
                  r.error.c_str());
   }
+  if (!a.timeline.empty())
+    std::fprintf(g_report, "timeline  : %s\n", a.timeline.c_str());
   if (!s.complete) {
     std::fprintf(g_report,
                  "index     : not written (--max-jobs stopped the run; "
@@ -939,6 +1032,12 @@ int cmd_sweep(const Args& a) {
     return 0;  // an early stop was requested, not a failure
   }
   std::fprintf(g_report, "index     : %s/index.json\n", a.out_dir.c_str());
+  if (!s.history_run_id.empty())
+    std::fprintf(g_report, "history   : run %.12s %s -> %s (%lld run(s))\n",
+                 s.history_run_id.c_str(),
+                 s.history_added ? "ingested" : "already present",
+                 a.history.c_str(),
+                 static_cast<long long>(s.history_runs_total));
 
   if (!a.baseline.empty()) {
     std::ifstream bin(a.baseline);
@@ -966,6 +1065,234 @@ int cmd_sweep(const Args& a) {
   return s.failed > 0 ? 1 : 0;
 }
 
+// ---------------------------------------------------------------------------
+// history
+// ---------------------------------------------------------------------------
+
+namespace cli_history {
+
+/// Turns a sweep index.json (schema 2) or a schema-1 single-job run report
+/// into a HistoryRun, so `history ingest` accepts both artifact kinds the
+/// pipeline produces.
+observe::HistoryRun run_from_artifact(const util::Json& doc,
+                                      const std::string& source) {
+  if (!doc.is_object())
+    throw std::runtime_error("ingest: " + source + " is not a JSON object");
+  observe::HistoryRun r;
+  r.source = source;
+  const double schema = doc.number_or("schema", -1);
+  const util::Json* jobs = doc.find("jobs");
+  auto str_or = [](const util::Json& o, const char* key,
+                   const std::string& fallback) {
+    const util::Json* v = o.find(key);
+    return v && v->is_string() ? v->str : fallback;
+  };
+  if (schema == 2 && jobs && jobs->is_array()) {
+    r.manifest = str_or(doc, "manifest", "index");
+    for (const util::Json& row : jobs->arr) {
+      if (!row.is_object()) continue;
+      observe::HistoryEntry e;
+      e.job = str_or(row, "case", "");
+      if (e.job.empty()) continue;
+      e.design = str_or(row, "design", "");
+      e.config = str_or(row, "config", "");
+      e.scan = str_or(row, "scan", "");
+      e.width = static_cast<int>(row.number_or("width", 0));
+      e.seed = static_cast<std::uint64_t>(row.number_or("job_seed", 0));
+      e.status = str_or(row, "status", "ok");
+      e.error = str_or(row, "error", "");
+      e.gates = static_cast<std::int64_t>(row.number_or("gates", 0));
+      e.faults = static_cast<std::int64_t>(row.number_or("faults", 0));
+      e.patterns = static_cast<std::int64_t>(row.number_or("patterns", 0));
+      e.cubes = static_cast<std::int64_t>(row.number_or("cubes", 0));
+      e.coverage = row.number_or("coverage", 0);
+      e.efficiency = row.number_or("efficiency", 0);
+      e.wall_ms = row.number_or("wall_ms", 0);
+      r.entries.push_back(std::move(e));
+    }
+    if (r.entries.empty())
+      throw std::runtime_error("ingest: " + source + " has no usable jobs");
+    return r;
+  }
+  if (schema == 1) {
+    // Schema-1 run report: one job keyed by its title.
+    r.manifest = "report";
+    observe::HistoryEntry e;
+    e.job = str_or(doc, "title", source);
+    e.design = str_or(doc, "behavior", "");
+    e.width = static_cast<int>(doc.number_or("width", 0));
+    e.status = str_or(doc, "status", "ok");
+    e.error = str_or(doc, "error", "");
+    e.gates = static_cast<std::int64_t>(doc.number_or("gates", 0));
+    e.faults = static_cast<std::int64_t>(doc.number_or("faults", 0));
+    e.patterns = static_cast<std::int64_t>(doc.number_or("patterns", 0));
+    e.cubes = static_cast<std::int64_t>(doc.number_or("cubes", 0));
+    e.coverage = doc.number_or("fault_coverage", 0);
+    e.efficiency = doc.number_or("fault_efficiency", 0);
+    r.entries.push_back(std::move(e));
+    return r;
+  }
+  throw std::runtime_error(
+      "ingest: " + source +
+      " is neither a sweep index.json (schema 2) nor a run report (schema 1)");
+}
+
+int cmd_trend(const observe::History& h, const Args& a) {
+  const std::vector<observe::TrendSeries> trend =
+      observe::history_trend(h, a.key_filter);
+  if (a.json_out) {
+    std::string out = "[";
+    bool first_s = true;
+    for (const observe::TrendSeries& s : trend) {
+      out += first_s ? "\n  " : ",\n  ";
+      first_s = false;
+      out += "{\"job\": \"" + s.job + "\", \"points\": [";
+      for (std::size_t i = 0; i < s.points.size(); ++i) {
+        const observe::TrendPoint& p = s.points[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"run\": \"%.12s\", \"status\": \"%s\", "
+                      "\"coverage\": %.17g, \"wall_ms\": %.17g, "
+                      "\"patterns\": %lld}",
+                      i ? ", " : "", p.run_id.c_str(), p.status.c_str(),
+                      p.coverage, p.wall_ms,
+                      static_cast<long long>(p.patterns));
+        out += buf;
+      }
+      out += "]}";
+    }
+    out += "\n]\n";
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+  for (const observe::TrendSeries& s : trend) {
+    const observe::TrendPoint& f = s.points.front();
+    const observe::TrendPoint& l = s.points.back();
+    std::fprintf(g_report,
+                 "%-28s %2zu run(s)  coverage %.4f -> %.4f (%+.4f)  "
+                 "wall_ms %.1f -> %.1f  patterns %lld -> %lld%s\n",
+                 s.job.c_str(), s.points.size(), f.coverage, l.coverage,
+                 l.coverage - f.coverage, f.wall_ms, l.wall_ms,
+                 static_cast<long long>(f.patterns),
+                 static_cast<long long>(l.patterns),
+                 l.status == "failed" ? "  [FAILED]" : "");
+  }
+  std::fprintf(g_report, "trend     : %zu key(s) over %zu run(s)\n",
+               trend.size(), h.runs.size());
+  return 0;
+}
+
+int cmd_diff(const observe::History& h, const Args& a) {
+  const std::string base_ref = a.extras.size() > 1 ? a.extras[1] : "prev";
+  const std::string new_ref = a.extras.size() > 2 ? a.extras[2] : "latest";
+  std::string err;
+  const observe::HistoryRun* base = observe::history_resolve(h, base_ref, &err);
+  if (!base) throw std::runtime_error("diff: " + err);
+  const observe::HistoryRun* fresh = observe::history_resolve(h, new_ref, &err);
+  if (!fresh) throw std::runtime_error("diff: " + err);
+
+  observe::BenchDiffOptions opts;
+  opts.check_time = !a.no_time;
+  const util::Json b = util::Json::parse(observe::history_run_to_bench_json(*base));
+  const util::Json f =
+      util::Json::parse(observe::history_run_to_bench_json(*fresh));
+  const observe::BenchDiffResult res = observe::diff_bench_json(b, f, opts);
+  if (!res.schema_ok) {
+    std::fprintf(stderr, "history diff: %s\n", res.schema_error.c_str());
+    return 2;
+  }
+  const std::string text = observe::diff_result_to_text(
+      res, /*quiet=*/false,
+      base->run_id.substr(0, 12) + " vs " + fresh->run_id.substr(0, 12));
+  std::fputs(text.c_str(), res.regressions.empty() ? stdout : stderr);
+  return res.regressions.empty() ? 0 : 1;
+}
+
+int cmd_outliers(const observe::History& h, const Args& a) {
+  observe::OutlierOptions opts;
+  if (a.last_n > 0) opts.last_n = a.last_n;
+  const std::vector<observe::HistoryOutlier> found =
+      observe::history_outliers(h, opts);
+  std::int64_t gating = 0;
+  for (const observe::HistoryOutlier& o : found)
+    if (o.gating) ++gating;
+  if (a.json_out) {
+    std::fputs((observe::outliers_to_json(found) + "\n").c_str(), stdout);
+  } else {
+    for (const observe::HistoryOutlier& o : found)
+      std::fprintf(g_report,
+                   "%s %-28s %-9s %-6s run %.12s  value %g vs median %g "
+                   "(z=%.1f)\n",
+                   o.gating ? "FAIL" : "note", o.job.c_str(),
+                   o.metric.c_str(), o.scope.c_str(), o.run_id.c_str(),
+                   o.value, o.median, o.z);
+    std::fprintf(g_report,
+                 "outliers  : %zu flagged (%lld gating) over %zu run(s)\n",
+                 found.size(), static_cast<long long>(gating), h.runs.size());
+  }
+  return a.gate && gating > 0 ? 1 : 0;
+}
+
+}  // namespace cli_history
+
+/// `tsyn_cli history DIR [trend|diff|outliers|ingest] ...` — query (or feed)
+/// the persistent run-history store. --html renders the fleet dashboard
+/// alongside (or instead of) any subcommand.
+int cmd_history(const Args& a) {
+  const std::string& dir = a.behavior;
+  const std::string sub = a.extras.empty() ? "" : a.extras[0];
+
+  if (sub == "ingest") {
+    if (a.extras.size() < 2) usage("history ingest needs a FILE argument");
+    int added = 0;
+    for (std::size_t i = 1; i < a.extras.size(); ++i) {
+      std::ifstream in(a.extras[i]);
+      if (!in) throw std::runtime_error("cannot open " + a.extras[i]);
+      std::stringstream buf;
+      buf << in.rdbuf();
+      const observe::HistoryRun run = cli_history::run_from_artifact(
+          util::Json::parse(buf.str()), a.extras[i]);
+      const observe::IngestResult res = observe::history_ingest(dir, run);
+      added += res.added ? 1 : 0;
+      std::fprintf(g_report, "ingest    : %s -> run %.12s %s (%lld entries)\n",
+                   a.extras[i].c_str(), res.run_id.c_str(),
+                   res.added ? "added" : "already present",
+                   static_cast<long long>(res.entries));
+    }
+    (void)added;
+    return 0;
+  }
+
+  const observe::History h = observe::history_load(dir);
+  if (h.runs.empty()) throw std::runtime_error("history store " + dir +
+                                               " holds no complete runs");
+  int rc = 0;
+  if (sub == "trend") rc = cli_history::cmd_trend(h, a);
+  else if (sub == "diff") rc = cli_history::cmd_diff(h, a);
+  else if (sub == "outliers") rc = cli_history::cmd_outliers(h, a);
+  else if (sub.empty()) {
+    std::size_t entries = 0;
+    for (const observe::HistoryRun& r : h.runs) entries += r.entries.size();
+    std::fprintf(g_report, "history   : %zu run(s), %zu entries in %s\n",
+                 h.runs.size(), entries, dir.c_str());
+  } else {
+    usage(("unknown history subcommand: " + sub +
+           " (expected trend|diff|outliers|ingest)").c_str());
+  }
+
+  if (!a.html.empty()) {
+    if (!write_output(a.html, observe::history_to_html(h))) {
+      std::fprintf(stderr, "error: cannot write dashboard to %s\n",
+                   a.html.c_str());
+      return 1;
+    }
+    if (a.html != "-")
+      std::fprintf(g_report, "html      : dashboard written to %s\n",
+                   a.html.c_str());
+  }
+  return rc;
+}
+
 int run_command(const Args& a) {
   if (a.command == "synth") { tsyn::util::telemetry_set_phase("synth"); return cmd_synth(a); }
   if (a.command == "analyze") { tsyn::util::telemetry_set_phase("analyze"); return cmd_analyze(a); }
@@ -974,6 +1301,7 @@ int run_command(const Args& a) {
   if (a.command == "report") { tsyn::util::telemetry_set_phase("report"); return cmd_report(a); }
   if (a.command == "explain") { tsyn::util::telemetry_set_phase("explain"); return cmd_explain(a); }
   if (a.command == "sweep") { tsyn::util::telemetry_set_phase("sweep"); return cmd_sweep(a); }
+  if (a.command == "history") { tsyn::util::telemetry_set_phase("history"); return cmd_history(a); }
   usage(("unknown command: " + a.command).c_str());
 }
 
@@ -988,8 +1316,8 @@ int main(int argc, char** argv) {
   }
   // Two machine-readable outputs aimed at one path would silently
   // clobber each other (the second write wins); refuse up front, across
-  // every output flag uniformly. "-" is also one path: a stream would
-  // interleave two documents.
+  // every output flag uniformly — sweep's --timeline/--history included.
+  // "-" is also one path: a stream would interleave two documents.
   {
     std::vector<std::pair<const char*, const std::string*>> outs = {
         {"--trace", &a.trace},
@@ -1004,17 +1332,12 @@ int main(int argc, char** argv) {
       outs.push_back({"--dot-rtl", &a.dot_rtl});
       outs.push_back({"--dot-cdfg", &a.dot_cdfg});
     }
-    for (std::size_t i = 0; i < outs.size(); ++i) {
-      if (outs[i].second->empty()) continue;
-      for (std::size_t j = i + 1; j < outs.size(); ++j) {
-        if (*outs[i].second != *outs[j].second) continue;
-        std::fprintf(stderr,
-                     "error: %s and %s point at the same output (%s); give "
-                     "them distinct paths\n",
-                     outs[i].first, outs[j].first, outs[i].second->c_str());
-        return 2;
-      }
+    if (a.command == "sweep") {
+      outs.push_back({"--timeline", &a.timeline});
+      outs.push_back({"--history", &a.history});
     }
+    if (a.command == "history") outs.push_back({"--html", &a.html});
+    if (!reject_output_collisions(outs)) return 2;
   }
   // '-' outputs claim stdout; the human report yields to stderr so the
   // stream a consumer pipes stays pure JSON.
