@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 
+#include "observe/sparkline.h"
 #include "util/hash.h"
 #include "util/json.h"
 
@@ -528,65 +529,12 @@ std::vector<HistoryOutlier> history_outliers(const History& h,
 
 namespace {
 
-std::string html_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-constexpr const char* kBlue = "#4269d0";
-constexpr const char* kOrange = "#efb118";
-constexpr const char* kRed = "#ff725c";
-constexpr const char* kGreen = "#3ca951";
-
-/// Inline sparkline: a polyline over `ys` scaled into a fixed viewBox,
-/// with the last point marked. Flat series draw a midline.
-void append_sparkline(std::ostream& os, const std::vector<double>& ys,
-                      const char* color) {
-  constexpr double kW = 120, kH = 26, kPad = 3;
-  os << "<svg class=\"spark\" viewBox=\"0 0 " << kW << ' ' << kH << "\">";
-  if (!ys.empty()) {
-    double lo = ys[0], hi = ys[0];
-    for (double y : ys) {
-      lo = std::min(lo, y);
-      hi = std::max(hi, y);
-    }
-    const double span = hi - lo;
-    auto px = [&](std::size_t i) {
-      return ys.size() < 2
-                 ? kW / 2
-                 : kPad + (kW - 2 * kPad) * static_cast<double>(i) /
-                       static_cast<double>(ys.size() - 1);
-    };
-    auto py = [&](double y) {
-      return span == 0 ? kH / 2 : kH - kPad - (kH - 2 * kPad) * (y - lo) / span;
-    };
-    os << "<polyline fill=\"none\" stroke=\"" << color
-       << "\" stroke-width=\"1.5\" points=\"";
-    for (std::size_t i = 0; i < ys.size(); ++i) {
-      if (i) os << ' ';
-      char buf[48];
-      std::snprintf(buf, sizeof(buf), "%.1f,%.1f", px(i), py(ys[i]));
-      os << buf;
-    }
-    os << "\"/>";
-    char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2\" fill=\"%s\"/>",
-                  px(ys.size() - 1), py(ys.back()), color);
-    os << buf;
-  }
-  os << "</svg>";
-}
+// Escaping, palette, and sparklines come from observe/sparkline.h —
+// shared with the live endpoint's dashboard.
+constexpr const char* kBlue = kSparkBlue;
+constexpr const char* kOrange = kSparkOrange;
+constexpr const char* kRed = kSparkRed;
+constexpr const char* kGreen = kSparkGreen;
 
 std::string fmt_pct(double v) {
   char buf[32];

@@ -1,0 +1,109 @@
+// Live observability endpoint: the in-process HTTP surface over the
+// metrics registry, the telemetry progress/jobs state, and the sampling
+// profiler.
+//
+// Everything below this layer is post-hoc — metrics dump at exit,
+// heartbeats append to a file — so the only way to ask a running sweep
+// anything was to kill it. ObservabilityServer mounts the same snapshot
+// APIs the artifacts are rendered from on a util::HttpServer, which
+// makes a live scrape and the final artifact two views of one state:
+//
+//   /metrics             Prometheus text exposition of the registry
+//                        (util/prometheus.h) plus tsyn_serve_* self
+//                        stats and tsyn_progress_* gauges
+//   /progress            JSON: phase, progress rows, last heartbeat line
+//   /jobs                JSON: fleet job rollup (+ orchestrator extras
+//                        via ServeOptions::jobs_extra)
+//   /profile?seconds=N   on-demand collapsed-stack flamegraph, sampled
+//                        live from the span stacks for N seconds
+//   /healthz, /readyz    liveness / telemetry-session-attached
+//   /quitz               graceful shutdown request (standalone daemon
+//                        only, ServeOptions::allow_quit)
+//   /                    self-contained auto-refreshing HTML dashboard
+//                        (no scripts, no external fetches — same rule as
+//                        the history dashboard)
+//
+// Perturbation contract: the server owns one thread (util::HttpServer's)
+// and every handler only *reads* shared state through the same wait-free
+// snapshot paths the heartbeat sampler already exercises. Its own
+// request counters stay out of the metrics registry so a scraped run's
+// --metrics artifact is byte-identical to an unscraped one — the
+// property the reconciliation test and the paired off/on bench pin down.
+//
+// This is the seam the ROADMAP's persistent `tsyn_serve` daemon plugs
+// into: `tsyn_cli serve` is this server plus wait_for_quit().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "util/httpd.h"
+
+namespace tsyn::observe {
+
+struct ServeOptions {
+  std::string addr = "127.0.0.1";
+  int port = 0;  ///< 0 = kernel-assigned; read back via port()
+  /// Command label shown on the dashboard ("sweep", "atpg", "serve").
+  std::string command = "serve";
+  /// Enables GET /quitz (graceful shutdown). On for the standalone
+  /// daemon, off when riding along a command via --serve.
+  bool allow_quit = false;
+  int max_profile_seconds = 10;  ///< /profile?seconds=N clamp
+  /// When set, the returned string (a JSON object, e.g. the campaign's
+  /// live sweep stats) is embedded in /jobs under "sweep". Keeps this
+  /// layer below campaign in the link order.
+  std::function<std::string()> jobs_extra;
+};
+
+class ObservabilityServer {
+ public:
+  /// Binds and starts serving. False + `*err` on bind failure.
+  /// Span-stack recording (for /profile) is NOT enabled here — the
+  /// first /profile request switches it on lazily, so an unscraped or
+  /// metrics-only server adds nothing to the workload's span pushes.
+  bool start(const ServeOptions& opts, std::string* err = nullptr);
+
+  /// Stops the HTTP thread. Idempotent; safe from the crash-flush path.
+  void stop();
+
+  bool running() const { return http_.running(); }
+  int port() const { return http_.port(); }
+  const std::string& address() const { return http_.address(); }
+  std::int64_t requests() const { return http_.requests(); }
+
+  /// True once a client fetched /quitz (allow_quit only).
+  bool quit_requested() const {
+    return quit_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until quit_requested() or, when given, `until()` turns true.
+  /// ~10 Hz poll; returns immediately if the server is not running.
+  void wait_for_quit(const std::function<bool()>& until = {}) const;
+
+ private:
+  util::HttpResponse handle(const util::HttpRequest& req);
+  util::HttpResponse dashboard() const;
+  util::HttpResponse profile_endpoint(const std::string& query) const;
+  void sample_rings();
+
+  util::HttpServer http_;
+  ServeOptions opts_;
+  std::atomic<bool> quit_{false};
+  double start_ms_ = 0.0;
+
+  /// Dashboard sparkline feed, sampled from the HTTP thread's idle tick:
+  /// total progress-done and its instantaneous rate, bounded history.
+  static constexpr std::size_t kRingCap = 120;
+  mutable std::mutex ring_mu_;
+  std::deque<double> done_ring_;
+  std::deque<double> rate_ring_;
+  double last_sample_ms_ = 0.0;
+  double last_sample_done_ = 0.0;
+};
+
+}  // namespace tsyn::observe

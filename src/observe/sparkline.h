@@ -1,0 +1,31 @@
+// Shared inline-SVG sparkline + HTML-escaping helpers.
+//
+// Factored out of the history dashboard (history.cpp) so the live
+// observability endpoint's dashboard draws the same sparklines from the
+// same code instead of a drifting copy. Everything here emits
+// self-contained markup — no scripts, no external references — which
+// both dashboards' self-containment checks rely on.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tsyn::observe {
+
+/// Observable-10-ish palette shared by every dashboard surface.
+inline constexpr const char* kSparkBlue = "#4269d0";
+inline constexpr const char* kSparkOrange = "#efb118";
+inline constexpr const char* kSparkRed = "#ff725c";
+inline constexpr const char* kSparkGreen = "#3ca951";
+
+/// `s` with &, <, >, " replaced by entities.
+std::string html_escape(const std::string& s);
+
+/// Inline sparkline: a polyline over `ys` scaled into a fixed 120x26
+/// viewBox, with the last point marked. Flat series draw a midline.
+/// Styling hook: the svg carries class="spark".
+void append_sparkline(std::ostream& os, const std::vector<double>& ys,
+                      const char* color);
+
+}  // namespace tsyn::observe

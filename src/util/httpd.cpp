@@ -1,0 +1,292 @@
+#include "util/httpd.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tsyn::util {
+
+namespace {
+
+/// Strict decimal port parse: digits only, no sign, fits in [0, 65535].
+bool parse_port(const std::string& text, int* out) {
+  if (text.empty() || text.size() > 5) return false;
+  long v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (v > 65535) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// Writes the whole buffer, retrying short writes; best-effort (a client
+/// that hung up mid-response is its own problem).
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void write_response(int fd, const HttpResponse& r) {
+  std::string head = "HTTP/1.1 ";
+  head += std::to_string(r.status);
+  head += ' ';
+  head += status_text(r.status);
+  head += "\r\nContent-Type: ";
+  head += r.content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(r.body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  write_all(fd, head.data(), head.size());
+  write_all(fd, r.body.data(), r.body.size());
+}
+
+}  // namespace
+
+bool parse_serve_spec(const std::string& spec, std::string* addr, int* port) {
+  const std::size_t colon = spec.rfind(':');
+  std::string addr_part = "127.0.0.1";
+  std::string port_part = spec;
+  if (colon != std::string::npos) {
+    addr_part = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+    in_addr probe{};
+    if (addr_part.empty() ||
+        ::inet_pton(AF_INET, addr_part.c_str(), &probe) != 1)
+      return false;
+  }
+  int p = 0;
+  if (!parse_port(port_part, &p)) return false;
+  if (addr) *addr = addr_part;
+  if (port) *port = p;
+  return true;
+}
+
+std::string http_query_param(const std::string& query,
+                             const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0)
+      return query.substr(eq + 1, amp - eq - 1);
+    if (eq == std::string::npos || eq >= amp) {
+      // bare key with no '=' counts as present-but-empty
+      if (query.compare(pos, amp - pos, key) == 0) return "";
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(const std::string& addr, int port, HttpHandler handler,
+                       std::string* err) {
+  if (running_.load(std::memory_order_acquire)) {
+    if (err) *err = "server already running";
+    return false;
+  }
+  auto fail = [&](const std::string& what) {
+    if (err) *err = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+    if (err) *err = "bad address literal: " + addr;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0)
+    return fail("bind " + addr + ":" + std::to_string(port));
+  if (::listen(listen_fd_, kMaxQueuedConns) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0)
+    return fail("getsockname");
+  port_ = ntohs(bound.sin_port);
+  addr_ = addr;
+
+  handler_ = std::move(handler);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, 100);
+    if (tick_) tick_();
+    if (n <= 0) continue;  // timeout (the stop check) or EINTR
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) continue;
+    handle_conn(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_conn(int fd) {
+  // Read until the end of the request head (CRLFCRLF) or a bound trips.
+  // GET bodies are not a thing we serve, so the head is the request.
+  std::string head;
+  char buf[1024];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, kClientTimeoutMs);
+    if (pr <= 0) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      write_response(fd, {408, "text/plain; charset=utf-8", "timeout\n"});
+      return;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return;  // peer went away before finishing the head
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos)
+      break;
+    if (head.size() > kMaxRequestBytes) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      write_response(fd, {431, "text/plain; charset=utf-8", "too large\n"});
+      return;
+    }
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    write_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t q = target.find('?');
+  req.path = target.substr(0, q);
+  if (q != std::string::npos) req.query = target.substr(q + 1);
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (req.method != "GET" && req.method != "HEAD") {
+    write_response(fd,
+                   {405, "text/plain; charset=utf-8", "method not allowed\n"});
+    return;
+  }
+  HttpResponse resp = handler_ ? handler_(req)
+                               : HttpResponse{404, "text/plain; charset=utf-8",
+                                              "not found\n"};
+  if (req.method == "HEAD") resp.body.clear();
+  write_response(fd, resp);
+}
+
+int http_get(const std::string& addr, int port, const std::string& target,
+             std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  std::string req = "GET " + target + " HTTP/1.1\r\nHost: " + addr +
+                    "\r\nConnection: close\r\n\r\n";
+  write_all(fd, req.data(), req.size());
+
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, HttpServer::kClientTimeoutMs * 5) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (resp.compare(0, 5, "HTTP/") != 0) return -1;
+  const std::size_t sp = resp.find(' ');
+  if (sp == std::string::npos || sp + 4 > resp.size()) return -1;
+  const int status = (resp[sp + 1] - '0') * 100 + (resp[sp + 2] - '0') * 10 +
+                     (resp[sp + 3] - '0');
+  if (body) {
+    std::size_t split = resp.find("\r\n\r\n");
+    std::size_t skip = 4;
+    if (split == std::string::npos) {
+      split = resp.find("\n\n");
+      skip = 2;
+    }
+    *body = split == std::string::npos ? "" : resp.substr(split + skip);
+  }
+  return status;
+}
+
+}  // namespace tsyn::util

@@ -1,0 +1,134 @@
+// Dependency-free embedded HTTP/1.1 server (POSIX sockets only).
+//
+// The observability endpoint (observe/serve) needs exactly one thing from
+// a web server: answer small idempotent GETs from a scraper or a browser
+// without ever perturbing the instrumented workload. So this is the
+// smallest server that does that honestly:
+//
+//  * One background thread. accept() is driven by poll() with a short
+//    timeout so stop() latency is bounded; requests are handled serially
+//    on that thread. There is no worker pool to steal cycles from the
+//    fault-sim shards, and a slow client can at worst delay other
+//    *scrapers*, never the workload.
+//  * Bounded everything. Request heads are capped (kMaxRequestBytes),
+//    clients get a read deadline (kClientTimeoutMs), and at most
+//    kMaxQueuedConns connections are queued in the listen backlog —
+//    beyond that the kernel sheds load, not us.
+//  * Connection: close on every response (HTTP/1.1 without keep-alive).
+//    One request per connection keeps the state machine trivial and makes
+//    "bounded" provable.
+//
+// Binding port 0 asks the kernel for an ephemeral port; port() reports
+// the bound one, which is how CI attaches curl to a fresh server without
+// a port-collision dance.
+//
+// The tiny blocking client (http_get) exists so tests and the overhead
+// bench can scrape without shelling out to curl.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace tsyn::util {
+
+/// One parsed request line. Only the pieces handlers need: the method,
+/// the path with its query split off, and the query string itself
+/// ("seconds=2", no '?'). Headers are read and discarded.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Parses a `[ADDR:]PORT` server spec ("8080", "0", "0.0.0.0:9091").
+/// PORT must be a strict decimal integer in [0, 65535] (0 = ephemeral);
+/// ADDR, when present, a dotted-quad IPv4 literal. Returns false without
+/// touching the outputs on anything else.
+bool parse_serve_spec(const std::string& spec, std::string* addr, int* port);
+
+/// Returns the value of `key` in an application/x-www-form-urlencoded
+/// query string ("a=1&b=2"), or "" when absent.
+std::string http_query_param(const std::string& query,
+                             const std::string& key);
+
+class HttpServer {
+ public:
+  static constexpr int kMaxQueuedConns = 16;     ///< listen() backlog
+  static constexpr int kClientTimeoutMs = 2000;  ///< per-read deadline
+  static constexpr std::size_t kMaxRequestBytes = 8192;
+
+  HttpServer() = default;
+  ~HttpServer();  // stops and joins
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds `addr:port` (port 0 = kernel-assigned), spawns the serving
+  /// thread, and returns true. On failure returns false and, when `err`
+  /// is non-null, stores a one-line reason.
+  bool start(const std::string& addr, int port, HttpHandler handler,
+             std::string* err = nullptr);
+
+  /// Stops the serving thread and closes the socket. Idempotent; also run
+  /// by the destructor. Safe to call from a signal-ish context (the
+  /// crash-flush path): it only flips an atomic, closes fds, and joins.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound address/port — meaningful after a successful start().
+  /// port() reports the kernel's choice when the caller bound port 0.
+  int port() const { return port_; }
+  const std::string& address() const { return addr_; }
+
+  /// Served-request count (any response, including 404s). These live here
+  /// as plain atomics rather than in the metrics registry on purpose: the
+  /// registry must reconcile exactly with the workload's own --metrics
+  /// artifact, so the scraper's activity never leaks into it.
+  std::int64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped for exceeding kMaxRequestBytes, timing out, or
+  /// sending an unparsable request line.
+  std::int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Invoked from the serving thread on every poll() wakeup (~10 Hz even
+  /// when idle). The observability layer uses it to sample dashboard
+  /// sparkline points without owning a second thread.
+  void set_idle_tick(std::function<void()> tick) { tick_ = std::move(tick); }
+
+ private:
+  void serve_loop();
+  void handle_conn(int fd);
+
+  HttpHandler handler_;
+  std::function<void()> tick_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string addr_;
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> rejected_{0};
+};
+
+/// Minimal blocking HTTP GET against 127.0.0.1-style literals, for tests
+/// and the bench. Returns the response status (or -1 on connect/IO
+/// failure) and fills `body` (headers stripped) when non-null.
+int http_get(const std::string& addr, int port, const std::string& target,
+             std::string* body = nullptr);
+
+}  // namespace tsyn::util

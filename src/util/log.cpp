@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/telemetry.h"
+
 namespace tsyn::util {
 
 namespace {
@@ -58,7 +60,9 @@ void logf(LogLevel level, const char* stage, const char* fmt, ...) {
   }
   line[n++] = '"';
   line[n++] = '\n';
-  std::fwrite(line, 1, static_cast<std::size_t>(n), stderr);
+  // Through the shared stderr writer so log lines, the TTY status line,
+  // and "-"-heartbeats interleave whole-line, never sheared.
+  stderr_write(line, static_cast<std::size_t>(n));
 }
 
 }  // namespace tsyn::util

@@ -1,0 +1,88 @@
+#include "util/prometheus.h"
+
+#include <cstdio>
+#include <set>
+
+namespace tsyn::util {
+
+namespace {
+
+void append_value(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+/// Registry name -> unique exposition name: sanitize, then suffix on
+/// collision. `taken` spans all metric families of one exposition.
+std::string unique_name(const std::string& name, const std::string& prefix,
+                        std::set<std::string>& taken) {
+  std::string base = prefix + prom_sanitize_name(name);
+  std::string candidate = base;
+  for (int i = 2; !taken.insert(candidate).second; ++i)
+    candidate = base + "_" + std::to_string(i);
+  return candidate;
+}
+
+}  // namespace
+
+std::string prom_sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string metrics_to_prometheus(const MetricsSnapshot& m,
+                                  const std::string& prefix) {
+  std::string out;
+  std::set<std::string> taken;
+
+  for (const auto& [name, v] : m.counters) {
+    // The _total suffix is the Prometheus counter convention; reserving
+    // the suffixed form keeps a gauge literally named "x_total" from
+    // colliding with counter "x".
+    const std::string pn = unique_name(name + "_total", prefix, taken);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(v) + "\n";
+  }
+
+  for (const auto& [name, v] : m.gauges) {
+    const std::string pn = unique_name(name, prefix, taken);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " ";
+    append_value(out, v);
+    out += "\n";
+  }
+
+  for (const auto& [name, h] : m.histograms) {
+    const std::string pn = unique_name(name, prefix, taken);
+    out += "# TYPE " + pn + " summary\n";
+    const double quantiles[][2] = {{0.5, h.percentile(50.0)},
+                                   {0.9, h.percentile(90.0)},
+                                   {0.99, h.percentile(99.0)}};
+    for (const auto& [q, v] : quantiles) {
+      out += pn + "{quantile=\"";
+      append_value(out, q);
+      out += "\"} ";
+      append_value(out, v);
+      out += "\n";
+    }
+    out += pn + "_sum " + std::to_string(h.sum) + "\n";
+    out += pn + "_count " + std::to_string(h.count) + "\n";
+    const std::string mn = unique_name(name + "_min", prefix, taken);
+    out += "# TYPE " + mn + " gauge\n" + mn + " " + std::to_string(h.min) +
+           "\n";
+    const std::string mx = unique_name(name + "_max", prefix, taken);
+    out += "# TYPE " + mx + " gauge\n" + mx + " " + std::to_string(h.max) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace tsyn::util

@@ -1,0 +1,43 @@
+// Prometheus text exposition over the metrics registry.
+//
+// The /metrics endpoint speaks the Prometheus text format (version
+// 0.0.4): `# TYPE` headers, one `name value` sample per line, labels in
+// braces. This file renders a util::MetricsSnapshot into that format so
+// the exposition is a pure function of the same snapshot --metrics
+// serializes — which is what makes the scrape reconcile *exactly* with
+// the final JSON artifact instead of approximately.
+//
+// Mapping:
+//  * registry counter "atpg.backtracks" -> counter
+//      tsyn_atpg_backtracks_total <int64>
+//  * registry gauge "sched.len"        -> gauge
+//      tsyn_sched_len <double>
+//  * registry histogram "h"            -> summary
+//      tsyn_h{quantile="0.5"|"0.9"|"0.99"} <interpolated percentile>
+//      tsyn_h_sum / tsyn_h_count, plus tsyn_h_min / tsyn_h_max gauges
+//      (Prometheus summaries carry no min/max; ours are exact, so they
+//      ride along as two extra gauges).
+//
+// Names are sanitized to the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*
+// ('.' and every other invalid byte become '_', a leading digit gets a
+// '_' prefix). Sanitization can collide ("a.b" vs "a_b"); later names
+// take an "_2"-style suffix so the exposition never emits a duplicate
+// series, which Prometheus would reject wholesale.
+#pragma once
+
+#include <string>
+
+#include "util/metrics.h"
+
+namespace tsyn::util {
+
+/// `name` mapped into the Prometheus metric-name charset (no uniqueness
+/// guarantee — the exporter layers collision suffixes on top).
+std::string prom_sanitize_name(const std::string& name);
+
+/// Full text exposition of `m`, every metric prefixed with `prefix`
+/// (default "tsyn_"). Deterministic: snapshot maps are name-sorted.
+std::string metrics_to_prometheus(const MetricsSnapshot& m,
+                                  const std::string& prefix = "tsyn_");
+
+}  // namespace tsyn::util

@@ -113,6 +113,19 @@ const char* telemetry_phase() {
 }
 
 namespace {
+std::mutex& stderr_mu() {
+  static std::mutex* mu = new std::mutex();  // leaked: usable during exit
+  return *mu;
+}
+}  // namespace
+
+void stderr_write(const char* data, std::size_t len) {
+  std::lock_guard<std::mutex> lk(stderr_mu());
+  std::fwrite(data, 1, len, stderr);
+  std::fflush(stderr);
+}
+
+namespace {
 
 /// The fleet job rollup. One mutex is fine at job granularity (a sweep
 /// touches this twice per job); the sampler thread snapshots it per line.
@@ -323,14 +336,16 @@ void emit_record(TelemetrySession& s, double t_ms, double stalled_ms) {
     std::lock_guard<std::mutex> lk(g_last_line_mu);
     g_last_line->assign(line.data(), line.size() - 1);  // strip the '\n'
   }
-  if (s.stream) {
+  if (s.stream == stderr) {
+    stderr_write(line);  // shared writer: never shears the TTY line
+  } else if (s.stream) {
     std::fwrite(line.data(), 1, line.size(), s.stream);
     std::fflush(s.stream);  // each line must survive a crash
   }
 }
 
 void update_tty(TelemetrySession& s) {
-  std::string line = "[";
+  std::string line = "\r[";
   line += telemetry_phase();
   line += "]";
   for (const ProgressRow& row : progress_snapshot()) {
@@ -348,20 +363,18 @@ void update_tty(TelemetrySession& s) {
       line += buf;
     }
   }
-  if (line.size() > 118) line.resize(118);
-  line.resize(120, ' ');  // overwrite any longer previous line
-  std::fputc('\r', stderr);
-  std::fputs(line.c_str(), stderr);
-  std::fflush(stderr);
+  if (line.size() > 119) line.resize(119);  // 1 for '\r' + 118 visible
+  line.resize(121, ' ');  // overwrite any longer previous line
+  stderr_write(line);  // one write: heartbeat lines can't land mid-line
   s.tty_dirty = true;
 }
 
 void clear_tty(TelemetrySession& s) {
   if (!s.tty_dirty) return;
-  std::fputc('\r', stderr);
-  for (int i = 0; i < 120; ++i) std::fputc(' ', stderr);
-  std::fputc('\r', stderr);
-  std::fflush(stderr);
+  std::string wipe = "\r";
+  wipe.append(120, ' ');
+  wipe += '\r';
+  stderr_write(wipe);
   s.tty_dirty = false;
 }
 

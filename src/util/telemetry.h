@@ -118,6 +118,22 @@ void progress_reset();
 void telemetry_set_phase(const char* phase);
 const char* telemetry_phase();
 
+// -- shared stderr writer ----------------------------------------------------
+//
+// Three producers target stderr concurrently: the --progress TTY status
+// line and a heartbeat stream pointed at "-" (both from the sampler
+// thread), and the structured logger (from any worker). Interleaved
+// fwrite calls can shear one producer's line through another's, so all
+// of them funnel through this single mutex-guarded writer: one call, one
+// contiguous byte range on the stream.
+
+/// Writes `[data, data+len)` to stderr as one unit (single fwrite +
+/// fflush under a process-wide mutex).
+void stderr_write(const char* data, std::size_t len);
+inline void stderr_write(const std::string& s) {
+  stderr_write(s.data(), s.size());
+}
+
 struct TelemetryOptions {
   /// Heartbeat JSONL destination: a file path, "-" for stderr, or empty
   /// for no heartbeat stream (the thread still runs for sampler/watchdog).

@@ -1,0 +1,411 @@
+// Tests for the live observability endpoint: the embedded HTTP server,
+// the Prometheus exporter, the JSON/profile/dashboard endpoints, and the
+// two load-bearing contracts — (1) /metrics reconciles *exactly* with the
+// --metrics JSON artifact, and (2) a hammering scraper never changes the
+// workload's results (byte-identical ledger JSON and coverage).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <regex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cdfg/benchmarks.h"
+#include "compaction/compaction.h"
+#include "gatelevel/expand.h"
+#include "gatelevel/faults.h"
+#include "gatelevel/netlist.h"
+#include "hls/synthesis.h"
+#include "observe/ledger.h"
+#include "observe/serve.h"
+#include "util/httpd.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/prometheus.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
+
+namespace tsyn {
+namespace {
+
+using observe::ObservabilityServer;
+using observe::ServeOptions;
+
+/// Full-scan gate-level expansion of a behavior — same rig as the
+/// telemetry/compaction tests.
+gl::Netlist full_scan_netlist(const cdfg::Cdfg& g, int width) {
+  hls::SynthesisOptions opts;
+  opts.resources = hls::Resources{{cdfg::FuType::kAlu, 2},
+                                  {cdfg::FuType::kMultiplier, 2}};
+  hls::Synthesis syn = hls::synthesize(g, opts);
+  rtl::Datapath dp = syn.rtl.datapath;
+  for (auto& reg : dp.regs) reg.test_kind = rtl::TestRegKind::kScan;
+  gl::ExpandOptions x;
+  x.width_override = width;
+  return gl::expand_datapath(dp, x).netlist;
+}
+
+ObservabilityServer* start_server(ServeOptions opts = {}) {
+  auto* srv = new ObservabilityServer();
+  std::string err;
+  opts.port = 0;  // always ephemeral in tests
+  EXPECT_TRUE(srv->start(opts, &err)) << err;
+  return srv;
+}
+
+std::string get(const ObservabilityServer& srv, const std::string& target,
+                int expect_status = 200) {
+  std::string body;
+  const int status =
+      util::http_get(srv.address(), srv.port(), target, &body);
+  EXPECT_EQ(status, expect_status) << target << " -> " << body;
+  return body;
+}
+
+// -- [ADDR:]PORT spec parsing ------------------------------------------------
+
+TEST(ServeSpec, AcceptsPortAndAddrPortForms) {
+  std::string addr;
+  int port = -1;
+  EXPECT_TRUE(util::parse_serve_spec("8080", &addr, &port));
+  EXPECT_EQ(addr, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_TRUE(util::parse_serve_spec("0", &addr, &port));
+  EXPECT_EQ(port, 0);
+  EXPECT_TRUE(util::parse_serve_spec("0.0.0.0:9091", &addr, &port));
+  EXPECT_EQ(addr, "0.0.0.0");
+  EXPECT_EQ(port, 9091);
+}
+
+TEST(ServeSpec, RejectsMalformedSpecsStrictly) {
+  for (const char* bad : {"", "x", "8080x", "70000", "-1", "+80", " 80",
+                          ":80", "foo:80", "1.2.3:80", "127.0.0.1:",
+                          "127.0.0.1:8080x"}) {
+    std::string addr = "sentinel";
+    int port = -7;
+    EXPECT_FALSE(util::parse_serve_spec(bad, &addr, &port)) << bad;
+    // Outputs untouched on failure.
+    EXPECT_EQ(addr, "sentinel") << bad;
+    EXPECT_EQ(port, -7) << bad;
+  }
+}
+
+TEST(ServeSpec, QueryParamExtraction) {
+  EXPECT_EQ(util::http_query_param("seconds=2", "seconds"), "2");
+  EXPECT_EQ(util::http_query_param("a=1&seconds=3&b=2", "seconds"), "3");
+  EXPECT_EQ(util::http_query_param("a=1", "seconds"), "");
+  EXPECT_EQ(util::http_query_param("", "seconds"), "");
+  EXPECT_EQ(util::http_query_param("secondsy=9", "seconds"), "");
+}
+
+// -- Prometheus exporter -----------------------------------------------------
+
+TEST(Prometheus, SanitizesNamesIntoTheLegalCharset) {
+  EXPECT_EQ(util::prom_sanitize_name("atpg.backtracks"), "atpg_backtracks");
+  EXPECT_EQ(util::prom_sanitize_name("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(util::prom_sanitize_name("9lives"), "_9lives");
+  EXPECT_EQ(util::prom_sanitize_name(""), "_");
+  EXPECT_EQ(util::prom_sanitize_name("ok_name:x"), "ok_name:x");
+}
+
+TEST(Prometheus, ExpositionCoversAllKindsAndDeduplicatesCollisions) {
+  util::MetricsSnapshot m;
+  m.counters["atpg.backtracks"] = 42;
+  m.counters["a.b"] = 1;
+  m.counters["a_b"] = 2;  // sanitizes to the same name as "a.b"
+  m.gauges["sched.len"] = 3.5;
+  util::HistogramSnapshot h;
+  h.count = 3;
+  h.sum = 7;
+  h.min = 1;
+  h.max = 4;
+  h.buckets[1] = 2;  // two observations of 1
+  h.buckets[3] = 1;  // one observation in [4, 8)
+  m.histograms["sim.events"] = h;
+
+  const std::string text = util::metrics_to_prometheus(m);
+  EXPECT_NE(text.find("# TYPE tsyn_atpg_backtracks_total counter\n"
+                      "tsyn_atpg_backtracks_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsyn_a_b_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("tsyn_a_b_total_2 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tsyn_sched_len gauge\ntsyn_sched_len 3.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tsyn_sim_events summary\n"), std::string::npos);
+  EXPECT_NE(text.find("tsyn_sim_events{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsyn_sim_events{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsyn_sim_events_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("tsyn_sim_events_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("tsyn_sim_events_min 1\n"), std::string::npos);
+  EXPECT_NE(text.find("tsyn_sim_events_max 4\n"), std::string::npos);
+}
+
+TEST(Prometheus, EveryLineMatchesTheExpositionGrammar) {
+  // A few registry-shaped metrics plus awkward names.
+  util::MetricsSnapshot m;
+  m.counters["campaign.cache.parse.hit"] = 12;
+  m.counters["0weird name!"] = 1;
+  m.gauges["faultsim.shard.imbalance"] = 0.125;
+  util::HistogramSnapshot h;
+  h.count = 1;
+  h.sum = 9;
+  h.min = 9;
+  h.max = 9;
+  h.buckets[4] = 1;
+  m.histograms["atpg.bt.per_fault"] = h;
+
+  const std::regex line_re(
+      R"(^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary))$|)"
+      R"(^([a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.e+-]+)$)");
+  std::istringstream in(util::metrics_to_prometheus(m));
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(std::regex_match(line, line_re)) << "bad line: " << line;
+  }
+  EXPECT_GE(lines, 2 * 2 + 2 + 9);  // counters + gauge + summary block
+}
+
+// -- endpoint behavior -------------------------------------------------------
+
+TEST(Serve, HealthReadyAndUnknownEndpoints) {
+  std::unique_ptr<ObservabilityServer> srv(start_server());
+  EXPECT_EQ(get(*srv, "/healthz"), "ok\n");
+
+  // readyz reflects telemetry attachment.
+  if (!util::telemetry_active()) {
+    (void)get(*srv, "/readyz", 503);
+    util::TelemetryOptions topts;  // no heartbeat stream, thread only
+    topts.interval_ms = 10;
+    ASSERT_TRUE(util::telemetry_start(topts));
+    EXPECT_EQ(get(*srv, "/readyz"), "ready\n");
+    util::telemetry_stop();
+  }
+
+  const std::string notfound = get(*srv, "/nope", 404);
+  EXPECT_NE(notfound.find("/metrics"), std::string::npos);
+  EXPECT_GE(srv->requests(), 3);
+  srv->stop();
+  srv->stop();  // idempotent
+}
+
+TEST(Serve, QuitzOnlyWhenAllowed) {
+  std::unique_ptr<ObservabilityServer> attached(start_server());
+  (void)get(*attached, "/quitz", 404);
+  EXPECT_FALSE(attached->quit_requested());
+  attached->stop();
+
+  ServeOptions opts;
+  opts.allow_quit = true;
+  std::unique_ptr<ObservabilityServer> daemon(start_server(opts));
+  EXPECT_FALSE(daemon->quit_requested());
+  EXPECT_EQ(get(*daemon, "/quitz"), "bye\n");
+  EXPECT_TRUE(daemon->quit_requested());
+  daemon->wait_for_quit();  // returns immediately once quit was requested
+  daemon->stop();
+}
+
+TEST(Serve, SecondBindOnSamePortFails) {
+  std::unique_ptr<ObservabilityServer> first(start_server());
+  ObservabilityServer second;
+  ServeOptions opts;
+  opts.port = first->port();
+  std::string err;
+  EXPECT_FALSE(second.start(opts, &err));
+  EXPECT_FALSE(err.empty());
+  first->stop();
+}
+
+TEST(Serve, ProgressAndJobsSnapshotsAsJson) {
+  util::progress_reset();
+  util::telemetry_jobs_reset();
+  util::progress_enable();
+  util::progress("test.serve.rows").add_total(10);
+  util::progress("test.serve.rows").add(4);
+  util::telemetry_job_begin("job.a");
+  util::telemetry_job_begin("job.b");
+  util::telemetry_job_end("job.b", /*failed=*/true);
+  util::telemetry_set_phase("test.serve");
+
+  std::unique_ptr<ObservabilityServer> srv(start_server());
+  const util::Json prog = util::Json::parse(get(*srv, "/progress"));
+  EXPECT_EQ(prog.find("phase")->str, "test.serve");
+  ASSERT_TRUE(prog.find("progress")->is_array());
+  bool found = false;
+  for (const util::Json& row : prog.find("progress")->arr) {
+    if (row.find("name")->str != "test.serve.rows") continue;
+    found = true;
+    EXPECT_EQ(row.number_or("done", -1), 4);
+    EXPECT_EQ(row.number_or("total", -1), 10);
+  }
+  EXPECT_TRUE(found);
+
+  const util::Json jobs = util::Json::parse(get(*srv, "/jobs"));
+  const util::Json* rollup = jobs.find("jobs");
+  ASSERT_NE(rollup, nullptr);
+  EXPECT_EQ(rollup->number_or("started", -1), 2);
+  EXPECT_EQ(rollup->number_or("done", -1), 1);
+  EXPECT_EQ(rollup->number_or("failed", -1), 1);
+  EXPECT_EQ(rollup->number_or("in_flight", -1), 1);
+  ASSERT_TRUE(rollup->find("running")->is_array());
+  EXPECT_EQ(rollup->find("running")->arr.size(), 1u);
+  EXPECT_EQ(rollup->find("running")->arr[0].str, "job.a");
+
+  srv->stop();
+  util::telemetry_job_end("job.a", false);
+  util::telemetry_jobs_reset();
+  util::progress_disable();
+  util::progress_reset();
+}
+
+TEST(Serve, MetricsEndpointReconcilesExactlyWithJsonArtifact) {
+  // Make the registry non-trivial, then compare the scrape against the
+  // same snapshot the --metrics artifact serializes. The registry is
+  // quiescent here, exactly like the window in which the CLI writes the
+  // artifact — so equality must be exact, not approximate.
+  util::metrics().counter("test.serve.counter").add(17);
+  util::metrics().gauge("test.serve.gauge").set(2.25);
+  util::metrics().histogram("test.serve.hist").observe(3);
+  util::metrics().histogram("test.serve.hist").observe(5);
+
+  std::unique_ptr<ObservabilityServer> srv(start_server());
+  const std::string text = get(*srv, "/metrics");
+  srv->stop();
+
+  const util::MetricsSnapshot snap = util::metrics().snapshot();
+  for (const auto& [name, v] : snap.counters) {
+    const std::string line = "\ntsyn_" + util::prom_sanitize_name(name) +
+                             "_total " + std::to_string(v) + "\n";
+    EXPECT_NE(text.find(line), std::string::npos)
+        << "counter " << name << " missing or mismatched: " << line;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string base = "tsyn_" + util::prom_sanitize_name(name);
+    EXPECT_NE(text.find("\n" + base + "_count " + std::to_string(h.count) +
+                        "\n"),
+              std::string::npos)
+        << name;
+    EXPECT_NE(
+        text.find("\n" + base + "_sum " + std::to_string(h.sum) + "\n"),
+        std::string::npos)
+        << name;
+  }
+  // And the artifact side: every counter in to_json() appears in the
+  // exposition with the same value (parse the artifact, don't trust it).
+  const util::Json artifact = util::Json::parse(util::metrics().to_json());
+  const util::Json* counters = artifact.find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const auto& [name, node] : counters->obj) {
+    const std::string line =
+        "\ntsyn_" + util::prom_sanitize_name(name) + "_total " +
+        std::to_string(static_cast<std::int64_t>(node.number)) + "\n";
+    EXPECT_NE(text.find(line), std::string::npos) << name;
+  }
+  // The server's own activity must NOT appear in the registry artifact.
+  EXPECT_EQ(counters->find("serve.requests"), nullptr);
+  EXPECT_EQ(snap.counters.count("serve.requests"), 0u);
+  EXPECT_NE(text.find("tsyn_serve_requests_total"), std::string::npos);
+}
+
+TEST(Serve, ProfileEndpointSamplesLiveSpans) {
+  std::unique_ptr<ObservabilityServer> srv(start_server());
+  (void)get(*srv, "/profile?seconds=abc", 400);
+  (void)get(*srv, "/profile?seconds=-1", 400);
+
+  // A worker that re-enters its span throughout the sampling window —
+  // the shape of a real campaign loop. (Re-entry matters: recording is
+  // enabled lazily by the first /profile request, so a span pushed
+  // before that and merely *held* is invisible to the sampler.)
+  std::atomic<bool> stop{false};
+  std::thread busy([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      TSYN_SPAN("test.serve.busy");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  const std::string prof = get(*srv, "/profile?seconds=1");
+  stop.store(true, std::memory_order_relaxed);
+  busy.join();
+  EXPECT_NE(prof.find("# tsyn profile seconds=1"), std::string::npos);
+  EXPECT_NE(prof.find("test.serve.busy"), std::string::npos);
+  srv->stop();
+}
+
+TEST(Serve, DashboardIsSelfContainedHtml) {
+  ServeOptions opts;
+  opts.command = "unit<test>";  // must come out escaped
+  std::unique_ptr<ObservabilityServer> srv(start_server(opts));
+  const std::string html = get(*srv, "/");
+  srv->stop();
+
+  EXPECT_EQ(html.compare(0, 15, "<!DOCTYPE html>"), 0);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("http-equiv=\"refresh\""), std::string::npos);
+  EXPECT_NE(html.find("unit&lt;test&gt;"), std::string::npos);
+  // Self-containment: no scripts, no external fetches of any kind.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+// -- scrape-under-load determinism -------------------------------------------
+
+#ifndef TSYN_LEDGER_NOOP
+TEST(Serve, HammeringScraperNeverChangesResults) {
+  const gl::Netlist n = full_scan_netlist(cdfg::diffeq(), 4);
+  const std::vector<gl::Fault> faults = gl::enumerate_faults(n);
+
+  // Full-scan ATPG + static compaction with the fault ledger on — the
+  // same pipeline `tsyn_cli atpg --compact static` drives.
+  auto run = [&]() -> std::pair<std::string, double> {
+    observe::ledger_reset();
+    observe::ledger_enable();
+    compaction::CompactionOptions copts;
+    copts.mode = compaction::CompactMode::kStatic;
+    const compaction::CompactedCampaign c =
+        compaction::run_compacted_atpg(n, faults, copts,
+                                       /*backtrack_limit=*/2000);
+    observe::ledger_disable();
+    return {observe::ledger_to_json(), c.pattern_coverage};
+  };
+
+  const std::pair<std::string, double> off = run();
+
+  util::progress_reset();
+  util::progress_enable();
+  std::unique_ptr<ObservabilityServer> srv(start_server());
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    // Hammer every endpoint the whole time the workload runs.
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const char* targets[] = {"/metrics", "/progress", "/jobs", "/",
+                               "/healthz"};
+      std::string body;
+      (void)util::http_get(srv->address(), srv->port(),
+                           targets[i++ % 5], &body);
+    }
+  });
+  const std::pair<std::string, double> on = run();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  const std::int64_t scraped = srv->requests();
+  srv->stop();
+  util::progress_disable();
+  util::progress_reset();
+
+  EXPECT_GT(scraped, 0) << "poller never got through — test is vacuous";
+  EXPECT_EQ(off.second, on.second);  // identical coverage
+  EXPECT_EQ(off.first, on.first);    // byte-identical ledger JSON
+}
+#endif  // TSYN_LEDGER_NOOP
+
+}  // namespace
+}  // namespace tsyn

@@ -22,6 +22,10 @@
 //                                                     diff / outliers /
 //                                                     ingest / HTML dashboard
 //                                                     (see docs/history.md)
+//   tsyn_cli serve [options]                          standalone observability
+//                                                     daemon: HTTP endpoint
+//                                                     only, runs until GET
+//                                                     /quitz or SIGINT/TERM
 //   tsyn_cli list                                     list built-in benchmarks
 //
 // Options accept both `--opt value` and `--opt=value`.
@@ -51,6 +55,12 @@
 //                          stacks, progress deltas) to the heartbeat
 //                          stream when no progress for MS ms
 //   --log-level LEVEL      error|warn|info|debug (default warn)
+//   --serve [ADDR:]PORT    expose the live observability endpoint while the
+//                          command runs: /metrics (Prometheus), /progress,
+//                          /jobs, /profile?seconds=N, /healthz, /readyz,
+//                          and an HTML dashboard at / (PORT 0 = ephemeral;
+//                          the bound "serving on ADDR:PORT" line goes to
+//                          stderr; see docs/observability.md)
 // synth options:
 //   --scan MODE            none|mfvs|loopcut|boundary|interior (default none)
 //   --loop-avoid           use the simultaneous scheduler/assigner of [33]
@@ -140,6 +150,8 @@
 #include "testability/loop_avoid.h"
 #include "testability/scan_select.h"
 #include "observe/profile.h"
+#include "observe/serve.h"
+#include "util/httpd.h"
 #include "util/json.h"
 #include "util/log.h"
 #include "util/metrics.h"
@@ -163,12 +175,16 @@ FILE* g_report = stdout;
 /// table into the run report.
 observe::Profiler* g_profiler = nullptr;
 
+/// Set while --serve is active (or the serve command runs), so the
+/// crash-flush path can take the endpoint down with the process.
+observe::ObservabilityServer* g_server = nullptr;
+
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
                "usage: tsyn_cli <synth|analyze|bist|atpg|report|explain|sweep"
-               "|history|list> <file.cdfg|bench:NAME|manifest.json|store-dir> "
-               "[options]\n"
+               "|history|serve|list> <file.cdfg|bench:NAME|manifest.json"
+               "|store-dir> [options]\n"
                "run with no arguments for the option list in the source "
                "header.\n");
   std::exit(2);
@@ -220,6 +236,10 @@ struct Args {
   std::string profile;         ///< collapsed-stack output path
   bool progress = false;       ///< single-line TTY progress view
   long watchdog_ms = 0;        ///< 0 = stall watchdog off
+  // Observability endpoint (--serve, and the serve command's defaults).
+  bool serve = false;
+  std::string serve_addr = "127.0.0.1";
+  int serve_port = 0;          ///< 0 = kernel-assigned ephemeral port
   // sweep.
   std::string out_dir = "results";
   int threads = 0;             ///< 0 = shared pool width
@@ -283,9 +303,16 @@ Args parse_args(int argc, char** argv) {
                 .c_str());
     return a;
   }
-  if (argc < 3) usage("missing behavior argument");
-  a.behavior = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int first_opt = 3;
+  if (a.command == "serve") {
+    // The standalone daemon takes no behavior argument — just options.
+    first_opt = 2;
+    a.serve = true;
+  } else {
+    if (argc < 3) usage("missing behavior argument");
+    a.behavior = argv[2];
+  }
+  for (int i = first_opt; i < argc; ++i) {
     std::string opt = argv[i];
     // `history` is the one command with trailing positionals (subcommand
     // plus its arguments); everything else treats bare words as typos.
@@ -334,6 +361,28 @@ Args parse_args(int argc, char** argv) {
     else if (opt == "--watchdog") {
       a.watchdog_ms = int_arg(opt, value());
       if (a.watchdog_ms < 1) usage("--watchdog expects a window in ms");
+    }
+    else if (opt == "--serve") {
+      // "[ADDR:]PORT". The port goes through the shared strict-int parse
+      // (same exit-2 contract as every numeric flag); the address
+      // through the same literal validation the server binds with.
+      const std::string v = value();
+      std::string addr = "127.0.0.1";
+      std::string port_part = v;
+      if (const std::size_t colon = v.rfind(':');
+          colon != std::string::npos) {
+        addr = v.substr(0, colon);
+        port_part = v.substr(colon + 1);
+      }
+      const long port = int_arg("--serve [ADDR:]PORT", port_part);
+      if (port < 0 || port > 65535)
+        usage("--serve port must be in [0, 65535] (0 = ephemeral)");
+      if (!util::parse_serve_spec(addr + ":" + std::to_string(port),
+                                  &a.serve_addr, &a.serve_port))
+        usage(("--serve: bad listen address \"" + addr +
+               "\" (IPv4 literal expected)")
+                  .c_str());
+      a.serve = true;
     }
     else if (opt == "--fault") a.fault = value();
     else if (opt == "--out-dir") a.out_dir = value();
@@ -1293,6 +1342,18 @@ int cmd_history(const Args& a) {
   return rc;
 }
 
+/// The standalone daemon (`tsyn_cli serve`): the observability endpoint
+/// with nothing attached, the `tsyn_serve` skeleton from the ROADMAP.
+/// main() already started the server (g_server); this just parks until a
+/// client asks it to leave via GET /quitz or a signal takes the process
+/// down (the crash-flush path stops the server either way).
+int cmd_serve(const Args&) {
+  if (!g_server) return 1;  // unreachable: main() starts it or exits
+  std::fprintf(g_report, "serve     : GET /quitz (or SIGINT/SIGTERM) stops\n");
+  g_server->wait_for_quit();
+  return 0;
+}
+
 int run_command(const Args& a) {
   if (a.command == "synth") { tsyn::util::telemetry_set_phase("synth"); return cmd_synth(a); }
   if (a.command == "analyze") { tsyn::util::telemetry_set_phase("analyze"); return cmd_analyze(a); }
@@ -1302,6 +1363,7 @@ int run_command(const Args& a) {
   if (a.command == "explain") { tsyn::util::telemetry_set_phase("explain"); return cmd_explain(a); }
   if (a.command == "sweep") { tsyn::util::telemetry_set_phase("sweep"); return cmd_sweep(a); }
   if (a.command == "history") { tsyn::util::telemetry_set_phase("history"); return cmd_history(a); }
+  if (a.command == "serve") { tsyn::util::telemetry_set_phase("serve"); return cmd_serve(a); }
   usage(("unknown command: " + a.command).c_str());
 }
 
@@ -1370,10 +1432,35 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // Live observability endpoint: started before the workload so the very
+  // first pattern is already scrapeable, bound port announced on stderr
+  // ("serving on ADDR:PORT") so callers of --serve 0 can find it.
+  static observe::ObservabilityServer server;
+  if (a.serve) {
+    observe::ServeOptions sopts;
+    sopts.addr = a.serve_addr;
+    sopts.port = a.serve_port;
+    sopts.command = a.command;
+    sopts.allow_quit = a.command == "serve";  // attached runs end with the run
+    sopts.jobs_extra = [] { return campaign::sweep_live_json(); };
+    std::string err;
+    if (!server.start(sopts, &err)) {
+      std::fprintf(stderr, "error: cannot start observability server: %s\n",
+                   err.c_str());
+      if (util::telemetry_active()) util::telemetry_stop();
+      return 1;
+    }
+    g_server = &server;
+    std::fprintf(stderr, "serving on %s:%d\n", server.address().c_str(),
+                 server.port());
+    std::fflush(stderr);
+  }
   // Make --trace/--metrics/--profile artifacts survive a crash, a watchdog
   // abort, or an operator Ctrl-C: best-effort flush of whatever was
-  // collected so far. The normal shutdown path below disarms this.
-  if (!a.trace.empty() || !a.metrics.empty() || !a.profile.empty()) {
+  // collected so far — and take the endpoint's socket down with the
+  // process. The normal shutdown path below disarms this.
+  if (!a.trace.empty() || !a.metrics.empty() || !a.profile.empty() ||
+      g_server) {
     const std::string trace_path = a.trace, metrics_path = a.metrics,
                       profile_path = a.profile;
     util::install_crash_flush([trace_path, metrics_path, profile_path] {
@@ -1382,6 +1469,7 @@ int main(int argc, char** argv) {
         write_output(metrics_path, util::metrics().to_json() + "\n");
       if (!profile_path.empty() && g_profiler)
         write_output(profile_path, g_profiler->collapsed());
+      if (g_server) g_server->stop();
     });
   }
 
@@ -1429,6 +1517,15 @@ int main(int argc, char** argv) {
                    a.metrics.c_str());
       return 1;
     }
+  }
+  // The endpoint outlives the artifact writes above on purpose: a scraper
+  // can watch the registry through the very last flush. Stop is part of
+  // the command's own lifetime — no lingering socket after exit 0.
+  if (g_server) {
+    const long long served = g_server->requests();
+    g_server->stop();
+    std::fprintf(g_report, "serve     : %lld request(s) served on %s:%d\n",
+                 served, a.serve_addr.c_str(), server.port());
   }
   util::disarm_crash_flush();
   return rc;
